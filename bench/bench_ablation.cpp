@@ -1,0 +1,139 @@
+// Ablation studies for the design choices DESIGN.md calls out.
+//
+//  A. Workload balancing (§3.2): heterogeneous design with and without the
+//     edge-shrink factors — the paper credits balancing with ~9% less
+//     synchronization wait.
+//  B. Communication-latency hiding (§3.1): independent-first scheduling on
+//     vs. fully exposed pipe writes (λ = 1).
+//  C. Kernel-launch delay: how much of the model's underestimate the
+//     sequential launches explain (re-simulate with zero launch cost).
+//  D. Cone model refinement: the paper's Eq. 8 (full Δw for the slowest
+//     kernel) vs. our per-kernel exterior-face geometry.
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "model/perf_model.hpp"
+#include "sim/executor.hpp"
+#include "stencil/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::sim::Executor;
+using scl::sim::SimMode;
+using scl::sim::SimResult;
+using scl::sim::SimTuning;
+
+int main() {
+  std::cout << "==== Ablation studies ====\n\n";
+  const scl::fpga::DeviceSpec device = scl::fpga::virtex7_690t();
+
+  // A fixed mid-size heterogeneous design with interior tiles (3x3 CUs) so
+  // balancing has corners to offload.
+  const auto program = scl::stencil::make_jacobi2d(2048, 2048, 512);
+  DesignConfig config;
+  config.kind = DesignKind::kHeterogeneous;
+  config.fused_iterations = 32;
+  config.parallelism = {3, 3, 1};
+  config.tile_size = {96, 96, 1};
+  config.unroll = 8;
+
+  // --- A: workload balancing -------------------------------------------------
+  {
+    std::cout << "A. Workload balancing (Jacobi-2D, 3x3 CUs, h=32):\n";
+    scl::TableWriter table(
+        {"edge shrink", "total ms", "barrier+stall share", "speedup vs 0"});
+    const Executor executor(device);
+    double base_ms = 0.0;
+    for (const std::int64_t shrink : {0, 1, 2, 4, 8}) {
+      config.edge_shrink = {shrink, shrink, 0};
+      const SimResult r = executor.run(program, config, SimMode::kTimingOnly);
+      if (shrink == 0) base_ms = r.total_ms;
+      const double waits = static_cast<double>(r.phases.barrier_wait +
+                                               r.phases.pipe_stall) /
+                           static_cast<double>(r.phases.total());
+      table.add_row({std::to_string(shrink), scl::format_fixed(r.total_ms, 1),
+                     scl::format_fixed(100.0 * waits, 1) + "%",
+                     scl::format_speedup(base_ms / r.total_ms)});
+    }
+    config.edge_shrink = {0, 0, 0};
+    std::cout << table.to_text() << "\n";
+  }
+
+  // --- B: latency hiding -------------------------------------------------------
+  {
+    std::cout << "B. Communication-latency hiding (same design, shrink 2):\n";
+    config.edge_shrink = {2, 2, 0};
+    scl::TableWriter table({"scheduling", "total ms", "pipe-exposed cycles"});
+    for (const bool hiding : {true, false}) {
+      SimTuning tuning;
+      tuning.latency_hiding = hiding;
+      const Executor executor(device, tuning);
+      const SimResult r = executor.run(program, config, SimMode::kTimingOnly);
+      table.add_row(
+          {hiding ? "independent-first (paper SS3.1)" : "exposed (lambda=1)",
+           scl::format_fixed(r.total_ms, 1),
+           scl::format_thousands(r.phases.pipe_transfer +
+                                 r.phases.pipe_stall)});
+    }
+    config.edge_shrink = {0, 0, 0};
+    std::cout << table.to_text() << "\n";
+  }
+
+  // --- C: launch-delay sensitivity ----------------------------------------------
+  {
+    std::cout << "C. Kernel-launch delay (source of the model's "
+                 "underestimate):\n";
+    const scl::model::PerfModel model(program, device);
+    const double predicted = model.predict_cycles(config);
+    scl::TableWriter table(
+        {"launch delay (cycles)", "measured Mcyc", "model underest."});
+    for (const std::int64_t launch : {0, 1000, 2000, 4000}) {
+      scl::fpga::DeviceSpec dev = device;
+      dev.kernel_launch_cycles = launch;
+      const Executor executor(dev);
+      const SimResult r = executor.run(program, config, SimMode::kTimingOnly);
+      table.add_row(
+          {std::to_string(launch),
+           scl::format_fixed(static_cast<double>(r.total_cycles) / 1e6, 1),
+           scl::format_fixed(
+               100.0 * (static_cast<double>(r.total_cycles) - predicted) /
+                   static_cast<double>(r.total_cycles),
+               1) +
+               "%"});
+    }
+    std::cout << table.to_text() << "\n";
+  }
+
+  // --- D: cone-model refinement ---------------------------------------------------
+  {
+    std::cout << "D. Analytical cone model: paper Eq. 8 vs per-kernel "
+                 "geometry:\n";
+    scl::TableWriter table(
+        {"benchmark", "refined pred (ms)", "Eq.8 pred (ms)", "measured (ms)"});
+    for (const char* name : {"Jacobi-2D", "Jacobi-3D", "HotSpot-2D"}) {
+      const auto p = scl::stencil::find_benchmark(name).make_paper_scale();
+      scl::core::OptimizerOptions options;
+      const scl::core::Optimizer optimizer(p, options);
+      const auto het =
+          optimizer.optimize_heterogeneous(optimizer.optimize_baseline());
+      const scl::model::PerfModel refined(p, device,
+                                          scl::model::ConeMode::kRefined);
+      const scl::model::PerfModel exact(p, device,
+                                        scl::model::ConeMode::kPaperExact);
+      const Executor executor(device);
+      const SimResult r = executor.run(p, het.config, SimMode::kTimingOnly);
+      table.add_row({name,
+                     scl::format_fixed(refined.predict(het.config).total_ms, 1),
+                     scl::format_fixed(exact.predict(het.config).total_ms, 1),
+                     scl::format_fixed(r.total_ms, 1)});
+    }
+    std::cout << table.to_text()
+              << "\nEq. 8 charges the slowest kernel the full Delta-w cone "
+                 "in every\ndimension and so over-predicts; the per-kernel "
+                 "geometry tracks the\nsimulator while preserving the "
+                 "paper's underestimation property.\n";
+  }
+  return 0;
+}

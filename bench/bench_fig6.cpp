@@ -1,0 +1,70 @@
+// Regenerates the paper's Figure 6: execution-time breakdown for
+// Jacobi-2D and Jacobi-3D, baseline vs heterogeneous.
+//
+// The paper's bars show how the heterogeneous design eliminates the
+// redundant-computation and memory-transfer shares and shrinks the
+// synchronization wait. We print the same decomposition from the
+// discrete-event simulator's per-phase accounting, summed over all
+// kernels and regions and normalized to each design's total.
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "stencil/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void breakdown_row(scl::TableWriter* table, const char* benchmark,
+                   const char* design, const scl::sim::SimResult& sim) {
+  const scl::sim::PhaseBreakdown& p = sim.phases;
+  const double total = static_cast<double>(p.total());
+  auto pct = [&](std::int64_t v) {
+    return scl::format_fixed(100.0 * static_cast<double>(v) / total, 1) + "%";
+  };
+  table->add_row({benchmark, design, pct(p.compute_own),
+                  pct(p.compute_redundant), pct(p.mem_read + p.mem_write),
+                  pct(p.pipe_transfer + p.pipe_stall),
+                  pct(p.launch + p.barrier_wait),
+                  scl::format_fixed(sim.total_ms, 1)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Figure 6: Execution time breakdown (Jacobi-2D, "
+               "Jacobi-3D) ====\n\n";
+  scl::TableWriter table({"Benchmark", "Design", "compute",
+                          "redundant", "memory", "pipe", "launch+wait",
+                          "total ms"});
+  for (const char* name : {"Jacobi-2D", "Jacobi-3D"}) {
+    const auto program = scl::stencil::find_benchmark(name).make_paper_scale();
+    scl::core::FrameworkOptions options;
+    options.generate_code = false;
+    const scl::core::Framework framework(program, options);
+    const scl::core::SynthesisReport rep = framework.synthesize();
+    breakdown_row(&table, name, "Baseline", rep.baseline_sim);
+    breakdown_row(&table, name, "Heterogeneous", rep.heterogeneous_sim);
+
+    const double red_b = rep.baseline_sim.redundancy_ratio();
+    const double red_h = rep.heterogeneous_sim.redundancy_ratio();
+    std::cout << name << ": redundant cell updates " << scl::format_fixed(
+                     100.0 * red_b, 1)
+              << "% (baseline) -> " << scl::format_fixed(100.0 * red_h, 1)
+              << "% (heterogeneous); global memory traffic "
+              << scl::format_thousands(
+                     rep.baseline_sim.global_memory_bytes / (1 << 20))
+              << " MiB -> "
+              << scl::format_thousands(
+                     rep.heterogeneous_sim.global_memory_bytes / (1 << 20))
+              << " MiB\n";
+  }
+  std::cout << "\n" << table.to_text();
+  std::cout <<
+      "\nShares are of total kernel-cycles summed over all compute units.\n"
+      "Paper reference (Fig. 6): for Jacobi-2D the baseline spends ~17% on\n"
+      "redundant computation and ~6% on extra memory transfer, both\n"
+      "eliminated by the heterogeneous design; Jacobi-3D saves more because\n"
+      "cone overlap grows with dimensionality.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks for the framework's own substrates:
+// how fast the golden executor, the pipes, the DES, the analytical model
+// and the code generator run on the host. These guard against performance
+// regressions in the tooling itself (the DSE evaluates thousands of model
+// queries; Figure-7 sweeps run dozens of simulations).
+#include <benchmark/benchmark.h>
+
+#include "codegen/opencl_emitter.hpp"
+#include "model/perf_model.hpp"
+#include "ocl/pipe.hpp"
+#include "sim/executor.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/reference.hpp"
+
+namespace {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+
+DesignConfig hetero_2d() {
+  DesignConfig c;
+  c.kind = DesignKind::kHeterogeneous;
+  c.fused_iterations = 16;
+  c.parallelism = {2, 2, 1};
+  c.tile_size = {64, 64, 1};
+  c.unroll = 8;
+  return c;
+}
+
+void BM_ReferenceExecutorJacobi2d(benchmark::State& state) {
+  const auto program = scl::stencil::make_jacobi2d(128, 128, 4);
+  for (auto _ : state) {
+    scl::stencil::ReferenceExecutor exec(program);
+    exec.run(4);
+    benchmark::DoNotOptimize(exec.field(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 4);
+}
+BENCHMARK(BM_ReferenceExecutorJacobi2d);
+
+void BM_ReferenceExecutorFdtd3d(benchmark::State& state) {
+  const auto program = scl::stencil::make_fdtd3d(24, 24, 24, 2);
+  for (auto _ : state) {
+    scl::stencil::ReferenceExecutor exec(program);
+    exec.run(2);
+    benchmark::DoNotOptimize(exec.field(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 24 * 24 * 24 * 2);
+}
+BENCHMARK(BM_ReferenceExecutorFdtd3d);
+
+void BM_PipeThroughput(benchmark::State& state) {
+  const std::vector<float> chunk(256, 1.0f);
+  for (auto _ : state) {
+    scl::ocl::Pipe pipe("bench", 512, 2);
+    std::int64_t clock = 0;
+    for (int round = 0; round < 64; ++round) {
+      const auto w = pipe.write(chunk, 0, clock);
+      const auto r = pipe.read(w.written, clock);
+      clock = r.reader_clock;
+    }
+    benchmark::DoNotOptimize(clock);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 256);
+}
+BENCHMARK(BM_PipeThroughput);
+
+void BM_FunctionalSimJacobi2d(benchmark::State& state) {
+  const auto program = scl::stencil::make_jacobi2d(64, 64, 8);
+  DesignConfig config = hetero_2d();
+  config.tile_size = {16, 16, 1};
+  config.fused_iterations = 4;
+  const scl::sim::Executor exec(scl::fpga::virtex7_690t());
+  for (auto _ : state) {
+    const auto result =
+        exec.run(program, config, scl::sim::SimMode::kFunctional);
+    benchmark::DoNotOptimize(result.total_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 8);
+}
+BENCHMARK(BM_FunctionalSimJacobi2d);
+
+void BM_TimingSimPaperScaleJacobi2d(benchmark::State& state) {
+  const auto program = scl::stencil::make_jacobi2d(2048, 2048, 1024);
+  DesignConfig config = hetero_2d();
+  config.tile_size = {128, 128, 1};
+  config.parallelism = {4, 4, 1};
+  config.fused_iterations = 32;
+  const scl::sim::Executor exec(scl::fpga::virtex7_690t());
+  for (auto _ : state) {
+    const auto result =
+        exec.run(program, config, scl::sim::SimMode::kTimingOnly);
+    benchmark::DoNotOptimize(result.total_cycles);
+  }
+}
+BENCHMARK(BM_TimingSimPaperScaleJacobi2d);
+
+void BM_AnalyticalModelPredict(benchmark::State& state) {
+  const auto program = scl::stencil::make_hotspot3d(512, 512, 64, 500);
+  const scl::model::PerfModel model(program, scl::fpga::virtex7_690t());
+  DesignConfig config;
+  config.kind = DesignKind::kHeterogeneous;
+  config.fused_iterations = 16;
+  config.parallelism = {4, 2, 2};
+  config.tile_size = {16, 16, 16};
+  config.unroll = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_cycles(config));
+  }
+}
+BENCHMARK(BM_AnalyticalModelPredict);
+
+void BM_CodegenFdtd2d(benchmark::State& state) {
+  const auto program = scl::stencil::make_fdtd2d(256, 256, 64);
+  const DesignConfig config = hetero_2d();
+  for (auto _ : state) {
+    const auto code = scl::codegen::generate_opencl(
+        program, config, scl::fpga::virtex7_690t());
+    benchmark::DoNotOptimize(code.kernel_source.size());
+  }
+}
+BENCHMARK(BM_CodegenFdtd2d);
+
+void BM_FormulaEvaluate(benchmark::State& state) {
+  const auto program = scl::stencil::make_hotspot2d(16, 16, 2);
+  struct Reader final : scl::stencil::CellReader {
+    float read(int, const scl::stencil::Offset&) const override {
+      return 1.5f;
+    }
+  };
+  const Reader reader;
+  const auto& stage = program.stage(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stage.update(reader));
+  }
+}
+BENCHMARK(BM_FormulaEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

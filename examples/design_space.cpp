@@ -1,0 +1,57 @@
+// Design-space exploration walkthrough.
+//
+// Evaluates a grid of (design, fusion depth, balancing) points for
+// HotSpot-2D through the framework's evaluate() API and prints the
+// latency/resource landscape the optimizer searches — including the points
+// that violate the device budget, which a table-level view makes obvious.
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "stencil/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+
+int main() {
+  const auto program =
+      scl::stencil::find_benchmark("HotSpot-2D").make_scaled({2048, 2048, 1},
+                                                             500);
+  scl::core::FrameworkOptions options;
+  options.simulate = false;
+  options.generate_code = false;
+  const scl::core::Framework framework(program, options);
+  const scl::fpga::ResourceVector budget =
+      framework.optimizer().budget();
+
+  scl::TableWriter table({"design", "h", "shrink", "pred Mcyc", "BRAM18",
+                          "LUT", "fits"});
+  for (const DesignKind kind :
+       {DesignKind::kBaseline, DesignKind::kHeterogeneous}) {
+    for (const std::int64_t h : {8, 16, 32, 64}) {
+      for (const std::int64_t shrink : {0, 4}) {
+        if (kind == DesignKind::kBaseline && shrink != 0) continue;
+        DesignConfig config;
+        config.kind = kind;
+        config.fused_iterations = h;
+        config.parallelism = {4, 4, 1};
+        config.tile_size = {64, 64, 1};
+        config.edge_shrink = {shrink, shrink, 0};
+        config.unroll = 4;
+        const scl::core::DesignPoint point = framework.evaluate(config);
+        table.add_row(
+            {scl::sim::to_string(kind), std::to_string(h),
+             std::to_string(shrink),
+             scl::format_fixed(point.prediction.total_cycles / 1e6, 1),
+             std::to_string(point.resources.total.bram18),
+             std::to_string(point.resources.total.lut),
+             point.resources.total.fits_within(budget) ? "yes" : "NO"});
+      }
+    }
+  }
+  std::cout << "HotSpot-2D 2048x2048 design space (4x4 kernels, N_PE=4), "
+            << "budget " << budget.to_string() << ":\n\n"
+            << table.to_text();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// PolyBench fdtd-2d: three kernels enqueued back to back per time step,
+// each updating its field in place.
+__kernel void fdtd2d_ey(__global float* restrict ey,
+                        __global const float* restrict hz, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i >= 1) {
+    ey[i * N + j] = ey[i * N + j] - 0.5f * (hz[i * N + j] - hz[(i - 1) * N + j]);
+  }
+}
+__kernel void fdtd2d_ex(__global float* restrict ex,
+                        __global const float* restrict hz, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (j >= 1) {
+    ex[i * N + j] = ex[i * N + j] - 0.5f * (hz[i * N + j] - hz[i * N + (j - 1)]);
+  }
+}
+__kernel void fdtd2d_hz(__global float* restrict hz,
+                        __global const float* restrict ex,
+                        __global const float* restrict ey, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i < N - 1 && j < N - 1) {
+    hz[i * N + j] = hz[i * N + j] - 0.7f * (ex[i * N + (j + 1)] - ex[i * N + j]
+        + ey[(i + 1) * N + j] - ey[i * N + j]);
+  }
+}

@@ -1,0 +1,68 @@
+// 3-D Yee FDTD: E updates read backward differences of H, H updates read
+// forward differences of E; six in-place kernels per time step.
+__kernel void fdtd3d_ex(__global float* restrict ex,
+                        __global const float* restrict hz,
+                        __global const float* restrict hy,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  ex[(i * NY + j) * NZ + k] = ex[(i * NY + j) * NZ + k]
+      - 0.5f * ((hz[(i * NY + (j - 1)) * NZ + k] - hz[(i * NY + j) * NZ + k])
+      - (hy[(i * NY + j) * NZ + (k - 1)] - hy[(i * NY + j) * NZ + k]));
+}
+__kernel void fdtd3d_ey(__global float* restrict ey,
+                        __global const float* restrict hx,
+                        __global const float* restrict hz,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  ey[(i * NY + j) * NZ + k] = ey[(i * NY + j) * NZ + k]
+      - 0.5f * ((hx[(i * NY + j) * NZ + (k - 1)] - hx[(i * NY + j) * NZ + k])
+      - (hz[((i - 1) * NY + j) * NZ + k] - hz[(i * NY + j) * NZ + k]));
+}
+__kernel void fdtd3d_ez(__global float* restrict ez,
+                        __global const float* restrict hy,
+                        __global const float* restrict hx,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  ez[(i * NY + j) * NZ + k] = ez[(i * NY + j) * NZ + k]
+      - 0.5f * ((hy[((i - 1) * NY + j) * NZ + k] - hy[(i * NY + j) * NZ + k])
+      - (hx[(i * NY + (j - 1)) * NZ + k] - hx[(i * NY + j) * NZ + k]));
+}
+__kernel void fdtd3d_hx(__global float* restrict hx,
+                        __global const float* restrict ez,
+                        __global const float* restrict ey,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  hx[(i * NY + j) * NZ + k] = hx[(i * NY + j) * NZ + k]
+      - 0.7f * ((ez[(i * NY + (j + 1)) * NZ + k] - ez[(i * NY + j) * NZ + k])
+      - (ey[(i * NY + j) * NZ + (k + 1)] - ey[(i * NY + j) * NZ + k]));
+}
+__kernel void fdtd3d_hy(__global float* restrict hy,
+                        __global const float* restrict ex,
+                        __global const float* restrict ez,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  hy[(i * NY + j) * NZ + k] = hy[(i * NY + j) * NZ + k]
+      - 0.7f * ((ex[(i * NY + j) * NZ + (k + 1)] - ex[(i * NY + j) * NZ + k])
+      - (ez[((i + 1) * NY + j) * NZ + k] - ez[(i * NY + j) * NZ + k]));
+}
+__kernel void fdtd3d_hz(__global float* restrict hz,
+                        __global const float* restrict ey,
+                        __global const float* restrict ex,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  hz[(i * NY + j) * NZ + k] = hz[(i * NY + j) * NZ + k]
+      - 0.7f * ((ey[((i + 1) * NY + j) * NZ + k] - ey[(i * NY + j) * NZ + k])
+      - (ex[(i * NY + (j + 1)) * NZ + k] - ex[(i * NY + j) * NZ + k]));
+}

@@ -1,0 +1,15 @@
+// Rodinia hotspot RC thermal update (constant power map).
+__kernel void hotspot2d(__global const float* restrict temp,
+                        __global float* restrict temp_out,
+                        __global const float* restrict power, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i >= 1 && i < N - 1 && j >= 1 && j < N - 1) {
+    temp_out[i * N + j] = temp[i * N + j] + 0.5f * (power[i * N + j]
+        + (temp[(i - 1) * N + j] + temp[(i + 1) * N + j]
+           - 2.0f * temp[i * N + j]) * 0.1f
+        + (temp[i * N + (j - 1)] + temp[i * N + (j + 1)]
+           - 2.0f * temp[i * N + j]) * 0.1f
+        + (80.0f - temp[i * N + j]) * 0.05f);
+  }
+}

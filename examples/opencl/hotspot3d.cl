@@ -1,0 +1,20 @@
+// Rodinia hotspot3D thermal update.
+__kernel void hotspot3d(__global const float* restrict temp,
+                        __global float* restrict temp_out,
+                        __global const float* restrict power,
+                        const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  if (i >= 1 && i < NX - 1 && j >= 1 && j < NY - 1 && k >= 1 && k < NZ - 1) {
+    temp_out[(i * NY + j) * NZ + k] = temp[(i * NY + j) * NZ + k]
+        + 0.5f * (power[(i * NY + j) * NZ + k]
+        + (temp[((i - 1) * NY + j) * NZ + k] + temp[((i + 1) * NY + j) * NZ + k]
+           - 2.0f * temp[(i * NY + j) * NZ + k]) * 0.06f
+        + (temp[(i * NY + (j - 1)) * NZ + k] + temp[(i * NY + (j + 1)) * NZ + k]
+           - 2.0f * temp[(i * NY + j) * NZ + k]) * 0.06f
+        + (temp[(i * NY + j) * NZ + (k - 1)] + temp[(i * NY + j) * NZ + (k + 1)]
+           - 2.0f * temp[(i * NY + j) * NZ + k]) * 0.06f
+        + (80.0f - temp[(i * NY + j) * NZ + k]) * 0.04f);
+  }
+}

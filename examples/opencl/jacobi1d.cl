@@ -1,0 +1,8 @@
+// PolyBench jacobi-1d as a naive NDRange kernel.
+__kernel void jacobi1d(__global const float* restrict A,
+                       __global float* restrict Anext, const int N) {
+  int i = get_global_id(0);
+  if (i >= 1 && i < N - 1) {
+    Anext[i] = 0.33333f * (A[i - 1] + A[i] + A[i + 1]);
+  }
+}

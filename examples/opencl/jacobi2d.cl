@@ -1,0 +1,10 @@
+// PolyBench jacobi-2d as a naive NDRange kernel (paper Figure 3).
+__kernel void jacobi2d(__global const float* restrict A,
+                       __global float* restrict Anext, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i >= 1 && i < N - 1 && j >= 1 && j < N - 1) {
+    Anext[i * N + j] = 0.2f * (A[i * N + j] + A[i * N + (j - 1)]
+        + A[i * N + (j + 1)] + A[(i - 1) * N + j] + A[(i + 1) * N + j]);
+  }
+}

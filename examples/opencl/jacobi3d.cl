@@ -1,0 +1,14 @@
+// Parboil-style 7-point 3-D stencil.
+__kernel void jacobi3d(__global const float* restrict A,
+                       __global float* restrict Anext,
+                       const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  if (i >= 1 && i < NX - 1 && j >= 1 && j < NY - 1 && k >= 1 && k < NZ - 1) {
+    Anext[(i * NY + j) * NZ + k] = 0.4f * A[(i * NY + j) * NZ + k]
+        + 0.1f * (A[((i - 1) * NY + j) * NZ + k] + A[((i + 1) * NY + j) * NZ + k]
+        + A[(i * NY + (j - 1)) * NZ + k] + A[(i * NY + (j + 1)) * NZ + k]
+        + A[(i * NY + j) * NZ + (k - 1)] + A[(i * NY + j) * NZ + (k + 1)]);
+  }
+}

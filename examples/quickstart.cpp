@@ -1,0 +1,40 @@
+// Quickstart: synthesize an accelerator for a standard benchmark.
+//
+//   $ quickstart [benchmark-name]
+//
+// Runs the full framework flow on Jacobi-2D (or any Table 2 benchmark
+// given on the command line) at the paper's input scale: feature
+// extraction, baseline and heterogeneous design-space exploration,
+// cycle-level simulation of both designs, and OpenCL code generation.
+#include <fstream>
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "stencil/kernels.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "Jacobi-2D";
+  try {
+    const scl::stencil::BenchmarkInfo& info =
+        scl::stencil::find_benchmark(name);
+    const scl::stencil::StencilProgram program = info.make_paper_scale();
+
+    scl::core::FrameworkOptions options;  // defaults: Virtex-7 690T target
+    const scl::core::Framework framework(program, options);
+    const scl::core::SynthesisReport report = framework.synthesize();
+
+    std::cout << report.to_string() << "\n";
+
+    const std::string kernel_file = "stencil_kernels.cl";
+    const std::string host_file = "stencil_host.cpp";
+    std::ofstream(kernel_file) << report.code.kernel_source;
+    std::ofstream(host_file) << report.code.host_source;
+    std::cout << "wrote " << kernel_file << " (" << report.code.kernel_count
+              << " kernels, " << report.code.pipe_count << " pipes) and "
+              << host_file << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

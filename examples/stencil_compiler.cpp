@@ -1,0 +1,186 @@
+// stencil_compiler: the framework as a command-line tool.
+//
+//   stencil_compiler <input.stencil | input.cl | benchmark-name> [options]
+//
+//   --device <name>       target device (xc7vx690t | xc7vx485t | xcku115)
+//   --grid <n0[,n1[,n2]]> grid extents (required for .cl inputs)
+//   --iterations <H>      iteration count (required for .cl inputs)
+//   --init <field=spec>   initializer for a field (repeatable; .cl inputs)
+//   --emit <dir>          write stencil_kernels.cl / stencil_host.cpp there
+//   --report <file.md>    write a Markdown synthesis report
+//   --no-sim              skip the device simulation
+//   --dump-stencil        print the program in .stencil form and exit
+//   --list                list built-in benchmarks and devices, exit
+//
+// Reads a stencil program from a `.stencil` file, imports a naive NDRange
+// OpenCL kernel from a `.cl` file (the paper's input format), or takes a
+// built-in benchmark by name; runs the full synthesis flow, prints the
+// report, and optionally emits the generated OpenCL sources.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "frontend/ocl_import.hpp"
+
+#include "core/framework.hpp"
+#include "core/report.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/parser.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: stencil_compiler <input.stencil | benchmark-name> "
+         "[--device <name>] [--emit <dir>] [--no-sim] [--dump-stencil] "
+         "[--list]\n";
+  return 2;
+}
+
+void list_builtins() {
+  std::cout << "built-in benchmarks:\n";
+  for (const auto& info : scl::stencil::paper_benchmarks()) {
+    std::cout << "  " << info.name << " (" << info.source << ", "
+              << info.dims << "-D)\n";
+  }
+  std::cout << "devices:\n";
+  for (const auto& dev : scl::fpga::device_catalog()) {
+    std::cout << "  " << dev.name << " " << dev.capacity.to_string() << "\n";
+  }
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw scl::Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+scl::stencil::StencilProgram load_program(
+    const std::string& input,
+    const scl::frontend::OpenClImportOptions& ocl_options) {
+  if (ends_with(input, ".stencil")) {
+    return scl::stencil::parse_program_file(input);
+  }
+  if (ends_with(input, ".cl")) {
+    if (ocl_options.extents[0] <= 1 || ocl_options.iterations < 1) {
+      throw scl::Error(
+          ".cl inputs need --grid and --iterations (the host-side "
+          "configuration the kernel file does not carry)");
+    }
+    return scl::frontend::import_opencl(read_file(input), ocl_options);
+  }
+  return scl::stencil::find_benchmark(input).make_paper_scale();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string device_name = "xc7vx690t";
+  std::optional<std::string> emit_dir;
+  std::optional<std::string> report_path;
+  bool simulate = true;
+  bool dump = false;
+  scl::frontend::OpenClImportOptions ocl_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_builtins();
+      return 0;
+    }
+    if (arg == "--no-sim") {
+      simulate = false;
+    } else if (arg == "--dump-stencil") {
+      dump = true;
+    } else if (arg == "--device") {
+      if (++i >= argc) return usage();
+      device_name = argv[i];
+    } else if (arg == "--emit") {
+      if (++i >= argc) return usage();
+      emit_dir = argv[i];
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage();
+      report_path = argv[i];
+    } else if (arg == "--grid") {
+      if (++i >= argc) return usage();
+      const auto parts = scl::split(argv[i], ',');
+      if (parts.empty() || parts.size() > 3) return usage();
+      ocl_options.dims = static_cast<int>(parts.size());
+      for (std::size_t d = 0; d < parts.size(); ++d) {
+        ocl_options.extents[d] = std::stoll(parts[d]);
+      }
+    } else if (arg == "--iterations") {
+      if (++i >= argc) return usage();
+      ocl_options.iterations = std::stoll(argv[i]);
+    } else if (arg == "--init") {
+      if (++i >= argc) return usage();
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) return usage();
+      ocl_options.init_specs[spec.substr(0, eq)] = spec.substr(eq + 1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  try {
+    const scl::stencil::StencilProgram program =
+        load_program(input, ocl_options);
+    if (dump) {
+      std::cout << scl::stencil::program_to_text(program);
+      return 0;
+    }
+
+    scl::core::FrameworkOptions options;
+    options.optimizer.device = scl::fpga::find_device(device_name);
+    options.simulate = simulate;
+    options.generate_code = true;
+    const scl::core::Framework framework(program, options);
+    const scl::core::SynthesisReport report = framework.synthesize();
+    std::cout << report.to_string();
+
+    if (report_path.has_value()) {
+      std::ofstream(*report_path) << scl::core::render_markdown_report(report);
+      std::cout << "wrote report " << *report_path << "\n";
+    }
+
+    if (emit_dir.has_value()) {
+      std::filesystem::create_directories(*emit_dir);
+      const auto kernel_path =
+          std::filesystem::path(*emit_dir) / "stencil_kernels.cl";
+      const auto host_path =
+          std::filesystem::path(*emit_dir) / "stencil_host.cpp";
+      const auto script_path = std::filesystem::path(*emit_dir) / "build.sh";
+      std::ofstream(kernel_path) << report.code.kernel_source;
+      std::ofstream(host_path) << report.code.host_source;
+      std::ofstream(script_path) << report.code.build_script;
+      std::filesystem::permissions(script_path,
+                                   std::filesystem::perms::owner_exec,
+                                   std::filesystem::perm_options::add);
+      std::cout << "emitted " << kernel_path.string() << ", "
+                << host_path.string() << " and " << script_path.string()
+                << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

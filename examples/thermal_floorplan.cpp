@@ -1,0 +1,118 @@
+// Domain example: thermal simulation of a chip floorplan with a hotspot.
+//
+// Shows the public API for *user-defined* stencils rather than the bundled
+// benchmarks: the thermal RC update is declared as a formula over two
+// fields (temperature plus a constant power map derived from a synthetic
+// floorplan), the functional simulator runs the synthesized heterogeneous
+// design, and the result is proven bit-exact against the golden reference
+// before the steady-state temperature profile is summarized.
+#include <iostream>
+
+#include "sim/executor.hpp"
+#include "stencil/formula.hpp"
+#include "stencil/reference.hpp"
+#include "support/strings.hpp"
+
+using scl::stencil::Box;
+using scl::stencil::Index;
+
+namespace {
+
+constexpr std::int64_t kDie = 96;       // 96x96 thermal cells
+constexpr std::int64_t kSteps = 40;     // time steps to simulate
+
+/// Synthetic floorplan: two hot blocks (cores) and a cool cache region.
+float power_at(const Index& p) {
+  const auto in_block = [&](std::int64_t lo0, std::int64_t hi0,
+                            std::int64_t lo1, std::int64_t hi1) {
+    return p[0] >= lo0 && p[0] < hi0 && p[1] >= lo1 && p[1] < hi1;
+  };
+  if (in_block(12, 40, 12, 44)) return 1.8f;  // core 0
+  if (in_block(56, 84, 50, 86)) return 2.2f;  // core 1 (hotter)
+  if (in_block(12, 44, 56, 86)) return 0.3f;  // last-level cache
+  return 0.1f;                                // uncore / interconnect
+}
+
+scl::stencil::StencilProgram make_floorplan_program() {
+  const std::vector<std::string> fields{"temp", "power"};
+  std::vector<scl::stencil::Field> decls{
+      {"temp", [](const Index&) { return 45.0f; }, ""},  // uniform 45 C
+      {"power", power_at, ""},
+  };
+  // RC thermal update, conduction plus vertical leakage to the ambient.
+  std::vector<scl::stencil::Stage> stages;
+  stages.push_back(scl::stencil::make_stage(
+      "thermal", 0,
+      "$temp(0,0) + 0.4f * ($power(0,0)"
+      " + ($temp(-1,0) + $temp(1,0) - 2.0f * $temp(0,0)) * 0.12f"
+      " + ($temp(0,-1) + $temp(0,1) - 2.0f * $temp(0,0)) * 0.12f"
+      " + (40.0f - $temp(0,0)) * 0.03f)",
+      fields, 2));
+  return scl::stencil::StencilProgram("floorplan-thermal", 2,
+                                      {kDie, kDie, 1}, kSteps,
+                                      std::move(decls), std::move(stages));
+}
+
+}  // namespace
+
+int main() {
+  const scl::stencil::StencilProgram program = make_floorplan_program();
+
+  // A heterogeneous accelerator: 2x2 pipe-connected kernels, 8 fused steps.
+  scl::sim::DesignConfig config;
+  config.kind = scl::sim::DesignKind::kHeterogeneous;
+  config.fused_iterations = 8;
+  config.parallelism = {2, 2, 1};
+  config.tile_size = {48, 48, 1};
+  config.unroll = 4;
+
+  const scl::sim::Executor executor(scl::fpga::virtex7_690t());
+  const scl::sim::SimResult result =
+      executor.run(program, config, scl::sim::SimMode::kFunctional);
+
+  // Golden check: the pipelined, tiled accelerator must agree bit-exactly
+  // with the straightforward reference implementation.
+  scl::stencil::ReferenceExecutor reference(program);
+  reference.run(kSteps);
+  std::int64_t mismatches = 0;
+  scl::stencil::for_each_cell(program.grid_box(), [&](const Index& p) {
+    if ((*result.fields)[0].at(p) != reference.field(0).at(p)) ++mismatches;
+  });
+  std::cout << "bit-exact vs reference: "
+            << (mismatches == 0 ? "yes" : scl::str_cat("NO (", mismatches,
+                                                       " mismatches)"))
+            << "\n";
+
+  // Temperature summary per floorplan block.
+  struct Block {
+    const char* name;
+    Box box;
+  };
+  const Block blocks[] = {
+      {"core0", Box{{12, 12, 0}, {40, 44, 1}}},
+      {"core1", Box{{56, 50, 0}, {84, 86, 1}}},
+      {"cache", Box{{12, 56, 0}, {44, 86, 1}}},
+  };
+  for (const Block& b : blocks) {
+    float peak = 0.0f;
+    double sum = 0.0;
+    scl::stencil::for_each_cell(b.box, [&](const Index& p) {
+      const float t = (*result.fields)[0].at(p);
+      peak = std::max(peak, t);
+      sum += t;
+    });
+    std::cout << b.name << ": peak "
+              << scl::format_fixed(peak, 1) << " C, mean "
+              << scl::format_fixed(sum / static_cast<double>(b.box.volume()),
+                                   1)
+              << " C\n";
+  }
+
+  std::cout << "accelerator time: " << scl::format_fixed(result.total_ms, 3)
+            << " ms (" << scl::format_thousands(result.total_cycles)
+            << " cycles), " << result.region_executions
+            << " region passes, redundancy "
+            << scl::format_fixed(100.0 * result.redundancy_ratio(), 1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification: configure, build (warnings as errors), test, bench.
+set -euo pipefail
+cd "$(dirname "$0")"
+cmake -B build -G Ninja -DSTENCILCL_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done

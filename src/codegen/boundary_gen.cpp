@@ -1,0 +1,115 @@
+#include "codegen/boundary_gen.hpp"
+
+#include "support/strings.hpp"
+
+namespace scl::codegen {
+
+using scl::sim::TilePlacement;
+using scl::stencil::SideRadii;
+
+std::string tile_edge_expr(const GenContext& ctx, int k, int d, int side) {
+  const TilePlacement& tile = ctx.tile(k);
+  const auto ds = static_cast<std::size_t>(d);
+  const std::int64_t offset =
+      side == 0 ? tile.box.lo[ds] : tile.box.hi[ds];
+  return str_cat("(", ctx.region_origin(d), " + ", offset, ")");
+}
+
+namespace {
+
+/// max()/min() clamp helpers in OpenCL C.
+std::string cmax(const std::string& a, const std::string& b) {
+  return str_cat("max(", a, ", ", b, ")");
+}
+std::string cmin(const std::string& a, const std::string& b) {
+  return str_cat("min(", a, ", ", b, ")");
+}
+
+}  // namespace
+
+LoopBounds stage_compute_bounds(const GenContext& ctx, int k, int stage) {
+  const auto& prog = *ctx.program;
+  const TilePlacement& tile = ctx.tile(k);
+  const scl::stencil::Box updated =
+      prog.updated_box(prog.stage(stage).output_field);
+  const SideRadii& radii = prog.iter_radii();
+  const SideRadii& shrink = prog.stage_shrink(stage);
+
+  LoopBounds out;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    // Low side.
+    {
+      std::string expr = tile_edge_expr(ctx, k, d, 0);
+      if (tile.exterior[ds][0]) {
+        const std::int64_t residual = radii[ds][0] - shrink[ds][0];
+        expr = str_cat(expr, " - (", radii[ds][0], " * (pass_h - it) + ",
+                       residual, ")");
+      }
+      out.lo[ds] = cmax(expr, std::to_string(updated.lo[ds]));
+    }
+    // High side.
+    {
+      std::string expr = tile_edge_expr(ctx, k, d, 1);
+      if (tile.exterior[ds][1]) {
+        const std::int64_t residual = radii[ds][1] - shrink[ds][1];
+        expr = str_cat(expr, " + (", radii[ds][1], " * (pass_h - it) + ",
+                       residual, ")");
+      }
+      // The updatable region's high bound is grid-extent relative; emit the
+      // numeric bound directly (the grid size is compile-time constant).
+      out.hi[ds] = cmin(expr, std::to_string(updated.hi[ds]));
+    }
+  }
+  for (int d = prog.dims(); d < 3; ++d) {
+    out.lo[static_cast<std::size_t>(d)] = "0";
+    out.hi[static_cast<std::size_t>(d)] = "1";
+  }
+  return out;
+}
+
+LoopBounds buffer_bounds(const GenContext& ctx, int k) {
+  const auto& prog = *ctx.program;
+  const TilePlacement& tile = ctx.tile(k);
+  LoopBounds out;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const std::int64_t lo_margin =
+        tile.exterior[ds][0]
+            ? prog.iter_radii()[ds][0] * ctx.config.fused_iterations
+            : prog.max_stage_radii()[ds][0];
+    const std::int64_t hi_margin =
+        tile.exterior[ds][1]
+            ? prog.iter_radii()[ds][1] * ctx.config.fused_iterations
+            : prog.max_stage_radii()[ds][1];
+    out.lo[ds] = cmax(str_cat(tile_edge_expr(ctx, k, d, 0), " - ", lo_margin),
+                      "0");
+    out.hi[ds] = cmin(str_cat(tile_edge_expr(ctx, k, d, 1), " + ", hi_margin),
+                      std::to_string(prog.grid_box().hi[ds]));
+  }
+  for (int d = prog.dims(); d < 3; ++d) {
+    out.lo[static_cast<std::size_t>(d)] = "0";
+    out.hi[static_cast<std::size_t>(d)] = "1";
+  }
+  return out;
+}
+
+LoopBounds owned_bounds(const GenContext& ctx, int k, int field) {
+  const auto& prog = *ctx.program;
+  const scl::stencil::Box updated = prog.updated_box(field);
+  LoopBounds out;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    out.lo[ds] = cmax(tile_edge_expr(ctx, k, d, 0),
+                      std::to_string(updated.lo[ds]));
+    out.hi[ds] = cmin(tile_edge_expr(ctx, k, d, 1),
+                      std::to_string(updated.hi[ds]));
+  }
+  for (int d = prog.dims(); d < 3; ++d) {
+    out.lo[static_cast<std::size_t>(d)] = "0";
+    out.hi[static_cast<std::size_t>(d)] = "1";
+  }
+  return out;
+}
+
+}  // namespace scl::codegen

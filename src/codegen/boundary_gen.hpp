@@ -1,0 +1,43 @@
+// Stencil boundary generator (paper §5.2, "Stencil Boundary Generator").
+//
+// Emits the loop-bound expressions of a tile kernel as C source over the
+// runtime variables `r0..r2` (region origin), `it` (current fused
+// iteration, 1-based) and `pass_h` (fused depth of this pass). The bounds
+// encode, per dimension and side:
+//
+//   * pipe-shared faces   -> clip at the tile edge (the halo arrives by pipe),
+//   * region-exterior faces -> the shrinking cone
+//       tile_edge -/+ (iter_radius * (pass_h - it) + stage_residual),
+//     where the residual widens stages whose output shrinks less than the
+//     full iteration radius (multi-stage programs),
+//   * everywhere          -> clamped to the field's updatable region
+//     (Dirichlet border cells are never written).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "codegen/context.hpp"
+
+namespace scl::codegen {
+
+struct LoopBounds {
+  std::array<std::string, 3> lo;
+  std::array<std::string, 3> hi;
+};
+
+/// Bounds of stage `stage` of kernel `k`'s compute loop at iteration `it`.
+LoopBounds stage_compute_bounds(const GenContext& ctx, int k, int stage);
+
+/// Bounds of the kernel's local-buffer box (tile + max margins), used for
+/// the burst read; static except for the region origin.
+LoopBounds buffer_bounds(const GenContext& ctx, int k);
+
+/// Bounds of the kernel's owned output region for field `field`
+/// (tile intersect updatable region), used for the burst write.
+LoopBounds owned_bounds(const GenContext& ctx, int k, int field);
+
+/// The C expression for a tile edge coordinate, e.g. "(r0 + 120)".
+std::string tile_edge_expr(const GenContext& ctx, int k, int d, int side);
+
+}  // namespace scl::codegen

@@ -1,0 +1,29 @@
+// Top-level OpenCL code emitter.
+//
+// Assembles the three generated parts (stencil boundary, data-sharing
+// pipes, fused stencil operation) into a complete kernel translation unit
+// for the Xilinx SDAccel flow, plus a matching host program that walks the
+// region sweep with ping-ponged global buffers.
+#pragma once
+
+#include <string>
+
+#include "codegen/context.hpp"
+
+namespace scl::codegen {
+
+struct GeneratedCode {
+  std::string kernel_source;  ///< the .cl translation unit
+  std::string host_source;    ///< the host-side .cpp
+  std::string build_script;   ///< xocc/g++ commands for the SDAccel flow
+  int kernel_count = 0;
+  int pipe_count = 0;
+};
+
+/// Generates kernel and host sources for `config` running `program`.
+/// Throws scl::Error when a stage lacks a symbolic formula.
+GeneratedCode generate_opencl(const scl::stencil::StencilProgram& program,
+                              const sim::DesignConfig& config,
+                              const fpga::DeviceSpec& device);
+
+}  // namespace scl::codegen

@@ -1,0 +1,50 @@
+#include "codegen/pipe_gen.hpp"
+
+#include "sim/tile_task.hpp"
+#include "support/strings.hpp"
+
+namespace scl::codegen {
+
+using scl::sim::DesignKind;
+using scl::sim::TilePlacement;
+using scl::stencil::Face;
+
+std::vector<PipeDecl> enumerate_pipes(const GenContext& ctx) {
+  std::vector<PipeDecl> out;
+  if (ctx.config.kind != DesignKind::kHeterogeneous) return out;
+  for (const TilePlacement& tile : ctx.tiles) {
+    for (int d = 0; d < ctx.program->dims(); ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      for (int side = 0; side < 2; ++side) {
+        if (tile.exterior[ds][static_cast<std::size_t>(side)]) continue;
+        const int nb = ctx.neighbor_index(tile, d, side);
+        if (nb < 0) continue;
+        PipeDecl decl;
+        decl.from_kernel = tile.kernel_index;
+        decl.to_kernel = nb;
+        decl.name = ctx.pipe_name(tile.kernel_index, nb);
+        const Face face{d, side == 0 ? -1 : +1};
+        std::int64_t depth = sim::max_face_strip_elements(
+            *ctx.program, tile, ctx.tile(nb), face,
+            ctx.config.fused_iterations);
+        depth = std::max<std::int64_t>(depth, ctx.device.pipe_fifo_depth);
+        std::int64_t pow2 = 1;
+        while (pow2 < depth) pow2 *= 2;
+        decl.depth = pow2;
+        out.push_back(std::move(decl));
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_pipe_declarations(const std::vector<PipeDecl>& pipes) {
+  std::string out;
+  for (const PipeDecl& p : pipes) {
+    out += str_cat("pipe float ", p.name,
+                   " __attribute__((xcl_reqd_pipe_depth(", p.depth, ")));\n");
+  }
+  return out;
+}
+
+}  // namespace scl::codegen

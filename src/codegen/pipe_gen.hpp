@@ -1,0 +1,29 @@
+// Data-sharing pipe generator (paper §5.2, "Data Sharing Pipe Generator").
+//
+// Pipes are one-directional, so every pair of face-adjacent kernels gets
+// two: a read pipe and a write pipe. FIFO depths follow the simulator's
+// sizing rule (all mutable-field strips of two iterations in flight),
+// rounded up to a power of two as the Xilinx attribute requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/context.hpp"
+
+namespace scl::codegen {
+
+struct PipeDecl {
+  int from_kernel = 0;
+  int to_kernel = 0;
+  std::string name;
+  std::int64_t depth = 0;  ///< FIFO depth in elements (power of two)
+};
+
+/// All directed pipes of the design (empty for the baseline).
+std::vector<PipeDecl> enumerate_pipes(const GenContext& ctx);
+
+/// OpenCL 2.0 declarations block, one line per pipe.
+std::string render_pipe_declarations(const std::vector<PipeDecl>& pipes);
+
+}  // namespace scl::codegen

@@ -1,0 +1,119 @@
+#include "codegen/validator.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace scl::codegen {
+
+namespace {
+
+void check_balance(const std::string& src, std::vector<ValidationIssue>* out,
+                   char open, char close, const char* what) {
+  std::int64_t depth = 0;
+  std::int64_t line = 1;
+  for (const char c : src) {
+    if (c == '\n') ++line;
+    if (c == open) ++depth;
+    if (c == close) {
+      --depth;
+      if (depth < 0) {
+        out->push_back({str_cat("unbalanced ", what, ": extra '", close,
+                                "' at line ", line)});
+        return;
+      }
+    }
+  }
+  if (depth != 0) {
+    out->push_back({str_cat("unbalanced ", what, ": ", depth, " unclosed '",
+                            open, "'")});
+  }
+}
+
+void check_placeholders(const std::string& src,
+                        std::vector<ValidationIssue>* out) {
+  const std::size_t pos = src.find('$');
+  if (pos != std::string::npos) {
+    out->push_back({str_cat("unexpanded formula placeholder at offset ", pos)});
+  }
+}
+
+/// Extracts every identifier following `prefix(`-style usage, e.g.
+/// occurrences of "read_pipe_block(" capture the first argument token.
+std::set<std::string> pipe_arguments(const std::string& src,
+                                     const std::string& call) {
+  std::set<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = src.find(call, pos)) != std::string::npos) {
+    pos += call.size();
+    std::string name;
+    while (pos < src.size() &&
+           (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+            src[pos] == '_')) {
+      name.push_back(src[pos++]);
+    }
+    if (!name.empty()) out.insert(name);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate_kernel_source(const std::string& src) {
+  std::vector<ValidationIssue> issues;
+  check_balance(src, &issues, '{', '}', "braces");
+  check_balance(src, &issues, '(', ')', "parentheses");
+  check_balance(src, &issues, '[', ']', "brackets");
+  check_placeholders(src, &issues);
+
+  // Every declared pipe must be both written and read exactly once each
+  // way (pipes are point-to-point); every used pipe must be declared.
+  std::set<std::string> declared;
+  for (const std::string& line : split(src, '\n')) {
+    const std::string trimmed = trim(line);
+    if (starts_with(trimmed, "pipe float ")) {
+      std::string name;
+      for (std::size_t i = 11; i < trimmed.size(); ++i) {
+        const char c = trimmed[i];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+          name.push_back(c);
+        } else {
+          break;
+        }
+      }
+      if (!name.empty()) declared.insert(name);
+    }
+  }
+  const std::set<std::string> written = pipe_arguments(src, "write_pipe_block(");
+  const std::set<std::string> read = pipe_arguments(src, "read_pipe_block(");
+  for (const std::string& p : declared) {
+    if (!written.count(p)) {
+      issues.push_back({str_cat("pipe '", p, "' declared but never written")});
+    }
+    if (!read.count(p)) {
+      issues.push_back({str_cat("pipe '", p, "' declared but never read")});
+    }
+  }
+  for (const std::string& p : written) {
+    if (!declared.count(p)) {
+      issues.push_back({str_cat("pipe '", p, "' written but not declared")});
+    }
+  }
+  for (const std::string& p : read) {
+    if (!declared.count(p)) {
+      issues.push_back({str_cat("pipe '", p, "' read but not declared")});
+    }
+  }
+  return issues;
+}
+
+std::vector<ValidationIssue> validate_host_source(const std::string& src) {
+  std::vector<ValidationIssue> issues;
+  check_balance(src, &issues, '{', '}', "braces");
+  check_balance(src, &issues, '(', ')', "parentheses");
+  check_placeholders(src, &issues);
+  return issues;
+}
+
+}  // namespace scl::codegen

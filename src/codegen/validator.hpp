@@ -1,0 +1,25 @@
+// Structural validator for generated sources.
+//
+// Not a compiler: a fast token-level checker that catches the classes of
+// generator bugs that matter — unbalanced delimiters, unexpanded formula
+// placeholders, pipes that are declared but never used (or used but never
+// declared), and mismatched read/write pipe pairing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scl::codegen {
+
+struct ValidationIssue {
+  std::string message;
+};
+
+/// Checks a generated kernel translation unit. Returns the list of
+/// problems found (empty = clean).
+std::vector<ValidationIssue> validate_kernel_source(const std::string& src);
+
+/// Checks generated host source (delimiters and placeholders only).
+std::vector<ValidationIssue> validate_host_source(const std::string& src);
+
+}  // namespace scl::codegen

@@ -1,0 +1,58 @@
+#include "core/features.hpp"
+
+#include "support/strings.hpp"
+
+namespace scl::core {
+
+using scl::stencil::StencilProgram;
+
+StencilFeatures extract_features(const StencilProgram& program) {
+  StencilFeatures f;
+  f.name = program.name();
+  f.dims = program.dims();
+  for (int d = 0; d < 3; ++d) {
+    f.extents[static_cast<std::size_t>(d)] = program.grid_box().extent(d);
+    f.delta_w[static_cast<std::size_t>(d)] =
+        d < program.dims() ? program.delta_w(d) : 0;
+  }
+  f.iterations = program.iterations();
+  f.field_count = program.field_count();
+  f.mutable_field_count = static_cast<int>(program.mutable_field_count());
+  f.stage_count = program.stage_count();
+  f.multi_stage = program.stage_count() > 1;
+  for (int s = 0; s < program.stage_count(); ++s) {
+    if (program.stage_needs_double_buffer(s)) f.needs_double_buffer = true;
+  }
+  f.ops_per_cell = program.ops_per_cell();
+  f.iter_radii = program.iter_radii();
+  f.hls = fpga::estimate_program(program, 1);
+
+  // One naive iteration reads the stencil footprint and writes one cell
+  // per mutable field; use the per-cell op count against the write+read
+  // bytes of a cache-less pass as a rough intensity proxy.
+  const double bytes =
+      static_cast<double>(
+          (program.field_count() + program.mutable_field_count())) *
+      static_cast<double>(StencilProgram::element_bytes());
+  f.flops_per_byte = static_cast<double>(f.ops_per_cell.total()) / bytes;
+  return f;
+}
+
+std::string StencilFeatures::to_string() const {
+  std::string out = str_cat(name, ": ", dims, "-D, grid ");
+  for (int d = 0; d < dims; ++d) {
+    if (d) out += "x";
+    out += std::to_string(extents[static_cast<std::size_t>(d)]);
+  }
+  out += str_cat(", H=", iterations, ", ", field_count, " field(s), ",
+                 stage_count, " stage(s), ops/cell {add=", ops_per_cell.adds,
+                 ", mul=", ops_per_cell.muls, ", div=", ops_per_cell.divs,
+                 "}, II=", hls.ii, ", depth=", hls.depth, ", dw=");
+  for (int d = 0; d < dims; ++d) {
+    if (d) out += ",";
+    out += std::to_string(delta_w[static_cast<std::size_t>(d)]);
+  }
+  return out;
+}
+
+}  // namespace scl::core

@@ -1,0 +1,46 @@
+// Feature extractor (paper §5.1, Figure 5).
+//
+// Analyzes a StencilProgram and produces the application-specific
+// configuration the performance optimizer consumes: stencil shape radii,
+// dimensionality, operation mix, per-iteration cone growth (Δw_d), field
+// structure, and the HLS pipeline estimate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fpga/hls.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::core {
+
+struct StencilFeatures {
+  std::string name;
+  int dims = 0;
+  std::array<std::int64_t, 3> extents{1, 1, 1};
+  std::int64_t iterations = 0;
+
+  int field_count = 0;
+  int mutable_field_count = 0;
+  int stage_count = 0;
+  bool multi_stage = false;
+  bool needs_double_buffer = false;
+
+  scl::stencil::OpCounts ops_per_cell;
+  scl::stencil::SideRadii iter_radii{};
+  std::array<std::int64_t, 3> delta_w{0, 0, 0};
+
+  /// HLS estimate at unroll 1 (II scales trivially with N_PE).
+  fpga::HlsEstimate hls;
+
+  /// Arithmetic intensity proxy: flops per byte moved per naive iteration.
+  double flops_per_byte = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Runs source-code analysis over the declarative program.
+StencilFeatures extract_features(const scl::stencil::StencilProgram& program);
+
+}  // namespace scl::core

@@ -1,0 +1,67 @@
+#include "core/framework.hpp"
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace scl::core {
+
+Framework::Framework(const scl::stencil::StencilProgram& program,
+                     FrameworkOptions options)
+    : program_(&program),
+      options_(std::move(options)),
+      optimizer_(program, options_.optimizer) {}
+
+SynthesisReport Framework::synthesize() const {
+  SynthesisReport report;
+  report.features = extract_features(*program_);
+  report.device = options_.optimizer.device;
+  SCL_INFO() << "features: " << report.features.to_string();
+
+  report.baseline = optimizer_.optimize_baseline();
+  SCL_INFO() << "baseline: "
+             << report.baseline.config.summary(program_->dims());
+  report.heterogeneous = optimizer_.optimize_heterogeneous(report.baseline);
+  SCL_INFO() << "heterogeneous: "
+             << report.heterogeneous.config.summary(program_->dims());
+
+  if (options_.simulate) {
+    const sim::Executor exec(options_.optimizer.device);
+    report.baseline_sim = exec.run(*program_, report.baseline.config,
+                                   sim::SimMode::kTimingOnly);
+    report.heterogeneous_sim = exec.run(*program_, report.heterogeneous.config,
+                                        sim::SimMode::kTimingOnly);
+    report.speedup =
+        static_cast<double>(report.baseline_sim.total_cycles) /
+        static_cast<double>(report.heterogeneous_sim.total_cycles);
+  }
+
+  if (options_.generate_code) {
+    report.code = codegen::generate_opencl(
+        *program_, report.heterogeneous.config, options_.optimizer.device);
+  }
+  return report;
+}
+
+std::string SynthesisReport::to_string() const {
+  std::string out = features.to_string() + "\n";
+  auto describe = [&](const char* label, const DesignPoint& p,
+                      const sim::SimResult& sim_result) {
+    out += str_cat(label, ": ", p.config.summary(features.dims), "\n");
+    out += str_cat("  predicted: ", format_thousands(static_cast<long long>(
+                                        p.prediction.total_cycles)),
+                   " cycles, resources ", p.resources.total.to_string(), "\n");
+    if (sim_result.total_cycles > 0) {
+      out += str_cat("  simulated: ",
+                     format_thousands(sim_result.total_cycles), " cycles (",
+                     format_fixed(sim_result.total_ms, 2), " ms)\n");
+    }
+  };
+  describe("baseline", baseline, baseline_sim);
+  describe("heterogeneous", heterogeneous, heterogeneous_sim);
+  if (speedup > 0.0) {
+    out += str_cat("speedup: ", format_speedup(speedup), "\n");
+  }
+  return out;
+}
+
+}  // namespace scl::core

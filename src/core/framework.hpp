@@ -1,0 +1,71 @@
+// The end-to-end synthesis framework (paper Figure 5).
+//
+// Input: a stencil program (the OpenCL algorithm, in our declarative form)
+// plus user parameters (target device, kernel-count budget). The framework
+//   1. extracts the stencil features,
+//   2. runs the performance optimizer: baseline DSE, then the
+//      heterogeneous DSE under the baseline's resource budget,
+//   3. generates the optimized OpenCL kernel and host code,
+//   4. "executes" both designs on the cycle-approximate device simulator
+//      (the stand-in for the board measurement) and reports the speedup.
+#pragma once
+
+#include <string>
+
+#include "codegen/opencl_emitter.hpp"
+#include "core/features.hpp"
+#include "core/optimizer.hpp"
+#include "sim/executor.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::core {
+
+struct FrameworkOptions {
+  OptimizerOptions optimizer;
+  /// Run the discrete-event simulation of both designs (timing-only).
+  bool simulate = true;
+  /// Emit OpenCL kernel + host sources for the heterogeneous design.
+  bool generate_code = true;
+};
+
+struct SynthesisReport {
+  StencilFeatures features;
+  fpga::DeviceSpec device;  ///< target the flow ran against
+  DesignPoint baseline;
+  DesignPoint heterogeneous;
+
+  // Measured (simulated) results; valid when options.simulate.
+  sim::SimResult baseline_sim;
+  sim::SimResult heterogeneous_sim;
+  double speedup = 0.0;  ///< baseline cycles / heterogeneous cycles
+
+  // Generated sources; valid when options.generate_code.
+  codegen::GeneratedCode code;
+
+  /// Multi-line human-readable summary (Table 3-row style).
+  std::string to_string() const;
+};
+
+class Framework {
+ public:
+  Framework(const scl::stencil::StencilProgram& program,
+            FrameworkOptions options);
+
+  /// Runs the full flow. Throws scl::ResourceError when no design fits.
+  SynthesisReport synthesize() const;
+
+  /// Evaluates a user-supplied configuration end to end (model +
+  /// simulation), bypassing the DSE. Useful for sweeps.
+  DesignPoint evaluate(const sim::DesignConfig& config) const {
+    return optimizer_.evaluate(config);
+  }
+
+  const Optimizer& optimizer() const { return optimizer_; }
+
+ private:
+  const scl::stencil::StencilProgram* program_;
+  FrameworkOptions options_;
+  Optimizer optimizer_;
+};
+
+}  // namespace scl::core

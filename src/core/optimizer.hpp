@@ -1,0 +1,97 @@
+// Performance optimizer / design-space exploration (paper §5.1).
+//
+// The optimizer drives the analytical model over the design space and
+// returns the fastest configuration that fits the device:
+//
+//  * optimize_baseline() reproduces the state-of-the-art flow of Nacci et
+//    al. [DAC'13]: it explores iteration-fusion depth, tile size and
+//    parallelism (plus the unroll factor N_PE) for the overlapped-tiling
+//    design under the device's resource budget.
+//  * optimize_heterogeneous() reproduces the paper's evaluation protocol
+//    (§5.4): parallelism and unroll are pinned to the baseline's, the
+//    total resources are capped by what the *baseline* consumed, and the
+//    fusion depth, tile size and workload-balancing factors are chosen by
+//    the model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/resource_estimator.hpp"
+#include "fpga/device.hpp"
+#include "model/perf_model.hpp"
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::core {
+
+struct OptimizerOptions {
+  fpga::DeviceSpec device = fpga::virtex7_690t();
+  /// Usable fraction of the device (routing headroom).
+  double resource_fraction = 0.8;
+  /// Candidate fusion depths (filtered to <= H). Empty = powers of two.
+  std::vector<std::int64_t> fusion_candidates;
+  /// Candidate per-dimension tile extents. Empty = built-in defaults
+  /// scaled by dimensionality.
+  std::vector<std::int64_t> tile_candidates;
+  /// Candidate unroll factors (N_PE).
+  std::vector<int> unroll_candidates{1, 2, 4, 8, 16};
+  /// Max kernels per region (the paper uses up to 16).
+  std::int64_t max_kernels = 16;
+  /// Candidate edge-shrink values for workload balancing.
+  std::vector<std::int64_t> shrink_candidates{0, 1, 2, 4, 8};
+  model::ConeMode cone_mode = model::ConeMode::kRefined;
+};
+
+/// One evaluated design: configuration, predicted latency, resources.
+struct DesignPoint {
+  sim::DesignConfig config;
+  model::Prediction prediction;
+  DesignResources resources;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const scl::stencil::StencilProgram& program,
+            OptimizerOptions options);
+
+  /// Best overlapped-tiling design fitting the device budget.
+  /// Throws scl::ResourceError when nothing fits.
+  DesignPoint optimize_baseline() const;
+
+  /// Best pipe-shared heterogeneous design using the baseline's
+  /// parallelism/unroll and at most the baseline's resources.
+  DesignPoint optimize_heterogeneous(const DesignPoint& baseline) const;
+
+  /// Evaluates one configuration (prediction + resources) without
+  /// feasibility filtering. Useful for sweeps and ablation studies.
+  DesignPoint evaluate(const sim::DesignConfig& config) const;
+
+  /// All budget-feasible designs of `kind` that are Pareto-optimal in
+  /// (predicted cycles, BRAM18), sorted by ascending cycles. The first
+  /// entry is the latency optimum; walking the list trades speed for
+  /// memory footprint.
+  std::vector<DesignPoint> pareto_frontier(sim::DesignKind kind) const;
+
+  /// The resource budget configurations must fit
+  /// (device capacity x resource_fraction).
+  fpga::ResourceVector budget() const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::array<int, 3>> parallelism_candidates() const;
+  std::vector<std::int64_t> tile_candidates_for_dim(int d) const;
+  /// Per-dimension tile extents to explore: uniform shapes, plus (for 3-D
+  /// stencils) variants with the outermost dimension halved or quartered —
+  /// the flattened-tile shapes the paper's Table 3 favors (16x32x32).
+  std::vector<std::array<std::int64_t, 3>> tile_shape_candidates() const;
+  std::vector<std::int64_t> fusion_candidates() const;
+
+  const scl::stencil::StencilProgram* program_;
+  OptimizerOptions options_;
+  fpga::ResourceModel resource_model_;
+  model::PerfModel perf_model_;
+};
+
+}  // namespace scl::core

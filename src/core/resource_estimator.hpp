@@ -1,0 +1,29 @@
+// Whole-design FPGA resource estimation.
+//
+// Sums the per-kernel estimates (fpga::ResourceModel) over the K tile
+// kernels of a design, using each kernel's own buffer geometry: the
+// baseline kernel buffers its full cone footprint, the heterogeneous
+// kernel buffers only its (balanced) tile plus one-iteration halos and
+// pays for the pipe FIFOs instead.
+#pragma once
+
+#include "fpga/resource_model.hpp"
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::core {
+
+/// Estimated totals plus the single-kernel breakdown of the most
+/// resource-hungry kernel (for reporting).
+struct DesignResources {
+  fpga::ResourceVector total;
+  fpga::ResourceVector worst_kernel;
+  std::int64_t buffer_elements_total = 0;
+  std::int64_t pipe_count = 0;
+};
+
+DesignResources estimate_design_resources(
+    const scl::stencil::StencilProgram& program,
+    const sim::DesignConfig& config, const fpga::ResourceModel& model);
+
+}  // namespace scl::core

@@ -1,0 +1,47 @@
+#include "fpga/device.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::fpga {
+
+DeviceSpec virtex7_690t() {
+  DeviceSpec d;
+  d.name = "xc7vx690t";
+  d.capacity = ResourceVector{866400, 433200, 3600, 2940};
+  d.clock_mhz = 200.0;
+  d.mem_bytes_per_cycle = 16.0;
+  d.kernel_launch_cycles = 2000;
+  d.pipe_cycles_per_element = 2;
+  d.pipe_fifo_depth = 512;
+  return d;
+}
+
+DeviceSpec virtex7_485t() {
+  DeviceSpec d = virtex7_690t();
+  d.name = "xc7vx485t";
+  d.capacity = ResourceVector{607200, 303600, 2800, 2060};
+  return d;
+}
+
+DeviceSpec kintex_ku115() {
+  DeviceSpec d = virtex7_690t();
+  d.name = "xcku115";
+  d.capacity = ResourceVector{1326720, 663360, 5520, 4320};
+  d.clock_mhz = 250.0;
+  d.mem_bytes_per_cycle = 19.2;  // DDR4 platform, similar effective fraction
+  return d;
+}
+
+std::vector<DeviceSpec> device_catalog() {
+  return {virtex7_690t(), virtex7_485t(), kintex_ku115()};
+}
+
+DeviceSpec find_device(const std::string& name) {
+  for (const DeviceSpec& d : device_catalog()) {
+    if (d.name == name) return d;
+  }
+  throw Error(str_cat("unknown device '", name, "'"));
+}
+
+}  // namespace scl::fpga

@@ -1,0 +1,76 @@
+// Target device descriptions.
+//
+// The paper's platform is an Alpha Data ADM-PCIE-7V3 board: a Xilinx
+// Virtex-7 XC7VX690T with 16 GB of on-board DDR3 behind the SDAccel OpenCL
+// runtime, clocked at 200 MHz. DeviceSpec captures the capacities and the
+// handful of platform timing constants the analytical model and the
+// discrete-event simulator need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/resources.hpp"
+
+namespace scl::fpga {
+
+struct DeviceSpec {
+  std::string name;
+  ResourceVector capacity;
+
+  /// Kernel clock in MHz (the paper fixes 200 MHz for all benchmarks).
+  double clock_mhz = 200.0;
+
+  /// Effective global-memory (DDR) bandwidth in bytes per kernel clock
+  /// cycle. Burst transfers from multiple concurrent kernels share this
+  /// evenly (paper §4.2). The DDR3 pin rate of the board is 12.8 GB/s,
+  /// but the SDAccel 2016-era AXI memory subsystem sustained only a
+  /// fraction of it across concurrent kernel masters; 16 B/cycle at
+  /// 200 MHz (3.2 GB/s) matches the era's measured behavior.
+  double mem_bytes_per_cycle = 16.0;
+
+  /// Per-kernel AXI-master ceiling in bytes per cycle: one compute unit
+  /// cannot saturate the DDR controller on its own (each kernel gets its
+  /// own master port with limited outstanding transactions). Aggregate
+  /// bandwidth is min(peak, K * port) — the reason real designs
+  /// instantiate many compute units even for memory-bound stencils.
+  double mem_port_bytes_per_cycle = 4.0;
+
+  /// Cycles from enqueueing an OpenCL kernel to its first instruction.
+  /// SDAccel launches kernels sequentially with this per-kernel delay; the
+  /// paper's model deliberately omits it (§5.6), the simulator charges it.
+  std::int64_t kernel_launch_cycles = 2000;
+
+  /// Cycles to move one element through an OpenCL pipe (paper's C_pipe,
+  /// obtained by off-line profiling on the real system).
+  std::int64_t pipe_cycles_per_element = 2;
+
+  /// Capacity in elements of a synthesized pipe FIFO.
+  std::int64_t pipe_fifo_depth = 512;
+
+  /// Bytes usable per BRAM18 block (18 Kbit).
+  static constexpr std::int64_t bram18_bytes = 2304;
+
+  /// Converts a time in cycles to milliseconds at this device's clock.
+  double cycles_to_ms(double cycles) const {
+    return cycles / (clock_mhz * 1e3);
+  }
+};
+
+/// The paper's board: Virtex-7 XC7VX690T (ADM-PCIE-7V3).
+DeviceSpec virtex7_690t();
+
+/// Smaller Virtex-7 used on the VC707 board; handy for what-if DSE.
+DeviceSpec virtex7_485t();
+
+/// Kintex UltraScale KU115 (e.g. Xilinx KCU1500): a larger what-if target.
+DeviceSpec kintex_ku115();
+
+/// All built-in devices.
+std::vector<DeviceSpec> device_catalog();
+
+/// Finds a device by name; throws scl::Error when unknown.
+DeviceSpec find_device(const std::string& name);
+
+}  // namespace scl::fpga

@@ -1,0 +1,70 @@
+#include "fpga/hls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace scl::fpga {
+
+using scl::stencil::Stage;
+using scl::stencil::StencilProgram;
+
+HlsEstimate estimate_stage(const Stage& stage, int unroll,
+                           const FpLatencies& lat) {
+  // `unroll` does not change II here: HLS scales the bank count with the
+  // unroll factor, so per-lane port pressure is constant. It is validated
+  // anyway because callers derive C_element from the same factor.
+  SCL_CHECK(unroll >= 1, "unroll must be >= 1");
+  HlsEstimate est;
+
+  // Port pressure: every field lives in its own local array, and HLS
+  // partitions each array cyclically by the unroll factor so each lane sees
+  // its own dual-ported bank (two reads per cycle). The initiation interval
+  // is gated by the most-read field.
+  std::int64_t worst_reads = 1;
+  for (const auto& ra : stage.reads) {
+    std::int64_t same_field = 0;
+    for (const auto& rb : stage.reads) {
+      if (rb.field == ra.field) ++same_field;
+    }
+    worst_reads = std::max(worst_reads, same_field);
+  }
+  est.ii = std::max<std::int64_t>(1, ceil_div(worst_reads, 2));
+
+  // Depth: reduction tree of adds, one multiply level, optional divide.
+  std::int64_t depth = 0;
+  if (stage.ops.adds > 0) {
+    const auto levels = static_cast<std::int64_t>(
+        std::ceil(std::log2(static_cast<double>(stage.ops.adds) + 1.0)));
+    depth += levels * lat.fadd;
+  }
+  if (stage.ops.muls > 0) depth += lat.fmul;
+  if (stage.ops.divs > 0) depth += lat.fdiv;
+  est.depth = depth;
+  est.ii_sum = est.ii;
+  return est;
+}
+
+HlsEstimate estimate_program(const StencilProgram& program, int unroll,
+                             const FpLatencies& lat) {
+  HlsEstimate total;
+  total.ii = 1;
+  total.depth = 0;
+  total.ii_sum = 0;
+  for (int s = 0; s < program.stage_count(); ++s) {
+    const HlsEstimate st = estimate_stage(program.stage(s), unroll, lat);
+    total.ii = std::max(total.ii, st.ii);
+    total.depth += st.depth;
+    total.ii_sum += st.ii;
+  }
+  return total;
+}
+
+double cycles_per_element(const HlsEstimate& est, int unroll) {
+  SCL_CHECK(unroll >= 1, "unroll must be >= 1");
+  return static_cast<double>(est.ii) / static_cast<double>(unroll);
+}
+
+}  // namespace scl::fpga

@@ -1,0 +1,58 @@
+// HLS pipeline estimator (stand-in for the FlexCL report the paper uses).
+//
+// The analytical model needs only two numbers from the HLS toolchain:
+// the initiation interval II of the synthesized stencil pipeline and the
+// pipeline depth (fill/drain latency). We estimate both from the stencil's
+// per-element operation graph, using 7-series single-precision operator
+// latencies at 200 MHz. The result feeds C_element = II / N_PE (paper
+// Eq. 9) and the simulator's per-block drain overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "stencil/program.hpp"
+
+namespace scl::fpga {
+
+struct HlsEstimate {
+  /// Initiation interval of the element-processing loop in cycles.
+  std::int64_t ii = 1;
+  /// Pipeline depth in cycles (latency of one element through the datapath).
+  std::int64_t depth = 0;
+  /// Sum of the per-stage IIs: the cycles one element costs over a full
+  /// iteration (each stage walks every cell once). Equals `ii` for
+  /// single-stage programs.
+  std::int64_t ii_sum = 1;
+};
+
+/// Single-precision operator latencies (cycles at 200 MHz, 7-series).
+struct FpLatencies {
+  std::int64_t fadd = 8;
+  std::int64_t fmul = 6;
+  std::int64_t fdiv = 28;
+};
+
+/// Estimates II and depth for one stage.
+///
+/// * II: a fully unrolled, fully pipelined stencil body reaches II = 1 as
+///   long as the local-memory ports can feed it; each BRAM is dual-ported,
+///   and HLS cyclically partitions the tile buffer by `unroll`, so the port
+///   pressure per bank is reads_per_element / 2 (rounded up).
+/// * depth: critical path through the op graph, approximated as a balanced
+///   reduction tree of adds plus one multiplier level (plus divide if any).
+HlsEstimate estimate_stage(const scl::stencil::Stage& stage,
+                           int unroll,
+                           const FpLatencies& lat = FpLatencies{});
+
+/// Whole-iteration estimate: II is the max over stages (the slowest stage
+/// gates the fused loop); depth sums stage depths because stages execute
+/// back to back within an iteration.
+HlsEstimate estimate_program(const scl::stencil::StencilProgram& program,
+                             int unroll,
+                             const FpLatencies& lat = FpLatencies{});
+
+/// The paper's C_element = II / N_PE (Eq. 9): average cycles per element
+/// when `unroll` processing elements work in parallel.
+double cycles_per_element(const HlsEstimate& est, int unroll);
+
+}  // namespace scl::fpga

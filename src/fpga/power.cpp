@@ -1,0 +1,24 @@
+#include "fpga/power.hpp"
+
+#include "support/error.hpp"
+
+namespace scl::fpga {
+
+double PowerModel::average_watts(const ResourceVector& resources,
+                                 double compute_activity,
+                                 double memory_activity) const {
+  SCL_CHECK(compute_activity >= 0.0 && compute_activity <= 1.0,
+            "compute activity must be in [0, 1]");
+  SCL_CHECK(memory_activity >= 0.0 && memory_activity <= 1.0,
+            "memory activity must be in [0, 1]");
+  const double clock_scale = device_.clock_mhz / 200.0;
+  const double dynamic =
+      clock_scale * compute_activity *
+      (static_cast<double>(resources.dsp) * calib_.watts_per_dsp +
+       static_cast<double>(resources.bram18) * calib_.watts_per_bram18 +
+       static_cast<double>(resources.ff) / 1000.0 * calib_.watts_per_kff +
+       static_cast<double>(resources.lut) / 1000.0 * calib_.watts_per_klut);
+  return calib_.static_watts + dynamic + memory_activity * calib_.ddr_watts;
+}
+
+}  // namespace scl::fpga

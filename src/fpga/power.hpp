@@ -1,0 +1,53 @@
+// First-order FPGA power/energy model (extension beyond the paper).
+//
+// The paper motivates FPGAs with energy efficiency but reports no energy
+// numbers; this model closes that loop with the standard first-order
+// decomposition: static leakage for the part plus dynamic power
+// proportional to clocked resources, scaled by an activity factor.
+// Coefficients follow the usual 28 nm Virtex-7 rules of thumb (XPE-class
+// estimates, not sign-off numbers) — good for *comparing* designs, which
+// is all the framework needs.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "fpga/resources.hpp"
+
+namespace scl::fpga {
+
+struct PowerCalibration {
+  double static_watts = 3.0;       ///< part leakage + always-on clocking
+  double watts_per_dsp = 0.0016;   ///< fully-active DSP slice at 200 MHz
+  double watts_per_bram18 = 0.0012;
+  double watts_per_kff = 0.0009;   ///< per 1000 flip-flops
+  double watts_per_klut = 0.0013;  ///< per 1000 LUTs
+  double ddr_watts = 4.0;          ///< DDR interface at full activity
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(DeviceSpec device,
+                      PowerCalibration calib = PowerCalibration{})
+      : device_(std::move(device)), calib_(calib) {}
+
+  /// Average power in watts for a design using `resources`, where
+  /// `compute_activity` and `memory_activity` are the fractions of time
+  /// the datapath/DDR are busy (0..1, from the simulator's phase
+  /// breakdown).
+  double average_watts(const ResourceVector& resources,
+                       double compute_activity,
+                       double memory_activity) const;
+
+  /// Energy in joules for a run of `milliseconds` at the given activity.
+  double energy_joules(const ResourceVector& resources,
+                       double compute_activity, double memory_activity,
+                       double milliseconds) const {
+    return average_watts(resources, compute_activity, memory_activity) *
+           milliseconds * 1e-3;
+  }
+
+ private:
+  DeviceSpec device_;
+  PowerCalibration calib_;
+};
+
+}  // namespace scl::fpga

@@ -1,0 +1,29 @@
+#include "fpga/resources.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace scl::fpga {
+
+double ResourceVector::max_utilization(const ResourceVector& capacity) const {
+  double worst = 0.0;
+  auto consider = [&worst](std::int64_t used, std::int64_t avail) {
+    if (avail > 0) {
+      worst = std::max(worst,
+                       static_cast<double>(used) / static_cast<double>(avail));
+    }
+  };
+  consider(ff, capacity.ff);
+  consider(lut, capacity.lut);
+  consider(dsp, capacity.dsp);
+  consider(bram18, capacity.bram18);
+  return worst;
+}
+
+std::string ResourceVector::to_string() const {
+  return str_cat("{FF=", ff, ", LUT=", lut, ", DSP=", dsp, ", BRAM18=", bram18,
+                 "}");
+}
+
+}  // namespace scl::fpga

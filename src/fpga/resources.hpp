@@ -1,0 +1,47 @@
+// FPGA resource vectors: flip-flops, LUTs, DSP slices, and BRAM18 blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scl::fpga {
+
+/// Utilization (or capacity) along the four resource axes the paper's
+/// Table 3 reports. BRAM is counted in 18 Kbit blocks.
+struct ResourceVector {
+  std::int64_t ff = 0;
+  std::int64_t lut = 0;
+  std::int64_t dsp = 0;
+  std::int64_t bram18 = 0;
+
+  ResourceVector operator+(const ResourceVector& o) const {
+    return {ff + o.ff, lut + o.lut, dsp + o.dsp, bram18 + o.bram18};
+  }
+  ResourceVector& operator+=(const ResourceVector& o) {
+    ff += o.ff;
+    lut += o.lut;
+    dsp += o.dsp;
+    bram18 += o.bram18;
+    return *this;
+  }
+  ResourceVector operator*(std::int64_t n) const {
+    return {ff * n, lut * n, dsp * n, bram18 * n};
+  }
+
+  /// True if every component fits inside `budget`.
+  bool fits_within(const ResourceVector& budget) const {
+    return ff <= budget.ff && lut <= budget.lut && dsp <= budget.dsp &&
+           bram18 <= budget.bram18;
+  }
+
+  /// Largest component-wise utilization ratio against `capacity` (for
+  /// reporting, e.g. "62% of BRAM"). Zero-capacity axes are skipped.
+  double max_utilization(const ResourceVector& capacity) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const ResourceVector&, const ResourceVector&) =
+      default;
+};
+
+}  // namespace scl::fpga

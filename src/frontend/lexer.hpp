@@ -1,0 +1,30 @@
+// Tokenizer for the OpenCL-C front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scl::frontend {
+
+enum class TokenKind {
+  kIdentifier,  // names, keywords, qualifiers
+  kNumber,      // integer or float literal (verbatim spelling)
+  kPunct,       // one of ()[]{},;=+-*/<>!&| and two-char ops
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+
+  bool is(const char* s) const { return text == s; }
+};
+
+/// Tokenizes OpenCL-C source. Strips // and /* */ comments and
+/// preprocessor lines (#...). Throws scl::Error on unterminated comments
+/// or unexpected characters.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace scl::frontend

@@ -1,0 +1,67 @@
+// OpenCL-C front end (the paper's input: "an original stencil algorithm
+// written in OpenCL").
+//
+// Imports a restricted but idiomatic subset of naive NDRange stencil
+// kernels — the form PolyBench/Rodinia OpenCL ports and the paper's
+// Figure 3 use — and recovers a StencilProgram:
+//
+//     __kernel void jacobi2d(__global const float* A,
+//                            __global float* Anext, const int N) {
+//       int i = get_global_id(0);
+//       int j = get_global_id(1);
+//       if (i >= 1 && i < N - 1 && j >= 1 && j < N - 1) {
+//         Anext[i * N + j] = 0.2f * (A[i * N + j] + A[i * N + (j - 1)]
+//             + A[i * N + (j + 1)] + A[(i - 1) * N + j] + A[(i + 1) * N + j]);
+//       }
+//     }
+//
+// Accepted shape per kernel:
+//   * float-pointer arguments are arrays; integer arguments are size
+//     symbols bound from the provided grid extents;
+//   * `int <v> = get_global_id(<d>);` declarations define the induction
+//     variables (one per dimension, in dimension order);
+//   * an optional `if (<guard>)` (the Dirichlet-border test — its bounds
+//     are re-derived from the stencil radii, not parsed);
+//   * optional single-assignment `float t = <expr>;` temporaries;
+//   * exactly one array store `OUT[<affine index>] = <expr>;` whose reads
+//     are affine in the induction variables with constant offsets.
+//
+// Multiple kernels become the iteration's stages in source order. A
+// kernel that writes an array it never reads, while reading a matching
+// array nobody writes (the classic A/Anext ping-pong the host swaps each
+// iteration) has the pair unified into one logical double-buffered field.
+// Arrays only ever read become constant fields (e.g. HotSpot's power).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stencil/program.hpp"
+
+namespace scl::frontend {
+
+struct OpenClImportOptions {
+  /// Grid extents per dimension (also bind the kernels' integer size
+  /// arguments, outermost dimension first: for `(const int N, const int M)`
+  /// N = extent of dim 0).
+  std::array<std::int64_t, 3> extents{1, 1, 1};
+  int dims = 0;  ///< 0 = infer from get_global_id uses
+  std::int64_t iterations = 1;
+
+  /// Initial-condition spec per logical field name (see
+  /// stencil::make_initializer); fields not listed get `default_init`.
+  std::map<std::string, std::string> init_specs;
+  std::string default_init = "wave 0.25";
+
+  /// Program name; empty = first kernel's name.
+  std::string name;
+};
+
+/// Imports OpenCL-C kernels into a StencilProgram. Throws scl::Error with
+/// a line-anchored message on anything outside the supported subset.
+scl::stencil::StencilProgram import_opencl(const std::string& source,
+                                           const OpenClImportOptions& options);
+
+}  // namespace scl::frontend

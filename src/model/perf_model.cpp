@@ -1,0 +1,246 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fpga/hls.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace scl::model {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::stencil::StencilProgram;
+
+/// Static per-kernel geometry: balanced tile extents plus which sides see
+/// cone expansion (exterior) vs pipe halos (shared).
+struct PerfModel::KernelGeometry {
+  std::array<double, 3> extent{1.0, 1.0, 1.0};
+  /// Per dim/side: cone radius on that side (0 for pipe-shared sides).
+  std::array<std::array<double, 2>, 3> cone_radius{};
+  /// Per dim/side: true when the side exchanges strips through a pipe.
+  std::array<std::array<bool, 2>, 3> shared{};
+};
+
+PerfModel::PerfModel(const StencilProgram& program, fpga::DeviceSpec device,
+                     ConeMode mode)
+    : program_(&program), device_(std::move(device)), mode_(mode) {}
+
+void PerfModel::accumulate_kernel(const DesignConfig& config,
+                                  const KernelGeometry& geo,
+                                  Prediction* out) const {
+  const StencilProgram& prog = *program_;
+  // C_element over a full iteration: every stage touches every cell once,
+  // so the per-cell cost is the sum of the per-stage IIs over N_PE.
+  // (Per-stage IIs are queried below; the program-level estimate is only
+  // needed for validation side effects of the unroll factor.)
+  (void)fpga::estimate_program(prog, config.unroll);
+  const double h = static_cast<double>(config.fused_iterations);
+  const double k = static_cast<double>(config.total_kernels());
+  // Fair DDR share capped by the kernel's own AXI-master ceiling.
+  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
+                                   device_.mem_bytes_per_cycle / k);
+  const double bytes = StencilProgram::element_bytes();
+  const double cpipe = static_cast<double>(device_.pipe_cycles_per_element);
+
+  // --- Eq. 5/6: burst global-memory transfers -----------------------------
+  double read_cells = 1.0;
+  double write_cells = 1.0;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    double margin = 0.0;
+    for (int side = 0; side < 2; ++side) {
+      const auto ss = static_cast<std::size_t>(side);
+      margin += geo.cone_radius[ds][ss] * h;
+      if (geo.shared[ds][ss]) {
+        margin += static_cast<double>(prog.max_stage_radii()[ds][ss]);
+      }
+    }
+    read_cells *= geo.extent[ds] + margin;
+    write_cells *= geo.extent[ds];
+  }
+  const double l_read =
+      read_cells * static_cast<double>(prog.field_count()) * bytes / bw_share;
+  const double l_write = write_cells *
+                         static_cast<double>(prog.mutable_field_count()) *
+                         bytes / bw_share;
+  const double l_mem = l_read + l_write;
+
+  // --- Eq. 7-11: fused compute with pipe overlap ---------------------------
+  //
+  // Per-stage accounting: every stage walks the iteration's cells once at
+  // its own II, receives the boundary strips its dependent cells read
+  // (waiting for the last element of the slowest pipe, less the stage's
+  // own independent computation that runs meanwhile), and pushes its
+  // output strips (hidden behind the same computation, Eq. 11).
+  double l_comp = 0.0;
+  double l_share_exposed = 0.0;
+  double l_iter_sum = 0.0;
+  for (std::int64_t i = 1; i <= config.fused_iterations; ++i) {
+    const double remaining = h - static_cast<double>(i);
+    std::array<double, 3> iter_extent{1.0, 1.0, 1.0};
+    for (int d = 0; d < prog.dims(); ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      iter_extent[ds] =
+          geo.extent[ds] + (geo.cone_radius[ds][0] + geo.cone_radius[ds][1]) *
+                               remaining;
+    }
+    double cells = 1.0;
+    for (int d = 0; d < prog.dims(); ++d) {
+      cells *= iter_extent[static_cast<std::size_t>(d)];
+    }
+
+    auto tangential_area = [&](int d) {
+      double area = 1.0;
+      for (int t = 0; t < prog.dims(); ++t) {
+        if (t != d) area *= iter_extent[static_cast<std::size_t>(t)];
+      }
+      return area;
+    };
+
+    for (int s = 0; s < prog.stage_count(); ++s) {
+      const scl::stencil::Stage& stage = prog.stage(s);
+      const double ii_s = static_cast<double>(
+          fpga::estimate_stage(stage, config.unroll).ii);
+      const double comp_s =
+          ii_s / static_cast<double>(config.unroll) * cells;
+
+      // Receive tail: per shared face, the strips this stage's dependent
+      // cells wait for arrive serialized at C_pipe per element; different
+      // faces use different pipes, so the waits overlap (max).
+      double recv_tail = 0.0;
+      // Send volume: this stage's output strips (one per shared face).
+      double send_elems = 0.0;
+      const int out_field = stage.output_field;
+      for (int d = 0; d < prog.dims(); ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        for (int side = 0; side < 2; ++side) {
+          const auto ss = static_cast<std::size_t>(side);
+          if (!geo.shared[ds][ss]) continue;
+          double face_elems = 0.0;
+          for (int f = 0; f < prog.field_count(); ++f) {
+            if (prog.is_constant_field(f)) continue;
+            bool read_toward = false;
+            for (const auto& read : stage.reads) {
+              if (read.field != f) continue;
+              const int off = read.offset[ds];
+              if ((side == 0 && off < 0) || (side == 1 && off > 0)) {
+                read_toward = true;
+                break;
+              }
+            }
+            if (!read_toward) continue;
+            face_elems +=
+                static_cast<double>(prog.field_read_radii(f)[ds][ss]) *
+                tangential_area(d);
+          }
+          recv_tail = std::max(recv_tail, cpipe * face_elems);
+          const auto opp = static_cast<std::size_t>(side == 0 ? 1 : 0);
+          send_elems +=
+              static_cast<double>(prog.field_read_radii(out_field)[ds][opp]) *
+              tangential_area(d);
+        }
+      }
+      const double exposed = std::max(0.0, recv_tail - comp_s) +
+                             std::max(0.0, cpipe * send_elems - comp_s);
+      l_comp += comp_s + exposed;
+      l_share_exposed += exposed;
+      l_iter_sum += comp_s;
+    }
+  }
+
+  const double l_tile = l_mem + l_comp;  // Eq. 3 with L_launch = 0 (§5.6)
+  if (l_tile > out->l_tile) {
+    out->l_tile = l_tile;
+    out->l_mem = l_mem;
+    out->l_comp = l_comp;
+    out->l_share_exposed = l_share_exposed;
+    out->lambda =
+        l_iter_sum > 0.0 ? l_share_exposed / l_iter_sum : 0.0;  // Eq. 11
+  }
+}
+
+Prediction PerfModel::predict(const DesignConfig& config) const {
+  const StencilProgram& prog = *program_;
+  config.validate(prog);
+
+  Prediction out;
+  // Eq. 2 with the H/h fix: passes times spatial regions.
+  out.n_region = ceil_div(prog.iterations(), config.fused_iterations);
+  for (int d = 0; d < prog.dims(); ++d) {
+    out.n_region *= ceil_div(prog.grid_box().extent(d),
+                             config.region_extent(d));
+  }
+
+  const auto& radii = prog.iter_radii();
+  if (mode_ == ConeMode::kPaperExact) {
+    // Eq. 8/10 verbatim: one representative "slowest" kernel with the
+    // maximum balancing factor and the full Δw expansion per dimension.
+    KernelGeometry geo;
+    for (int d = 0; d < prog.dims(); ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      double fmax = 1.0;
+      for (int t = 0; t < config.parallelism[ds]; ++t) {
+        fmax = std::max(fmax, config.balance_factor(d, t));
+      }
+      geo.extent[ds] =
+          static_cast<double>(config.tile_size[ds]) * fmax;
+      geo.cone_radius[ds][0] = static_cast<double>(radii[ds][0]);
+      geo.cone_radius[ds][1] = static_cast<double>(radii[ds][1]);
+      if (config.kind == DesignKind::kHeterogeneous &&
+          config.parallelism[ds] > 1) {
+        geo.shared[ds][0] = geo.shared[ds][1] = true;
+      }
+    }
+    accumulate_kernel(config, geo, &out);
+  } else {
+    // Refined: evaluate kernel positions with their own balanced extents
+    // and exterior faces, and keep the slowest (Eq. 1's max_k). Interior
+    // positions beyond the first are never slower than position 1 (which
+    // holds the largest balanced extent), so per dimension only the two
+    // corners and the widest interior position need evaluation — this is
+    // what keeps the model cheap enough to drive the design-space search.
+    std::array<std::vector<std::int64_t>, 3> extents;
+    std::array<std::vector<int>, 3> positions;
+    for (int d = 0; d < 3; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      extents[ds] = config.tile_extents(d);
+      positions[ds].push_back(0);
+      if (config.parallelism[ds] > 2) positions[ds].push_back(1);
+      if (config.parallelism[ds] > 1) {
+        positions[ds].push_back(config.parallelism[ds] - 1);
+      }
+    }
+    for (const int c0 : positions[0]) {
+      for (const int c1 : positions[1]) {
+        for (const int c2 : positions[2]) {
+          const std::array<int, 3> coord{c0, c1, c2};
+          KernelGeometry geo;
+          for (int d = 0; d < prog.dims(); ++d) {
+            const auto ds = static_cast<std::size_t>(d);
+            geo.extent[ds] = static_cast<double>(
+                extents[ds][static_cast<std::size_t>(coord[ds])]);
+            const bool low_edge = coord[ds] == 0;
+            const bool high_edge = coord[ds] == config.parallelism[ds] - 1;
+            const bool pipes = config.kind == DesignKind::kHeterogeneous;
+            geo.shared[ds][0] = pipes && !low_edge;
+            geo.shared[ds][1] = pipes && !high_edge;
+            geo.cone_radius[ds][0] =
+                geo.shared[ds][0] ? 0.0 : static_cast<double>(radii[ds][0]);
+            geo.cone_radius[ds][1] =
+                geo.shared[ds][1] ? 0.0 : static_cast<double>(radii[ds][1]);
+          }
+          accumulate_kernel(config, geo, &out);
+        }
+      }
+    }
+  }
+
+  out.total_cycles = static_cast<double>(out.n_region) * out.l_tile;
+  out.total_ms = device_.cycles_to_ms(out.total_cycles);
+  return out;
+}
+
+}  // namespace scl::model

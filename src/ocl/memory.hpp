@@ -1,0 +1,55 @@
+// Global (off-chip DDR) memory channel model.
+//
+// Burst transfers are coalesced and the peak bandwidth is shared evenly
+// among the kernels transferring concurrently (paper §4.2: BW/K). Each
+// burst additionally pays a fixed setup latency (AXI address/handshake),
+// which the analytical model omits — one of the reasons it underestimates
+// measured latency (paper §5.6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "support/error.hpp"
+
+namespace scl::ocl {
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(const fpga::DeviceSpec& device,
+                        std::int64_t burst_setup_cycles = 120)
+      : bytes_per_cycle_(device.mem_bytes_per_cycle),
+        port_bytes_per_cycle_(device.mem_port_bytes_per_cycle),
+        burst_setup_cycles_(burst_setup_cycles) {
+    SCL_CHECK(bytes_per_cycle_ > 0, "device has no memory bandwidth");
+    SCL_CHECK(port_bytes_per_cycle_ > 0, "device has no port bandwidth");
+  }
+
+  /// Cycles to move `bytes` when `sharers` kernels use the channel
+  /// simultaneously: each kernel gets the fair DDR share, capped by its
+  /// own AXI master's ceiling.
+  std::int64_t transfer_cycles(std::int64_t bytes, int sharers) const {
+    SCL_CHECK(bytes >= 0, "negative transfer size");
+    SCL_CHECK(sharers >= 1, "at least one sharer");
+    if (bytes == 0) return 0;
+    const double share =
+        std::min(port_bytes_per_cycle_, bytes_per_cycle_ / sharers);
+    const double cycles = static_cast<double>(bytes) / share;
+    return burst_setup_cycles_ + static_cast<std::int64_t>(cycles + 0.999999);
+  }
+
+  std::int64_t burst_setup_cycles() const { return burst_setup_cycles_; }
+
+  // --- statistics ---
+  void record_transfer(std::int64_t bytes) { total_bytes_ += bytes; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  double bytes_per_cycle_;
+  double port_bytes_per_cycle_;
+  std::int64_t burst_setup_cycles_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace scl::ocl

@@ -1,0 +1,58 @@
+#include "ocl/runtime.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace scl::ocl {
+
+void Runtime::add_task(std::shared_ptr<KernelTask> task) {
+  SCL_CHECK(task != nullptr, "null task");
+  tasks_.push_back(std::move(task));
+}
+
+void Runtime::run_all() {
+  std::vector<bool> done(tasks_.size(), false);
+  std::size_t remaining = tasks_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (done[i]) continue;
+      // Step until this task blocks or completes, so each scheduler round
+      // costs O(tasks) bookkeeping rather than O(operations).
+      while (true) {
+        const KernelTask::StepResult r = tasks_[i]->step();
+        ++steps_taken_;
+        if (r == KernelTask::StepResult::kDone) {
+          done[i] = true;
+          --remaining;
+          progressed = true;
+          break;
+        }
+        if (r == KernelTask::StepResult::kBlocked) break;
+        progressed = true;
+      }
+    }
+    if (!progressed && remaining > 0) {
+      std::vector<std::string> blocked;
+      for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (!done[i]) blocked.push_back(tasks_[i]->name());
+      }
+      throw DeadlockError(
+          str_cat("pipe deadlock: ", remaining, " kernels blocked (",
+                  join(blocked, ", "), ")"));
+    }
+  }
+  finished_ = true;
+}
+
+std::int64_t Runtime::completion_cycles() const {
+  SCL_CHECK(finished_, "completion_cycles before run_all finished");
+  std::int64_t worst = 0;
+  for (const auto& task : tasks_) {
+    worst = std::max(worst, task->clock());
+  }
+  return worst;
+}
+
+}  // namespace scl::ocl

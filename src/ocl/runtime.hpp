@@ -1,0 +1,68 @@
+// Cooperative kernel scheduler — the OpenCL command-queue model.
+//
+// Kernels synthesized onto the fabric all run concurrently in hardware; the
+// model expresses each as a KernelTask that makes incremental progress and
+// may block on pipe operations. The Runtime round-robins the tasks until
+// all complete, detecting deadlock (every unfinished task blocked) — the
+// failure mode a mis-generated pipe protocol would exhibit on the board.
+//
+// Virtual time is per task: each task advances its own cycle clock as it
+// executes, and pipes/barriers propagate clock constraints between tasks.
+// SDAccel launches the kernels of one region sequentially, so task k starts
+// no earlier than k * kernel_launch_cycles (paper §5.6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scl::ocl {
+
+class KernelTask {
+ public:
+  enum class StepResult {
+    kProgress,  ///< did useful work; call again
+    kBlocked,   ///< waiting on a pipe peer; retry after others run
+    kDone,      ///< finished
+  };
+
+  virtual ~KernelTask() = default;
+
+  /// Attempts to make progress. Must be callable repeatedly after kDone
+  /// (returning kDone).
+  virtual StepResult step() = 0;
+
+  /// The task's current virtual clock in cycles.
+  virtual std::int64_t clock() const = 0;
+
+  /// Display name for diagnostics.
+  virtual const std::string& name() const = 0;
+};
+
+class Runtime {
+ public:
+  /// Adds a task. Tasks are stepped in registration order.
+  void add_task(std::shared_ptr<KernelTask> task);
+
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Runs all tasks to completion. Throws scl::DeadlockError when a full
+  /// round makes no progress while unfinished tasks remain.
+  void run_all();
+
+  /// Max task clock after run_all() — the region's completion time.
+  std::int64_t completion_cycles() const;
+
+  /// Total scheduler steps taken (for tests/diagnostics).
+  std::int64_t steps_taken() const { return steps_taken_; }
+
+ private:
+  std::vector<std::shared_ptr<KernelTask>> tasks_;
+  std::int64_t steps_taken_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace scl::ocl

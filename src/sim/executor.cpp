@@ -1,0 +1,220 @@
+#include "sim/executor.hpp"
+
+#include <map>
+#include <memory>
+
+#include "fpga/hls.hpp"
+#include "ocl/memory.hpp"
+#include "ocl/pipe.hpp"
+#include "ocl/runtime.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::sim {
+
+using scl::stencil::Face;
+using scl::stencil::FieldSet;
+using scl::stencil::StencilProgram;
+
+Executor::RegionOutcome Executor::run_region(
+    const StencilProgram& program, const DesignConfig& config,
+    const RegionPlan& plan, std::int64_t pass_iterations, SimMode mode,
+    const FieldSet* global_in, FieldSet* global_out,
+    std::vector<TraceEvent>* trace) const {
+  ocl::GlobalMemory memory(device_);
+  std::vector<double> stage_cel;
+  std::vector<std::int64_t> stage_depth;
+  for (int s = 0; s < program.stage_count(); ++s) {
+    const fpga::HlsEstimate est =
+        fpga::estimate_stage(program.stage(s), config.unroll);
+    stage_cel.push_back(fpga::cycles_per_element(est, config.unroll));
+    stage_depth.push_back(est.depth);
+  }
+
+  // The baseline design has no pipes: every tile computes an independent
+  // overlapped cone, so all faces behave as region-exterior.
+  std::vector<TilePlacement> tiles = plan.tiles;
+  if (config.kind == DesignKind::kBaseline) {
+    for (TilePlacement& t : tiles) {
+      for (auto& dim_flags : t.exterior) dim_flags = {true, true};
+    }
+  }
+
+  // Index tiles by coordinate for neighbor lookup.
+  auto coord_key = [&](int c0, int c1, int c2) {
+    return (c0 * config.parallelism[1] + c1) * config.parallelism[2] + c2;
+  };
+  std::vector<const TilePlacement*> by_coord(
+      static_cast<std::size_t>(config.total_kernels()), nullptr);
+  for (const TilePlacement& t : tiles) {
+    by_coord[static_cast<std::size_t>(
+        coord_key(t.coord[0], t.coord[1], t.coord[2]))] = &t;
+  }
+
+  // Create pipe pairs for every interior face (heterogeneous design only).
+  // One directed pipe per (tile, face); FIFOs are sized to hold at least
+  // the widest strip so the symmetric send phases cannot deadlock.
+  std::vector<std::unique_ptr<ocl::Pipe>> pipes;
+  std::map<std::pair<int, int>, ocl::Pipe*> out_pipe_of;  // (kernel, face id)
+  auto face_id = [](int d, int side) { return d * 2 + side; };
+  if (config.kind == DesignKind::kHeterogeneous) {
+    for (const TilePlacement& t : tiles) {
+      for (int d = 0; d < program.dims(); ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        for (int side = 0; side < 2; ++side) {
+          if (t.exterior[ds][static_cast<std::size_t>(side)]) continue;
+          std::array<int, 3> nc = t.coord;
+          nc[ds] += side == 0 ? -1 : +1;
+          const TilePlacement& nb =
+              *by_coord[static_cast<std::size_t>(coord_key(nc[0], nc[1], nc[2]))];
+          const Face face{d, side == 0 ? -1 : +1};
+          const std::int64_t strip =
+              max_face_strip_elements(program, t, nb, face, pass_iterations);
+          const std::int64_t depth =
+              std::max(device_.pipe_fifo_depth, strip);
+          pipes.push_back(std::make_unique<ocl::Pipe>(
+              str_cat("pipe_k", t.kernel_index, "_d", d, side == 0 ? "n" : "p"),
+              depth, device_.pipe_cycles_per_element));
+          out_pipe_of[{t.kernel_index, face_id(d, side)}] = pipes.back().get();
+        }
+      }
+    }
+  }
+
+  ocl::Runtime runtime;
+  std::vector<std::shared_ptr<TileTask>> tasks;
+  for (const TilePlacement& t : tiles) {
+    TileTaskParams params;
+    params.program = &program;
+    params.mode = mode;
+    params.kind = config.kind;
+    params.tile = t;
+    params.fused_iterations = pass_iterations;
+    params.stage_cycles_per_element = stage_cel;
+    params.stage_depth = stage_depth;
+    params.launch_offset =
+        (t.kernel_index + 1) * device_.kernel_launch_cycles;
+    params.memory = &memory;
+    params.memory_sharers = static_cast<int>(config.total_kernels());
+    params.latency_hiding = tuning_.latency_hiding;
+    params.trace = trace;
+    params.global_in = global_in;
+    params.global_out = global_out;
+    if (config.kind == DesignKind::kHeterogeneous) {
+      for (int d = 0; d < program.dims(); ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        for (int side = 0; side < 2; ++side) {
+          if (t.exterior[ds][static_cast<std::size_t>(side)]) continue;
+          std::array<int, 3> nc = t.coord;
+          nc[ds] += side == 0 ? -1 : +1;
+          const TilePlacement& nb =
+              *by_coord[static_cast<std::size_t>(coord_key(nc[0], nc[1], nc[2]))];
+          params.neighbors[ds][static_cast<std::size_t>(side)] = nb;
+          params.out_pipes[ds][static_cast<std::size_t>(side)] =
+              out_pipe_of.at({t.kernel_index, face_id(d, side)});
+          // My incoming pipe across this face is the neighbor's outgoing
+          // pipe across the mirrored face.
+          params.in_pipes[ds][static_cast<std::size_t>(side)] =
+              out_pipe_of.at({nb.kernel_index, face_id(d, side == 0 ? 1 : 0)});
+        }
+      }
+    }
+    auto task = std::make_shared<TileTask>(std::move(params));
+    tasks.push_back(task);
+    runtime.add_task(task);
+  }
+
+  runtime.run_all();
+
+  RegionOutcome outcome;
+  outcome.cycles = runtime.completion_cycles();
+  for (const auto& task : tasks) {
+    PhaseBreakdown p = task->phases();
+    p.barrier_wait = outcome.cycles - task->clock();
+    outcome.phases += p;
+    outcome.cells_owned += task->cells_owned();
+    outcome.cells_redundant += task->cells_redundant();
+  }
+  for (const auto& pipe : pipes) {
+    outcome.pipe_elements += pipe->total_written();
+  }
+  outcome.bytes = memory.total_bytes();
+  return outcome;
+}
+
+RegionTrace Executor::trace_region(const StencilProgram& program,
+                                   const DesignConfig& config) const {
+  const RegionGrid grid(program, config);
+  // Prefer the most common shape (the interior, full-size region).
+  const auto shapes = grid.distinct_shapes();
+  SCL_CHECK(!shapes.empty(), "no regions to trace");
+  const RegionGrid::ShapeCount* pick = &shapes.front();
+  for (const auto& shape : shapes) {
+    if (shape.count > pick->count) pick = &shape;
+  }
+  RegionTrace trace;
+  const RegionOutcome outcome =
+      run_region(program, config, pick->plan, config.fused_iterations,
+                 SimMode::kTimingOnly, nullptr, nullptr, &trace.events);
+  trace.region_cycles = outcome.cycles;
+  return trace;
+}
+
+SimResult Executor::run(const StencilProgram& program,
+                        const DesignConfig& config, SimMode mode) const {
+  const RegionGrid grid(program, config);
+  SimResult result;
+  result.region_executions = grid.total_region_executions();
+
+  auto accumulate = [&result](const RegionOutcome& o, std::int64_t times) {
+    result.total_cycles += o.cycles * times;
+    result.phases += o.phases * times;
+    result.cells_owned += o.cells_owned * times;
+    result.cells_redundant += o.cells_redundant * times;
+    result.pipe_elements += o.pipe_elements * times;
+    result.global_memory_bytes += o.bytes * times;
+  };
+
+  if (mode == SimMode::kFunctional) {
+    FieldSet current =
+        scl::stencil::make_initial_state(program, program.grid_box());
+    FieldSet next = current;
+    const std::vector<RegionPlan> regions = grid.all_regions();
+    for (std::int64_t pass = 0; pass < grid.passes(); ++pass) {
+      const std::int64_t h = pass + 1 == grid.passes()
+                                 ? grid.last_pass_iterations()
+                                 : config.fused_iterations;
+      for (const RegionPlan& plan : regions) {
+        accumulate(run_region(program, config, plan, h, mode, &current, &next),
+                   1);
+      }
+      std::swap(current, next);
+    }
+    result.fields = std::move(current);
+  } else {
+    // One representative per (region shape, pass length).
+    const auto shapes = grid.distinct_shapes();
+    const std::int64_t full_passes =
+        grid.last_pass_iterations() == config.fused_iterations
+            ? grid.passes()
+            : grid.passes() - 1;
+    for (const auto& shape : shapes) {
+      if (full_passes > 0) {
+        accumulate(run_region(program, config, shape.plan,
+                              config.fused_iterations, mode, nullptr, nullptr),
+                   shape.count * full_passes);
+      }
+      if (full_passes != grid.passes()) {
+        accumulate(run_region(program, config, shape.plan,
+                              grid.last_pass_iterations(), mode, nullptr,
+                              nullptr),
+                   shape.count);
+      }
+    }
+  }
+
+  result.total_ms = device_.cycles_to_ms(static_cast<double>(result.total_cycles));
+  return result;
+}
+
+}  // namespace scl::sim

@@ -1,0 +1,168 @@
+#include "sim/region.hpp"
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace scl::sim {
+
+using scl::stencil::Index;
+using scl::stencil::StencilProgram;
+
+RegionGrid::RegionGrid(const StencilProgram& program,
+                       const DesignConfig& config)
+    : program_(&program), config_(config) {
+  config.validate(program);
+
+  const Box grid = program.grid_box();
+  regions_per_pass_ = 1;
+  for (int d = 0; d < 3; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const std::int64_t w = grid.extent(d);
+    const std::int64_t r = config.region_extent(d);
+    const std::int64_t n = ceil_div(w, r);
+    region_counts_[ds] = n;
+    regions_per_pass_ *= n;
+
+    // Build segment classes, merging segments that behave identically. A
+    // segment's timing depends on the grid border when anything the
+    // region computes can be clipped by it: the cone margins reach
+    // iter_radii * h beyond the region, and compute boxes are clipped by
+    // the updatable region, which is inset by up to the stage read radius.
+    // Segments farther than that "reach" from both borders and with equal
+    // extent are interchangeable; everything nearer gets its own class.
+    std::vector<SegmentClass>& classes = classes_[ds];
+    auto extent_at = [&](std::int64_t i) {
+      return std::min(r, w - i * r);
+    };
+    const std::int64_t reach_low =
+        program.iter_radii()[ds][0] * config.fused_iterations +
+        program.max_stage_radii()[ds][0];
+    const std::int64_t reach_high =
+        program.iter_radii()[ds][1] * config.fused_iterations +
+        program.max_stage_radii()[ds][1];
+    std::int64_t generic_count = 0;
+    std::int64_t generic_lo = -1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t lo = i * r;
+      const std::int64_t extent = extent_at(i);
+      const bool generic =
+          lo >= reach_low && lo + extent <= w - reach_high && extent == r;
+      if (generic) {
+        ++generic_count;
+        if (generic_lo < 0) generic_lo = lo;
+      } else {
+        classes.push_back({lo, extent, 1, lo == 0, lo + extent >= w});
+      }
+    }
+    if (generic_count > 0) {
+      classes.push_back({generic_lo, r, generic_count, false, false});
+    }
+  }
+
+  passes_ = ceil_div(program.iterations(), config.fused_iterations);
+  last_pass_iterations_ =
+      program.iterations() - config.fused_iterations * (passes_ - 1);
+}
+
+RegionPlan RegionGrid::make_region(
+    const std::array<std::int64_t, 3>& lo,
+    const std::array<std::int64_t, 3>& extent) const {
+  RegionPlan plan;
+  const Box grid = program_->grid_box();
+  for (int d = 0; d < 3; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    plan.box.lo[ds] = lo[ds];
+    plan.box.hi[ds] = lo[ds] + extent[ds];
+    plan.at_grid_edge[ds][0] = lo[ds] == grid.lo[ds];
+    plan.at_grid_edge[ds][1] = lo[ds] + extent[ds] >= grid.hi[ds];
+  }
+
+  // Partition the region among the K_d x K_d x K_d tile grid using the
+  // balanced extents, clipping at the region end (remainder regions can
+  // leave trailing tiles empty).
+  std::array<std::vector<std::int64_t>, 3> starts;
+  std::array<std::vector<std::int64_t>, 3> ends;
+  for (int d = 0; d < 3; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const auto extents = config_.tile_extents(d);
+    std::int64_t cursor = plan.box.lo[ds];
+    for (const std::int64_t e : extents) {
+      starts[ds].push_back(std::min(cursor, plan.box.hi[ds]));
+      cursor += e;
+      ends[ds].push_back(std::min(cursor, plan.box.hi[ds]));
+    }
+  }
+
+  int kernel_index = 0;
+  for (int t0 = 0; t0 < config_.parallelism[0]; ++t0) {
+    for (int t1 = 0; t1 < config_.parallelism[1]; ++t1) {
+      for (int t2 = 0; t2 < config_.parallelism[2]; ++t2) {
+        TilePlacement tile;
+        tile.coord = {t0, t1, t2};
+        tile.kernel_index = kernel_index++;
+        const std::array<int, 3> coords{t0, t1, t2};
+        for (int d = 0; d < 3; ++d) {
+          const auto ds = static_cast<std::size_t>(d);
+          const auto c = static_cast<std::size_t>(coords[ds]);
+          tile.box.lo[ds] = starts[ds][c];
+          tile.box.hi[ds] = ends[ds][c];
+          // A face is exterior when it lies on the region boundary — by
+          // tile coordinate, or because clipping in a remainder region
+          // left no sibling beyond it to feed the halo pipes.
+          tile.exterior[ds][0] = coords[ds] == 0 ||
+                                 tile.box.lo[ds] <= plan.box.lo[ds];
+          tile.exterior[ds][1] = coords[ds] == config_.parallelism[ds] - 1 ||
+                                 tile.box.hi[ds] >= plan.box.hi[ds];
+        }
+        if (tile.box.empty()) {
+          // An empty tile exchanges nothing; marking every face exterior
+          // keeps the pipe wiring symmetric with its clipped neighbors.
+          for (auto& flags : tile.exterior) flags = {true, true};
+        }
+        plan.tiles.push_back(tile);
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<RegionPlan> RegionGrid::all_regions() const {
+  std::vector<RegionPlan> out;
+  out.reserve(static_cast<std::size_t>(regions_per_pass_));
+  const Box grid = program_->grid_box();
+  for (std::int64_t i0 = 0; i0 < region_counts_[0]; ++i0) {
+    for (std::int64_t i1 = 0; i1 < region_counts_[1]; ++i1) {
+      for (std::int64_t i2 = 0; i2 < region_counts_[2]; ++i2) {
+        std::array<std::int64_t, 3> lo;
+        std::array<std::int64_t, 3> extent;
+        const std::array<std::int64_t, 3> idx{i0, i1, i2};
+        for (int d = 0; d < 3; ++d) {
+          const auto ds = static_cast<std::size_t>(d);
+          const std::int64_t r = config_.region_extent(d);
+          lo[ds] = idx[ds] * r;
+          extent[ds] = std::min(r, grid.extent(d) - lo[ds]);
+        }
+        out.push_back(make_region(lo, extent));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RegionGrid::ShapeCount> RegionGrid::distinct_shapes() const {
+  std::vector<ShapeCount> out;
+  for (const SegmentClass& c0 : classes_[0]) {
+    for (const SegmentClass& c1 : classes_[1]) {
+      for (const SegmentClass& c2 : classes_[2]) {
+        ShapeCount sc;
+        sc.count = c0.count * c1.count * c2.count;
+        sc.plan = make_region({c0.lo, c1.lo, c2.lo},
+                              {c0.extent, c1.extent, c2.extent});
+        out.push_back(std::move(sc));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scl::sim

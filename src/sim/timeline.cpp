@@ -1,0 +1,32 @@
+#include "sim/timeline.hpp"
+
+#include "support/strings.hpp"
+
+namespace scl::sim {
+
+namespace {
+std::string line(const char* label, std::int64_t cycles, std::int64_t total) {
+  const double pct =
+      total > 0 ? 100.0 * static_cast<double>(cycles) /
+                      static_cast<double>(total)
+                : 0.0;
+  return str_cat("  ", label, ": ", format_thousands(cycles), " (",
+                 format_fixed(pct, 1), "%)\n");
+}
+}  // namespace
+
+std::string PhaseBreakdown::to_string() const {
+  const std::int64_t t = total();
+  std::string out = str_cat("total kernel cycles: ", format_thousands(t), "\n");
+  out += line("launch", launch, t);
+  out += line("mem_read", mem_read, t);
+  out += line("mem_write", mem_write, t);
+  out += line("compute_own", compute_own, t);
+  out += line("compute_redundant", compute_redundant, t);
+  out += line("pipe_transfer", pipe_transfer, t);
+  out += line("pipe_stall", pipe_stall, t);
+  out += line("barrier_wait", barrier_wait, t);
+  return out;
+}
+
+}  // namespace scl::sim

@@ -1,0 +1,55 @@
+// Per-phase cycle accounting (the data behind the paper's Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scl::sim {
+
+/// Cycles a kernel spent in each activity. Summed over kernels and regions
+/// this is the execution-time breakdown the paper's Figure 6 plots.
+struct PhaseBreakdown {
+  std::int64_t launch = 0;             ///< sequential kernel-launch delay
+  std::int64_t mem_read = 0;           ///< burst reads from global memory
+  std::int64_t mem_write = 0;          ///< burst writes to global memory
+  std::int64_t compute_own = 0;        ///< updates of cells the tile owns
+  std::int64_t compute_redundant = 0;  ///< cone-overlap updates (discarded)
+  std::int64_t pipe_transfer = 0;      ///< pushing boundary data into pipes
+  std::int64_t pipe_stall = 0;         ///< waiting on pipe data/backpressure
+  std::int64_t barrier_wait = 0;       ///< idle at the end-of-region barrier
+
+  std::int64_t total() const {
+    return launch + mem_read + mem_write + compute_own + compute_redundant +
+           pipe_transfer + pipe_stall + barrier_wait;
+  }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o) {
+    launch += o.launch;
+    mem_read += o.mem_read;
+    mem_write += o.mem_write;
+    compute_own += o.compute_own;
+    compute_redundant += o.compute_redundant;
+    pipe_transfer += o.pipe_transfer;
+    pipe_stall += o.pipe_stall;
+    barrier_wait += o.barrier_wait;
+    return *this;
+  }
+
+  PhaseBreakdown operator*(std::int64_t n) const {
+    PhaseBreakdown out = *this;
+    out.launch *= n;
+    out.mem_read *= n;
+    out.mem_write *= n;
+    out.compute_own *= n;
+    out.compute_redundant *= n;
+    out.pipe_transfer *= n;
+    out.pipe_stall *= n;
+    out.barrier_wait *= n;
+    return out;
+  }
+
+  /// Multi-line human-readable rendering with percentages.
+  std::string to_string() const;
+};
+
+}  // namespace scl::sim

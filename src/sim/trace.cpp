@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace scl::sim {
+
+std::string RegionTrace::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += str_cat("{\"name\":\"", e.phase, "\",\"cat\":\"kernel\",",
+                   "\"ph\":\"X\",\"ts\":", e.begin,
+                   ",\"dur\":", e.end - e.begin, ",\"pid\":1,\"tid\":\"",
+                   e.kernel, "\"}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string RegionTrace::to_csv() const {
+  TableWriter table({"kernel", "phase", "begin", "end"});
+  for (const TraceEvent& e : events) {
+    table.add_row({e.kernel, e.phase, std::to_string(e.begin),
+                   std::to_string(e.end)});
+  }
+  return table.to_csv();
+}
+
+std::int64_t RegionTrace::kernel_busy_cycles(const std::string& kernel) const {
+  std::int64_t total = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kernel == kernel) total += e.end - e.begin;
+  }
+  return total;
+}
+
+}  // namespace scl::sim

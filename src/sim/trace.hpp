@@ -1,0 +1,41 @@
+// Per-kernel event traces of one region execution.
+//
+// Every clock-advancing step of every tile kernel (launch slot, burst
+// read, each stage's independent/dependent compute, exposed pipe traffic,
+// halo waits, burst write) is recorded as a time interval. The trace
+// renders to CSV or to the Chrome-tracing JSON format
+// (chrome://tracing, https://ui.perfetto.dev), which makes the pipeline
+// interplay between adjacent kernels — the essence of the paper's design —
+// directly visible on a timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scl::sim {
+
+struct TraceEvent {
+  std::string kernel;  ///< tile kernel name, e.g. "tile(0,1,0)"
+  std::string phase;   ///< e.g. "mem_read", "compute s0 it3", "halo_wait"
+  std::int64_t begin = 0;  ///< cycles
+  std::int64_t end = 0;
+};
+
+struct RegionTrace {
+  std::vector<TraceEvent> events;
+  std::int64_t region_cycles = 0;
+
+  /// Chrome-tracing/Perfetto JSON ("traceEvents" array of X events; the
+  /// microsecond timestamps carry cycles verbatim).
+  std::string to_chrome_json() const;
+
+  /// kernel,phase,begin,end rows.
+  std::string to_csv() const;
+
+  /// Total traced cycles of one kernel (for cross-checks against the
+  /// PhaseBreakdown accounting).
+  std::int64_t kernel_busy_cycles(const std::string& kernel) const;
+};
+
+}  // namespace scl::sim

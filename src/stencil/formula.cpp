@@ -1,0 +1,306 @@
+#include "stencil/formula.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::stencil {
+
+enum class NodeKind { kNumber, kRead, kNegate, kAdd, kSub, kMul, kDiv };
+
+struct Formula::Node {
+  NodeKind kind;
+  float value = 0.0f;       // kNumber
+  int read_index = -1;      // kRead: index into reads_
+  std::string literal;      // kNumber: original spelling for render()
+  NodePtr lhs;
+  NodePtr rhs;
+};
+
+class Formula::Parser {
+ public:
+  Parser(const std::string& text, const std::vector<std::string>& fields,
+         int dims, std::vector<ReadAccess>* reads, OpCounts* ops)
+      : text_(text), fields_(fields), dims_(dims), reads_(reads), ops_(ops) {}
+
+  NodePtr parse() {
+    NodePtr root = parse_expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(str_cat("unexpected trailing input at position ", pos_));
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(str_cat("formula parse error: ", why, " in \"", text_, "\""));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  NodePtr parse_expr() {
+    NodePtr lhs = parse_term();
+    while (true) {
+      const char c = peek();
+      if (c != '+' && c != '-') return lhs;
+      ++pos_;
+      NodePtr node = std::make_unique<Node>();
+      node->kind = c == '+' ? NodeKind::kAdd : NodeKind::kSub;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_term();
+      ++ops_->adds;
+      lhs = std::move(node);
+    }
+  }
+
+  NodePtr parse_term() {
+    NodePtr lhs = parse_factor();
+    while (true) {
+      const char c = peek();
+      if (c != '*' && c != '/') return lhs;
+      ++pos_;
+      NodePtr node = std::make_unique<Node>();
+      node->kind = c == '*' ? NodeKind::kMul : NodeKind::kDiv;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_factor();
+      if (node->kind == NodeKind::kMul) {
+        ++ops_->muls;
+      } else {
+        ++ops_->divs;
+      }
+      lhs = std::move(node);
+    }
+  }
+
+  NodePtr parse_factor() {
+    const char c = peek();
+    if (c == '-') {
+      ++pos_;
+      NodePtr node = std::make_unique<Node>();
+      node->kind = NodeKind::kNegate;
+      node->lhs = parse_factor();
+      return node;
+    }
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = parse_expr();
+      if (!consume(')')) fail("missing ')'");
+      return inner;
+    }
+    if (c == '$') return parse_read();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    fail(str_cat("unexpected character '", std::string(1, c), "'"));
+  }
+
+  NodePtr parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    std::string digits = text_.substr(start, pos_ - start);
+    std::string spelling = digits;
+    if (pos_ < text_.size() && (text_[pos_] == 'f' || text_[pos_] == 'F')) {
+      spelling += text_[pos_];
+      ++pos_;
+    }
+    char* end = nullptr;
+    const float value = std::strtof(digits.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail(str_cat("bad number '", digits, "'"));
+    NodePtr node = std::make_unique<Node>();
+    node->kind = NodeKind::kNumber;
+    node->value = value;
+    node->literal = spelling;
+    return node;
+  }
+
+  NodePtr parse_read() {
+    ++pos_;  // past '$'
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    const std::string name = text_.substr(start, pos_ - start);
+    int field = -1;
+    for (std::size_t f = 0; f < fields_.size(); ++f) {
+      if (fields_[f] == name) field = static_cast<int>(f);
+    }
+    if (field < 0) fail(str_cat("unknown field '$", name, "'"));
+    if (!consume('(')) fail("expected '(' after field name");
+    Offset off{0, 0, 0};
+    for (int d = 0; d < dims_; ++d) {
+      if (d > 0 && !consume(',')) fail("expected ',' between offsets");
+      off[static_cast<std::size_t>(d)] = parse_offset_int();
+    }
+    if (!consume(')')) {
+      fail(str_cat("expected ')': offsets must have exactly ", dims_,
+                   " components"));
+    }
+    // Deduplicate reads; the executor caches nothing, but the program's
+    // read list drives radii and the II estimate.
+    int index = -1;
+    for (std::size_t i = 0; i < reads_->size(); ++i) {
+      if ((*reads_)[i].field == field && (*reads_)[i].offset == off) {
+        index = static_cast<int>(i);
+      }
+    }
+    if (index < 0) {
+      index = static_cast<int>(reads_->size());
+      reads_->push_back(ReadAccess{field, off});
+    }
+    NodePtr node = std::make_unique<Node>();
+    node->kind = NodeKind::kRead;
+    node->read_index = index;
+    return node;
+  }
+
+  int parse_offset_int() {
+    skip_ws();
+    bool negative = false;
+    if (consume('-')) negative = true;
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected integer offset");
+    }
+    int value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return negative ? -value : value;
+  }
+
+  const std::string& text_;
+  const std::vector<std::string>& fields_;
+  int dims_;
+  std::vector<ReadAccess>* reads_;
+  OpCounts* ops_;
+  std::size_t pos_ = 0;
+};
+
+Formula::Formula() = default;
+Formula::Formula(Formula&&) noexcept = default;
+Formula& Formula::operator=(Formula&&) noexcept = default;
+Formula::~Formula() = default;
+
+Formula Formula::parse(std::string text,
+                       const std::vector<std::string>& field_names,
+                       int dims) {
+  Formula out;
+  out.text_ = std::move(text);
+  Parser parser(out.text_, field_names, dims, &out.reads_, &out.ops_);
+  out.root_ = parser.parse();
+  return out;
+}
+
+float Formula::evaluate(const CellReader& reader) const {
+  struct Eval {
+    const std::vector<ReadAccess>& reads;
+    const CellReader& reader;
+    float run(const Node* n) const {
+      switch (n->kind) {
+        case NodeKind::kNumber:
+          return n->value;
+        case NodeKind::kRead: {
+          const ReadAccess& ra =
+              reads[static_cast<std::size_t>(n->read_index)];
+          return reader.read(ra.field, ra.offset);
+        }
+        case NodeKind::kNegate:
+          return -run(n->lhs.get());
+        case NodeKind::kAdd:
+          return run(n->lhs.get()) + run(n->rhs.get());
+        case NodeKind::kSub:
+          return run(n->lhs.get()) - run(n->rhs.get());
+        case NodeKind::kMul:
+          return run(n->lhs.get()) * run(n->rhs.get());
+        case NodeKind::kDiv:
+          return run(n->lhs.get()) / run(n->rhs.get());
+      }
+      return 0.0f;
+    }
+  };
+  return Eval{reads_, reader}.run(root_.get());
+}
+
+std::string Formula::render(
+    const std::function<std::string(int, const Offset&)>& render_read) const {
+  struct Render {
+    const std::vector<ReadAccess>& reads;
+    const std::function<std::string(int, const Offset&)>& rr;
+    // Parenthesize children conservatively: cheap and always correct.
+    std::string run(const Node* n) const {
+      switch (n->kind) {
+        case NodeKind::kNumber:
+          return n->literal;
+        case NodeKind::kRead: {
+          const ReadAccess& ra =
+              reads[static_cast<std::size_t>(n->read_index)];
+          return rr(ra.field, ra.offset);
+        }
+        case NodeKind::kNegate:
+          return "(-" + run(n->lhs.get()) + ")";
+        case NodeKind::kAdd:
+          return "(" + run(n->lhs.get()) + " + " + run(n->rhs.get()) + ")";
+        case NodeKind::kSub:
+          return "(" + run(n->lhs.get()) + " - " + run(n->rhs.get()) + ")";
+        case NodeKind::kMul:
+          return "(" + run(n->lhs.get()) + " * " + run(n->rhs.get()) + ")";
+        case NodeKind::kDiv:
+          return "(" + run(n->lhs.get()) + " / " + run(n->rhs.get()) + ")";
+      }
+      return "";
+    }
+  };
+  return Render{reads_, render_read}.run(root_.get());
+}
+
+Stage make_stage(std::string name, int output_field, std::string formula,
+                 const std::vector<std::string>& field_names, int dims) {
+  auto parsed = std::make_shared<const Formula>(
+      Formula::parse(std::move(formula), field_names, dims));
+  Stage stage;
+  stage.name = std::move(name);
+  stage.output_field = output_field;
+  stage.reads = parsed->reads();
+  stage.ops = parsed->op_counts();
+  stage.formula = parsed;
+  stage.update = [parsed](const CellReader& reader) {
+    return parsed->evaluate(reader);
+  };
+  return stage;
+}
+
+}  // namespace scl::stencil

@@ -1,0 +1,74 @@
+// Stencil update formulas.
+//
+// A stage's update rule is written once as a C-like scalar expression over
+// neighbor reads, e.g. the Jacobi-2D rule
+//
+//     0.2f * ($A(0,0) + $A(0,-1) + $A(0,1) + $A(-1,0) + $A(1,0))
+//
+// where `$field(offsets...)` reads a field at a relative offset. The parsed
+// formula is the single source of truth for four consumers:
+//   * the executors (evaluate() with left-associative float semantics,
+//     identical to the C code a kernel would compile),
+//   * the program's read-access list (reads()),
+//   * the operation counts feeding the HLS/DSP models (op_counts()),
+//   * the OpenCL code generator (render() with a custom read renderer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stencil/program.hpp"
+
+namespace scl::stencil {
+
+class Formula {
+ public:
+  /// Parses `text` against the declared field names. Offsets must have
+  /// exactly `dims` components. Throws scl::Error on any syntax problem,
+  /// unknown field, or malformed offset.
+  static Formula parse(std::string text,
+                       const std::vector<std::string>& field_names, int dims);
+
+  /// Evaluates with float arithmetic, left-associative like compiled C.
+  float evaluate(const CellReader& reader) const;
+
+  /// All distinct (field, offset) accesses, in first-appearance order.
+  const std::vector<ReadAccess>& reads() const { return reads_; }
+
+  /// Adds/subs, muls, divs in the expression tree.
+  const OpCounts& op_counts() const { return ops_; }
+
+  const std::string& text() const { return text_; }
+
+  /// Renders the expression as C source, replacing every read with
+  /// whatever `render_read` returns (e.g. a local-array index expression).
+  std::string render(
+      const std::function<std::string(int field, const Offset&)>& render_read)
+      const;
+
+  // Out-of-line special members: Node is an incomplete type here.
+  Formula(Formula&&) noexcept;
+  Formula& operator=(Formula&&) noexcept;
+  ~Formula();
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+  class Parser;
+
+  Formula();
+
+  std::string text_;
+  NodePtr root_;
+  std::vector<ReadAccess> reads_;
+  OpCounts ops_;
+};
+
+/// Builds a fully-populated Stage from a formula: reads, op counts and the
+/// update function all derive from the parsed expression.
+Stage make_stage(std::string name, int output_field, std::string formula,
+                 const std::vector<std::string>& field_names, int dims);
+
+}  // namespace scl::stencil

@@ -1,0 +1,93 @@
+// Dense N-dimensional field storage addressed in absolute grid coordinates.
+//
+// A Grid owns the cells of one `Box` (its domain). Tiles allocate grids over
+// their buffer box (tile plus halo/cone margins) and index them with the same
+// absolute coordinates the full-size reference grid uses, which removes an
+// entire class of off-by-one translation bugs from the tiled executors.
+#pragma once
+
+#include <vector>
+
+#include "stencil/geometry.hpp"
+#include "support/error.hpp"
+
+namespace scl::stencil {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() : domain_{}, data_() {}
+
+  /// Allocates storage for every cell of `domain`, value-initialized.
+  explicit Grid(const Box& domain)
+      : domain_(domain), data_(static_cast<std::size_t>(domain.volume())) {
+    SCL_CHECK(!domain.empty(), "grid domain must be non-empty");
+  }
+
+  Grid(const Box& domain, T fill) : Grid(domain) {
+    std::fill(data_.begin(), data_.end(), fill);
+  }
+
+  const Box& domain() const { return domain_; }
+
+  T& at(const Index& p) {
+    SCL_DCHECK(domain_.contains(p), "grid access out of domain");
+    return data_[static_cast<std::size_t>(linear_index(domain_, p))];
+  }
+
+  const T& at(const Index& p) const {
+    SCL_DCHECK(domain_.contains(p), "grid access out of domain");
+    return data_[static_cast<std::size_t>(linear_index(domain_, p))];
+  }
+
+  /// Copies every cell of `box` from `src` into this grid. `box` must be
+  /// inside both domains.
+  void copy_box_from(const Grid& src, const Box& box) {
+    SCL_CHECK(domain_.contains(box), "copy target outside domain");
+    SCL_CHECK(src.domain().contains(box), "copy source outside src domain");
+    for_each_cell(box, [&](const Index& p) { at(p) = src.at(p); });
+  }
+
+  /// Fills every cell of `box` with `value`.
+  void fill_box(const Box& box, T value) {
+    SCL_CHECK(domain_.contains(box), "fill box outside domain");
+    for_each_cell(box, [&](const Index& p) { at(p) = value; });
+  }
+
+  /// Serializes the cells of `box` in row-major order.
+  std::vector<T> read_box(const Box& box) const {
+    SCL_CHECK(domain_.contains(box), "read box outside domain");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(box.volume()));
+    for_each_cell(box, [&](const Index& p) { out.push_back(at(p)); });
+    return out;
+  }
+
+  /// Writes row-major `values` into the cells of `box`.
+  void write_box(const Box& box, const std::vector<T>& values) {
+    SCL_CHECK(domain_.contains(box), "write box outside domain");
+    SCL_CHECK(static_cast<std::int64_t>(values.size()) == box.volume(),
+              "value count does not match box volume");
+    std::size_t i = 0;
+    for_each_cell(box, [&](const Index& p) { at(p) = values[i++]; });
+  }
+
+  /// True if the two grids agree exactly on every cell of `box`.
+  bool equals_on(const Grid& other, const Box& box) const {
+    bool equal = true;
+    for_each_cell(box, [&](const Index& p) {
+      if (at(p) != other.at(p)) equal = false;
+    });
+    return equal;
+  }
+
+  /// Raw storage (row-major over the domain box).
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+ private:
+  Box domain_;
+  std::vector<T> data_;
+};
+
+}  // namespace scl::stencil

@@ -1,0 +1,171 @@
+#include "stencil/kernels.hpp"
+
+#include "stencil/formula.hpp"
+#include "stencil/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::stencil {
+
+// Initial conditions are deterministic, bounded index hashes
+// (PolyBench-style) expressed as textual initializer specs so every
+// benchmark round-trips through the .stencil format; see make_initializer.
+
+StencilProgram make_jacobi1d(std::int64_t n, std::int64_t iterations) {
+  const std::vector<std::string> fields{"A"};
+  return StencilProgram(
+      "Jacobi-1D", 1, {n, 1, 1}, iterations,
+      {make_field("A", "affine 3 0 0 2 97")},
+      {make_stage("jacobi1d", 0, "0.33333f * ($A(-1) + $A(0) + $A(1))",
+                  fields, 1)});
+}
+
+StencilProgram make_jacobi2d(std::int64_t n0, std::int64_t n1,
+                             std::int64_t iterations) {
+  const std::vector<std::string> fields{"A"};
+  return StencilProgram(
+      "Jacobi-2D", 2, {n0, n1, 1}, iterations,
+      {make_field("A", "affine 3 5 0 2 97")},
+      {make_stage("jacobi2d", 0,
+                  "0.2f * ($A(0,0) + $A(0,-1) + $A(0,1) + $A(-1,0) + "
+                  "$A(1,0))",
+                  fields, 2)});
+}
+
+StencilProgram make_jacobi3d(std::int64_t n0, std::int64_t n1, std::int64_t n2,
+                             std::int64_t iterations) {
+  const std::vector<std::string> fields{"A"};
+  return StencilProgram(
+      "Jacobi-3D", 3, {n0, n1, n2}, iterations,
+      {make_field("A", "affine 3 5 7 2 97")},
+      {make_stage("jacobi3d", 0,
+                  "0.4f * $A(0,0,0) + 0.1f * ($A(-1,0,0) + $A(1,0,0) + "
+                  "$A(0,-1,0) + $A(0,1,0) + $A(0,0,-1) + $A(0,0,1))",
+                  fields, 3)});
+}
+
+StencilProgram make_hotspot2d(std::int64_t n0, std::int64_t n1,
+                              std::int64_t iterations) {
+  const std::vector<std::string> fields{"temp", "power"};
+  // Rodinia hotspot RC thermal update: Cap=0.5, Rx=Ry=0.1, Rz=0.05,
+  // ambient 80.
+  return StencilProgram(
+      "HotSpot-2D", 2, {n0, n1, 1}, iterations,
+      {make_field("temp", "affine 1 2 0 320 41"),
+       make_field("power", "affine 7 11 0 1 13")},
+      {make_stage("hotspot2d", 0,
+                  "$temp(0,0) + 0.5f * ($power(0,0)"
+                  " + ($temp(-1,0) + $temp(1,0) - 2.0f * $temp(0,0)) * 0.1f"
+                  " + ($temp(0,-1) + $temp(0,1) - 2.0f * $temp(0,0)) * 0.1f"
+                  " + (80.0f - $temp(0,0)) * 0.05f)",
+                  fields, 2)});
+}
+
+StencilProgram make_hotspot3d(std::int64_t n0, std::int64_t n1,
+                              std::int64_t n2, std::int64_t iterations) {
+  const std::vector<std::string> fields{"temp", "power"};
+  return StencilProgram(
+      "HotSpot-3D", 3, {n0, n1, n2}, iterations,
+      {make_field("temp", "affine 1 2 3 320 41"),
+       make_field("power", "affine 7 11 5 1 13")},
+      {make_stage(
+          "hotspot3d", 0,
+          "$temp(0,0,0) + 0.5f * ($power(0,0,0)"
+          " + ($temp(-1,0,0) + $temp(1,0,0) - 2.0f * $temp(0,0,0)) * 0.06f"
+          " + ($temp(0,-1,0) + $temp(0,1,0) - 2.0f * $temp(0,0,0)) * 0.06f"
+          " + ($temp(0,0,-1) + $temp(0,0,1) - 2.0f * $temp(0,0,0)) * 0.06f"
+          " + (80.0f - $temp(0,0,0)) * 0.04f)",
+          fields, 3)});
+}
+
+StencilProgram make_fdtd2d(std::int64_t n0, std::int64_t n1,
+                           std::int64_t iterations) {
+  const std::vector<std::string> fields{"ex", "ey", "hz"};
+  // PolyBench fdtd-2d staged updates; hz reads the ex/ey values committed
+  // earlier in the same iteration.
+  return StencilProgram(
+      "FDTD-2D", 2, {n0, n1, 1}, iterations,
+      {make_field("ex", "wave 0.3"), make_field("ey", "wave 0.2"),
+       make_field("hz", "wave 0.4")},
+      {make_stage("fdtd2d_ey", 1,
+                  "$ey(0,0) - 0.5f * ($hz(0,0) - $hz(-1,0))", fields, 2),
+       make_stage("fdtd2d_ex", 0,
+                  "$ex(0,0) - 0.5f * ($hz(0,0) - $hz(0,-1))", fields, 2),
+       make_stage("fdtd2d_hz", 2,
+                  "$hz(0,0) - 0.7f * ($ex(0,1) - $ex(0,0) + $ey(1,0) - "
+                  "$ey(0,0))",
+                  fields, 2)});
+}
+
+StencilProgram make_fdtd3d(std::int64_t n0, std::int64_t n1, std::int64_t n2,
+                           std::int64_t iterations) {
+  const std::vector<std::string> fields{"ex", "ey", "ez", "hx", "hy", "hz"};
+  // 3-D Yee scheme: E updates read backward differences of H; H updates
+  // read forward differences of E.
+  auto curl = [&fields](std::string name, int out, const std::string& fa,
+                        const std::string& oa, const std::string& fb,
+                        const std::string& ob, const std::string& coeff) {
+    const std::string zero = "(0,0,0)";
+    const std::string expr =
+        str_cat("$", fields[static_cast<std::size_t>(out)], zero, " - ",
+                coeff, " * (($", fa, oa, " - $", fa, zero, ") - ($", fb, ob,
+                " - $", fb, zero, "))");
+    return make_stage(std::move(name), out, expr, fields, 3);
+  };
+  return StencilProgram(
+      "FDTD-3D", 3, {n0, n1, n2}, iterations,
+      {make_field("ex", "wave 0.10"), make_field("ey", "wave 0.12"),
+       make_field("ez", "wave 0.14"), make_field("hx", "wave 0.16"),
+       make_field("hy", "wave 0.18"), make_field("hz", "wave 0.20")},
+      {curl("fdtd3d_ex", 0, "hz", "(0,-1,0)", "hy", "(0,0,-1)", "0.5f"),
+       curl("fdtd3d_ey", 1, "hx", "(0,0,-1)", "hz", "(-1,0,0)", "0.5f"),
+       curl("fdtd3d_ez", 2, "hy", "(-1,0,0)", "hx", "(0,-1,0)", "0.5f"),
+       curl("fdtd3d_hx", 3, "ez", "(0,1,0)", "ey", "(0,0,1)", "0.7f"),
+       curl("fdtd3d_hy", 4, "ex", "(0,0,1)", "ez", "(1,0,0)", "0.7f"),
+       curl("fdtd3d_hz", 5, "ey", "(1,0,0)", "ex", "(0,1,0)", "0.7f")});
+}
+
+const std::vector<BenchmarkInfo>& paper_benchmarks() {
+  static const std::vector<BenchmarkInfo> kSuite = [] {
+    std::vector<BenchmarkInfo> suite;
+    suite.push_back({"Jacobi-1D", "Polybench", 1, {131072, 1, 1}, 1024,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_jacobi1d(e[0], h);
+                     }});
+    suite.push_back({"Jacobi-2D", "Polybench", 2, {2048, 2048, 1}, 1024,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_jacobi2d(e[0], e[1], h);
+                     }});
+    suite.push_back({"Jacobi-3D", "Parboil", 3, {1024, 1024, 1024}, 1024,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_jacobi3d(e[0], e[1], e[2], h);
+                     }});
+    suite.push_back({"HotSpot-2D", "Rodinia", 2, {4096, 4096, 1}, 1000,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_hotspot2d(e[0], e[1], h);
+                     }});
+    suite.push_back({"HotSpot-3D", "Rodinia", 3, {4096, 4096, 128}, 1000,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_hotspot3d(e[0], e[1], e[2], h);
+                     }});
+    suite.push_back({"FDTD-2D", "Polybench", 2, {2048, 2048, 1}, 500,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_fdtd2d(e[0], e[1], h);
+                     }});
+    suite.push_back({"FDTD-3D", "Polybench", 3, {2048, 2048, 2048}, 500,
+                     [](std::array<std::int64_t, 3> e, std::int64_t h) {
+                       return make_fdtd3d(e[0], e[1], e[2], h);
+                     }});
+    return suite;
+  }();
+  return kSuite;
+}
+
+const BenchmarkInfo& find_benchmark(const std::string& name) {
+  for (const BenchmarkInfo& info : paper_benchmarks()) {
+    if (info.name == name) return info;
+  }
+  throw Error(str_cat("unknown benchmark '", name, "'"));
+}
+
+}  // namespace scl::stencil

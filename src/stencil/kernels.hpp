@@ -1,0 +1,69 @@
+// The paper's benchmark suite (Table 2) as StencilProgram factories.
+//
+// Each factory takes the grid extents and iteration count so tests can run
+// tiny instances while the bench harness uses the paper's input sizes. The
+// registry carries the Table 2 defaults (source suite, input size, H).
+//
+// Update formulas follow the upstream benchmark kernels:
+//   Jacobi-1D/2D  — PolyBench jacobi-1d/2d-imper (neighbor averaging)
+//   Jacobi-3D     — Parboil `stencil` (c0*center + c1*sum of 6 neighbors)
+//   HotSpot-2D/3D — Rodinia hotspot (thermal RC update, constant power field)
+//   FDTD-2D       — PolyBench fdtd-2d (ey, ex, hz staged updates)
+//   FDTD-3D       — 3-D Yee scheme (6 fields, 6 staged curl updates)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stencil/program.hpp"
+
+namespace scl::stencil {
+
+StencilProgram make_jacobi1d(std::int64_t n, std::int64_t iterations);
+StencilProgram make_jacobi2d(std::int64_t n0, std::int64_t n1,
+                             std::int64_t iterations);
+StencilProgram make_jacobi3d(std::int64_t n0, std::int64_t n1, std::int64_t n2,
+                             std::int64_t iterations);
+StencilProgram make_hotspot2d(std::int64_t n0, std::int64_t n1,
+                              std::int64_t iterations);
+StencilProgram make_hotspot3d(std::int64_t n0, std::int64_t n1,
+                              std::int64_t n2, std::int64_t iterations);
+StencilProgram make_fdtd2d(std::int64_t n0, std::int64_t n1,
+                           std::int64_t iterations);
+StencilProgram make_fdtd3d(std::int64_t n0, std::int64_t n1, std::int64_t n2,
+                           std::int64_t iterations);
+
+/// One row of the paper's Table 2.
+struct BenchmarkInfo {
+  std::string name;    ///< e.g. "Jacobi-2D"
+  std::string source;  ///< originating suite, e.g. "Polybench"
+  int dims = 0;
+  std::array<std::int64_t, 3> input_size{1, 1, 1};  ///< paper input extents
+  std::int64_t iterations = 0;                      ///< paper iteration count
+  /// Builds the program at arbitrary scale (extents padded with 1).
+  std::function<StencilProgram(std::array<std::int64_t, 3>, std::int64_t)>
+      factory;
+
+  /// Instantiates at the paper's input size and iteration count.
+  StencilProgram make_paper_scale() const {
+    return factory(input_size, iterations);
+  }
+
+  /// Instantiates a scaled-down instance for functional simulation.
+  StencilProgram make_scaled(std::array<std::int64_t, 3> extents,
+                             std::int64_t iters) const {
+    return factory(extents, iters);
+  }
+};
+
+/// The seven benchmarks of Table 2, in paper order.
+const std::vector<BenchmarkInfo>& paper_benchmarks();
+
+/// Looks up a benchmark by name (case-sensitive). Throws scl::Error if
+/// unknown.
+const BenchmarkInfo& find_benchmark(const std::string& name);
+
+}  // namespace scl::stencil

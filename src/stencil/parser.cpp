@@ -1,0 +1,265 @@
+#include "stencil/parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "stencil/formula.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::stencil {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw Error(str_cat(".stencil parse error at line ", line, ": ", why));
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+double parse_double(const std::string& tok, int line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line, str_cat("bad number '", tok, "'"));
+    return v;
+  } catch (const std::exception&) {
+    fail(line, str_cat("bad number '", tok, "'"));
+  }
+}
+
+std::int64_t parse_int(const std::string& tok, int line) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(tok, &used);
+    if (used != tok.size()) fail(line, str_cat("bad integer '", tok, "'"));
+    return v;
+  } catch (const std::exception&) {
+    fail(line, str_cat("bad integer '", tok, "'"));
+  }
+}
+
+/// Strips a trailing '#' comment (the format has no string escapes beyond
+/// the quoted stencil name, which cannot contain '#').
+std::string strip_comment(const std::string& line) {
+  const std::size_t pos = line.find('#');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+InitFn make_initializer(const std::string& spec) {
+  const std::vector<std::string> toks = tokenize(spec);
+  if (toks.empty()) throw Error("empty initializer spec");
+  if (toks[0] == "constant" && toks.size() == 2) {
+    const float v = static_cast<float>(parse_double(toks[1], 0));
+    return [v](const Index&) { return v; };
+  }
+  if (toks[0] == "affine" && toks.size() == 6) {
+    const double a = parse_double(toks[1], 0);
+    const double b = parse_double(toks[2], 0);
+    const double c = parse_double(toks[3], 0);
+    const double bias = parse_double(toks[4], 0);
+    const double div = parse_double(toks[5], 0);
+    if (div == 0.0) throw Error("affine initializer needs div != 0");
+    return [=](const Index& p) {
+      const double v = a * static_cast<double>(p[0]) +
+                       b * static_cast<double>(p[1]) +
+                       c * static_cast<double>(p[2]) + bias;
+      return static_cast<float>(std::fmod(v, div) / div);
+    };
+  }
+  if (toks[0] == "wave" && toks.size() == 2) {
+    const double scale = parse_double(toks[1], 0);
+    return [scale](const Index& p) {
+      return static_cast<float>(
+          scale * std::sin(0.37 * static_cast<double>(p[0]) +
+                           0.61 * static_cast<double>(p[1]) +
+                           0.83 * static_cast<double>(p[2])));
+    };
+  }
+  throw Error(str_cat("unknown initializer spec '", spec,
+                      "' (want: constant v | affine a b c bias div | "
+                      "wave scale)"));
+}
+
+Field make_field(std::string name, const std::string& init_spec) {
+  Field f;
+  f.name = std::move(name);
+  f.init = make_initializer(init_spec);
+  f.init_spec = init_spec;
+  return f;
+}
+
+StencilProgram parse_program(const std::string& text) {
+  std::string name;
+  int dims = 0;
+  std::array<std::int64_t, 3> extents{1, 1, 1};
+  std::int64_t iterations = 0;
+  bool header_seen = false;
+
+  std::vector<Field> fields;
+  std::vector<std::string> field_names;
+
+  struct PendingStage {
+    std::string name;
+    std::string output;
+    std::string formula;
+    int line;
+  };
+  std::vector<PendingStage> stages;
+
+  const std::vector<std::string> lines = split(text, '\n');
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string line = trim(strip_comment(lines[i]));
+    if (line.empty()) continue;
+
+    if (starts_with(line, "stencil ")) {
+      if (header_seen) fail(line_no, "duplicate 'stencil' header");
+      header_seen = true;
+      // stencil "<name>" dims D grid n0 [n1 [n2]] iterations H
+      const std::size_t q1 = line.find('"');
+      const std::size_t q2 = q1 == std::string::npos
+                                 ? std::string::npos
+                                 : line.find('"', q1 + 1);
+      if (q2 == std::string::npos) fail(line_no, "stencil name must be quoted");
+      name = line.substr(q1 + 1, q2 - q1 - 1);
+      const std::vector<std::string> toks = tokenize(line.substr(q2 + 1));
+      std::size_t t = 0;
+      auto expect = [&](const char* kw) {
+        if (t >= toks.size() || toks[t] != kw) {
+          fail(line_no, str_cat("expected '", kw, "'"));
+        }
+        ++t;
+      };
+      expect("dims");
+      if (t >= toks.size()) fail(line_no, "missing dimension count");
+      dims = static_cast<int>(parse_int(toks[t++], line_no));
+      if (dims < 1 || dims > 3) fail(line_no, "dims must be 1..3");
+      expect("grid");
+      for (int d = 0; d < dims; ++d) {
+        if (t >= toks.size()) fail(line_no, "missing grid extent");
+        extents[static_cast<std::size_t>(d)] = parse_int(toks[t++], line_no);
+      }
+      expect("iterations");
+      if (t >= toks.size()) fail(line_no, "missing iteration count");
+      iterations = parse_int(toks[t++], line_no);
+      if (t != toks.size()) fail(line_no, "trailing tokens in header");
+      continue;
+    }
+
+    if (starts_with(line, "field ")) {
+      const std::vector<std::string> toks = tokenize(line);
+      if (toks.size() < 4 || toks[2] != "init") {
+        fail(line_no, "want: field <name> init <spec...>");
+      }
+      std::vector<std::string> spec(toks.begin() + 3, toks.end());
+      try {
+        fields.push_back(make_field(toks[1], join(spec, " ")));
+      } catch (const Error& e) {
+        fail(line_no, e.what());
+      }
+      field_names.push_back(toks[1]);
+      continue;
+    }
+
+    if (starts_with(line, "stage ")) {
+      // stage <name> writes <field>: <formula...>  (may continue on the
+      // following lines until the next keyword)
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) fail(line_no, "stage needs ':'");
+      const std::vector<std::string> head =
+          tokenize(line.substr(0, colon));
+      if (head.size() != 4 || head[2] != "writes") {
+        fail(line_no, "want: stage <name> writes <field>: <formula>");
+      }
+      PendingStage st;
+      st.name = head[1];
+      st.output = head[3];
+      st.formula = trim(line.substr(colon + 1));
+      st.line = line_no;
+      stages.push_back(std::move(st));
+      continue;
+    }
+
+    // Continuation of the previous stage's formula.
+    if (!stages.empty()) {
+      stages.back().formula += " " + line;
+      continue;
+    }
+    fail(line_no, str_cat("unrecognized directive '", line, "'"));
+  }
+
+  if (!header_seen) throw Error(".stencil input lacks a 'stencil' header");
+  if (fields.empty()) throw Error(".stencil input declares no fields");
+  if (stages.empty()) throw Error(".stencil input declares no stages");
+
+  std::vector<Stage> built;
+  for (const PendingStage& ps : stages) {
+    int output = -1;
+    for (std::size_t f = 0; f < field_names.size(); ++f) {
+      if (field_names[f] == ps.output) output = static_cast<int>(f);
+    }
+    if (output < 0) {
+      fail(ps.line, str_cat("stage writes unknown field '", ps.output, "'"));
+    }
+    try {
+      built.push_back(
+          make_stage(ps.name, output, ps.formula, field_names, dims));
+    } catch (const Error& e) {
+      fail(ps.line, e.what());
+    }
+  }
+
+  return StencilProgram(std::move(name), dims, extents, iterations,
+                        std::move(fields), std::move(built));
+}
+
+StencilProgram parse_program_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error(str_cat("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_program(buffer.str());
+}
+
+std::string program_to_text(const StencilProgram& program) {
+  std::string out = str_cat("stencil \"", program.name(), "\" dims ",
+                            program.dims(), " grid");
+  for (int d = 0; d < program.dims(); ++d) {
+    out += str_cat(" ", program.grid_box().extent(d));
+  }
+  out += str_cat(" iterations ", program.iterations(), "\n");
+  for (int f = 0; f < program.field_count(); ++f) {
+    const Field& field = program.field(f);
+    if (field.init_spec.empty()) {
+      throw Error(str_cat("field '", field.name,
+                          "' has a custom initializer and cannot be "
+                          "serialized to .stencil"));
+    }
+    out += str_cat("field ", field.name, " init ", field.init_spec, "\n");
+  }
+  for (int s = 0; s < program.stage_count(); ++s) {
+    const Stage& stage = program.stage(s);
+    if (!stage.formula) {
+      throw Error(str_cat("stage '", stage.name,
+                          "' has no symbolic formula and cannot be "
+                          "serialized to .stencil"));
+    }
+    out += str_cat("stage ", stage.name, " writes ",
+                   program.field(stage.output_field).name, ": ",
+                   stage.formula->text(), "\n");
+  }
+  return out;
+}
+
+}  // namespace scl::stencil

@@ -1,0 +1,54 @@
+// Text front end: parse a stencil program from the `.stencil` format.
+//
+// The paper's framework consumes "the original stencil algorithm written
+// in OpenCL"; this repository's equivalent input language is a small
+// declarative format carrying exactly what the feature extractor needs —
+// grid, iterations, fields with initial conditions, and formula-based
+// update stages:
+//
+//     # Jacobi 2-D, PolyBench configuration
+//     stencil "Jacobi-2D" dims 2 grid 2048 2048 iterations 1024
+//     field A init affine 3 5 0 2 97
+//     stage jacobi writes A:
+//         0.2f * ($A(0,0) + $A(0,-1) + $A(0,1) + $A(-1,0) + $A(1,0))
+//
+// Grammar (line oriented; '#' starts a comment; a stage's formula may
+// continue over following indented lines until the next keyword):
+//
+//   stencil "<name>" dims <1|2|3> grid <n0> [n1 [n2]] iterations <H>
+//   field <ident> init <initializer>
+//   stage <ident> writes <field>: <formula...>
+//
+// Initializers:
+//   constant <v>                      every cell = v
+//   affine <a> <b> <c> <bias> <div>   fmod(a*i+b*j+c*k+bias, div)/div
+//   wave <scale>                      scale * sin(0.37 i + 0.61 j + 0.83 k)
+#pragma once
+
+#include <string>
+
+#include "stencil/program.hpp"
+
+namespace scl::stencil {
+
+/// Parses the `.stencil` text format. Throws scl::Error with a
+/// line-numbered message on any syntax or semantic problem (the resulting
+/// program additionally passes through StencilProgram's own validation).
+StencilProgram parse_program(const std::string& text);
+
+/// Reads `path` and parses it. Throws scl::Error if unreadable.
+StencilProgram parse_program_file(const std::string& path);
+
+/// Serializes a program back to the `.stencil` format (requires every
+/// stage to carry a formula and every field an init_spec).
+/// parse_program(program_to_text(p)) reproduces an equivalent program.
+std::string program_to_text(const StencilProgram& program);
+
+/// Builds the initial-condition function for a textual initializer spec
+/// ("constant <v>" | "affine <a> <b> <c> <bias> <div>" | "wave <scale>").
+InitFn make_initializer(const std::string& spec);
+
+/// Field declaration from a spec string (records it for round-tripping).
+Field make_field(std::string name, const std::string& init_spec);
+
+}  // namespace scl::stencil

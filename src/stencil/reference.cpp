@@ -1,0 +1,38 @@
+#include "stencil/reference.hpp"
+
+#include "support/error.hpp"
+
+namespace scl::stencil {
+
+ReferenceExecutor::ReferenceExecutor(const StencilProgram& program)
+    : program_(&program),
+      fields_(make_initial_state(program, program.grid_box())),
+      shadow_(program.grid_box()) {}
+
+void ReferenceExecutor::run(std::int64_t count) {
+  SCL_CHECK(count >= 0, "cannot run a negative iteration count");
+  for (std::int64_t it = 0; it < count; ++it) {
+    for (int s = 0; s < program_->stage_count(); ++s) {
+      run_stage(s);
+    }
+    ++iteration_;
+  }
+}
+
+void ReferenceExecutor::run_stage(int stage_index) {
+  const Stage& stage = program_->stage(stage_index);
+  const Box compute = program_->updated_box(stage.output_field);
+  Grid<float>& out = fields_[static_cast<std::size_t>(stage.output_field)];
+  if (program_->stage_needs_double_buffer(stage_index)) {
+    evaluate_stage(*program_, stage_index, fields_, compute,
+                   [&](const Index& p, float v) { shadow_.at(p) = v; });
+    out.copy_box_from(shadow_, compute);
+  } else {
+    // In-place is safe: validation guarantees the stage reads its own
+    // output field at offset 0 only, so no cross-cell dependency exists.
+    evaluate_stage(*program_, stage_index, fields_, compute,
+                   [&](const Index& p, float v) { out.at(p) = v; });
+  }
+}
+
+}  // namespace scl::stencil

@@ -1,0 +1,67 @@
+// Golden reference executor.
+//
+// Runs the stencil program directly over the full grid with the canonical
+// stage semantics (sequential stages; double-buffered stages commit after
+// the stage; Dirichlet borders untouched). Every tiled/fused design in
+// src/sim must reproduce this executor's output bit-exactly — the property
+// tests in tests/sim rely on it.
+#pragma once
+
+#include "stencil/program.hpp"
+#include "stencil/state.hpp"
+
+namespace scl::stencil {
+
+class ReferenceExecutor {
+ public:
+  /// Seeds the initial condition over the program's grid box.
+  explicit ReferenceExecutor(const StencilProgram& program);
+
+  /// Advances the state by `count` iterations.
+  void run(std::int64_t count);
+
+  /// Iterations executed so far.
+  std::int64_t iteration() const { return iteration_; }
+
+  const StencilProgram& program() const { return *program_; }
+  const FieldSet& fields() const { return fields_; }
+  const Grid<float>& field(int f) const {
+    return fields_.at(static_cast<std::size_t>(f));
+  }
+
+ private:
+  void run_stage(int stage_index);
+
+  const StencilProgram* program_;
+  FieldSet fields_;
+  Grid<float> shadow_;  // reused scratch for double-buffered stages
+  std::int64_t iteration_ = 0;
+};
+
+/// Executes one stage of `program` over the cells of `compute_box`,
+/// reading from `fields` and writing results through `emit(p, value)`.
+/// This is the single shared evaluation loop used by the reference
+/// executor and all tile executors, which is what makes bit-exact
+/// agreement achievable.
+template <typename EmitFn>
+void evaluate_stage(const StencilProgram& program, int stage_index,
+                    const FieldSet& fields, const Box& compute_box,
+                    EmitFn&& emit) {
+  struct Reader final : CellReader {
+    const FieldSet* fields;
+    Index p{};
+    float read(int field, const Offset& off) const override {
+      return (*fields)[static_cast<std::size_t>(field)].at(
+          offset_index(p, off));
+    }
+  };
+  Reader reader;
+  reader.fields = &fields;
+  const Stage& stage = program.stage(stage_index);
+  for_each_cell(compute_box, [&](const Index& p) {
+    reader.p = p;
+    emit(p, stage.update(reader));
+  });
+}
+
+}  // namespace scl::stencil

@@ -1,0 +1,28 @@
+// Program state: one Grid per field over some domain box.
+#pragma once
+
+#include <vector>
+
+#include "stencil/grid.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::stencil {
+
+using FieldSet = std::vector<Grid<float>>;
+
+/// Allocates one grid per program field over `domain` and seeds every cell
+/// with the field's initial-condition function.
+inline FieldSet make_initial_state(const StencilProgram& program,
+                                   const Box& domain) {
+  FieldSet fields;
+  fields.reserve(static_cast<std::size_t>(program.field_count()));
+  for (int f = 0; f < program.field_count(); ++f) {
+    Grid<float> grid(domain);
+    const InitFn& init = program.field(f).init;
+    for_each_cell(domain, [&](const Index& p) { grid.at(p) = init(p); });
+    fields.push_back(std::move(grid));
+  }
+  return fields;
+}
+
+}  // namespace scl::stencil

@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace scl::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractError(os.str());
+}
+
+}  // namespace scl::detail

@@ -1,0 +1,62 @@
+// Error handling primitives for stencilcl.
+//
+// The library distinguishes two failure classes:
+//   * contract violations (bugs in the caller) -> SCL_CHECK / SCL_DCHECK,
+//     which throw scl::ContractError with file:line context;
+//   * recoverable domain failures (infeasible design, resource overflow)
+//     -> scl::Error, thrown by library entry points and documented per API.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scl {
+
+/// Base class for all exceptions thrown by the stencilcl library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a requested design does not fit the target device.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when the cooperative OpenCL runtime detects a cycle of kernels
+/// all blocked on pipe operations.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace scl
+
+/// Precondition check, always compiled in. Throws scl::ContractError.
+#define SCL_CHECK(expr, message)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::scl::detail::check_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                   \
+  } while (false)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SCL_DCHECK(expr, message) \
+  do {                            \
+  } while (false)
+#else
+#define SCL_DCHECK(expr, message) SCL_CHECK(expr, message)
+#endif

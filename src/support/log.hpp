@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The framework logs design-space-exploration progress at Info and detailed
+// per-candidate evaluations at Debug. Output goes to stderr so that bench
+// tables on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace scl
+
+#define SCL_LOG(level) ::scl::detail::LogMessage(::scl::LogLevel::level)
+#define SCL_DEBUG() SCL_LOG(kDebug)
+#define SCL_INFO() SCL_LOG(kInfo)
+#define SCL_WARN() SCL_LOG(kWarning)
+#define SCL_ERROR() SCL_LOG(kError)

@@ -1,0 +1,39 @@
+#include "support/math.hpp"
+
+#include <cmath>
+
+namespace scl {
+
+std::int64_t product(const std::vector<std::int64_t>& values) {
+  std::int64_t out = 1;
+  for (const std::int64_t v : values) out *= v;
+  return out;
+}
+
+std::int64_t sum(const std::vector<std::int64_t>& values) {
+  std::int64_t out = 0;
+  for (const std::int64_t v : values) out += v;
+  return out;
+}
+
+std::vector<std::int64_t> divisors(std::int64_t value) {
+  SCL_CHECK(value > 0, "divisors: value must be positive");
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+  for (std::int64_t d = 1; d * d <= value; ++d) {
+    if (value % d == 0) {
+      low.push_back(d);
+      if (d != value / d) high.push_back(value / d);
+    }
+  }
+  for (auto it = high.rbegin(); it != high.rend(); ++it) low.push_back(*it);
+  return low;
+}
+
+double relative_error(double a, double b) {
+  if (a == b) return 0.0;
+  if (b == 0.0) return std::abs(a);
+  return std::abs(a - b) / std::abs(b);
+}
+
+}  // namespace scl

@@ -1,0 +1,45 @@
+// Integer math helpers used throughout the geometry and models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scl {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return b > 0 && a >= 0 ? (a + b - 1) / b
+                         : throw ContractError("ceil_div: bad operands");
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Product of all elements (1 for an empty vector).
+std::int64_t product(const std::vector<std::int64_t>& values);
+
+/// Sum of all elements.
+std::int64_t sum(const std::vector<std::int64_t>& values);
+
+/// True if `value` is a power of two (> 0).
+constexpr bool is_power_of_two(std::int64_t value) {
+  return value > 0 && (value & (value - 1)) == 0;
+}
+
+/// Clamps `value` into [lo, hi].
+constexpr std::int64_t clamp_i64(std::int64_t value, std::int64_t lo,
+                                 std::int64_t hi) {
+  return value < lo ? lo : (value > hi ? hi : value);
+}
+
+/// All divisors of `value` in increasing order. `value` must be positive.
+std::vector<std::int64_t> divisors(std::int64_t value);
+
+/// Relative error |a - b| / |b|; returns 0 when both are 0.
+double relative_error(double a, double b);
+
+}  // namespace scl

@@ -1,0 +1,51 @@
+// Small string formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scl {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep` (keeps empty fields).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Returns `text` with leading and trailing whitespace removed.
+std::string trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Returns `value` formatted with exactly `digits` digits after the point.
+std::string format_fixed(double value, int digits);
+
+/// Formats a value like "1.65x" for speedup reporting.
+std::string format_speedup(double value);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string format_thousands(long long value);
+
+/// Replaces every occurrence of `from` in `text` with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+/// Repeats `unit` `count` times.
+std::string repeat(std::string_view unit, std::size_t count);
+
+/// Counts non-overlapping occurrences of `needle` in `haystack`.
+std::size_t count_occurrences(std::string_view haystack,
+                              std::string_view needle);
+
+}  // namespace scl

@@ -1,0 +1,92 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  return "\"" + replace_all(cell, "\"", "\"\"") + "\"";
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SCL_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> row) {
+  SCL_CHECK(row.size() == header_.size(),
+            str_cat("row has ", row.size(), " cells, header has ",
+                    header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line += repeat(" ", widths[c] - row[c].size());
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c != 0 ? 2 : 0);
+  }
+  out += repeat("-", rule) + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TableWriter::to_markdown() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (const auto& cell : row) {
+      line += " " + cell + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TableWriter::to_csv() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& cell : row) cells.push_back(csv_escape(cell));
+    return join(cells, ",") + "\n";
+  };
+  std::string out = render_row(header_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TableWriter::print(std::ostream& os) const { os << to_text(); }
+
+}  // namespace scl

@@ -1,0 +1,43 @@
+// Text/CSV table rendering for benchmark harness output.
+//
+// Every bench binary regenerating a paper table or figure prints through
+// TableWriter so the rows line up with the paper's layout and can also be
+// dumped as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scl {
+
+/// Accumulates rows of string cells and renders an aligned text table,
+/// a Markdown table, or CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with space padding and a rule under the header.
+  std::string to_text() const;
+
+  /// Renders as GitHub-flavored Markdown.
+  std::string to_markdown() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  std::string to_csv() const;
+
+  /// Writes `to_text()` to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scl

@@ -1,0 +1,203 @@
+// Consistency between the generated loop bounds and the simulator.
+//
+// The boundary generator emits C expressions over (r0.., it, pass_h); this
+// test evaluates them with a tiny integer-expression interpreter and
+// compares the resulting per-stage compute boxes against the geometry the
+// discrete-event simulator would use for a matching interior tile. Any
+// drift between what we *simulate* and what we *generate* shows up here.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+
+#include "codegen/boundary_gen.hpp"
+#include "codegen/context.hpp"
+#include "sim/tile_task.hpp"
+#include "stencil/kernels.hpp"
+
+namespace scl::codegen {
+namespace {
+
+using Env = std::map<std::string, std::int64_t>;
+
+/// Minimal evaluator for the bounds grammar: integers, identifiers,
+/// + - * ( ), and the two-argument max()/min() calls the generator emits.
+class BoundsEval {
+ public:
+  BoundsEval(const std::string& text, const Env& env)
+      : text_(text), env_(env) {}
+
+  std::int64_t eval() {
+    const std::int64_t v = expr();
+    skip();
+    EXPECT_EQ(pos_, text_.size()) << "trailing input in: " << text_;
+    return v;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::int64_t expr() {
+    std::int64_t v = term();
+    while (true) {
+      skip();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        const char op = text_[pos_++];
+        const std::int64_t rhs = term();
+        v = op == '+' ? v + rhs : v - rhs;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  std::int64_t term() {
+    std::int64_t v = factor();
+    while (true) {
+      skip();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        v *= factor();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  std::int64_t factor() {
+    skip();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      const std::int64_t v = expr();
+      skip();
+      EXPECT_EQ(text_[pos_], ')') << text_;
+      ++pos_;
+      return v;
+    }
+    if (pos_ < text_.size() &&
+        (std::isdigit(static_cast<unsigned char>(text_[pos_])))) {
+      std::int64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        v = v * 10 + (text_[pos_++] - '0');
+      }
+      return v;
+    }
+    // identifier or max(/min( call
+    std::string ident;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ident.push_back(text_[pos_++]);
+    }
+    skip();
+    if ((ident == "max" || ident == "min") && pos_ < text_.size() &&
+        text_[pos_] == '(') {
+      ++pos_;
+      const std::int64_t a = expr();
+      skip();
+      EXPECT_EQ(text_[pos_], ',') << text_;
+      ++pos_;
+      const std::int64_t b = expr();
+      skip();
+      EXPECT_EQ(text_[pos_], ')') << text_;
+      ++pos_;
+      return ident == "max" ? std::max(a, b) : std::min(a, b);
+    }
+    auto it = env_.find(ident);
+    EXPECT_NE(it, env_.end()) << "unbound identifier '" << ident << "' in "
+                              << text_;
+    return it == env_.end() ? 0 : it->second;
+  }
+
+  const std::string& text_;
+  const Env& env_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t eval_bound(const std::string& text, const Env& env) {
+  BoundsEval e(text, env);
+  return e.eval();
+}
+
+TEST(BoundsConsistencyTest, SingleStageConesMatchExtendedBoxes) {
+  // Jacobi-2D, 2x2 heterogeneous kernels: the generated per-iteration
+  // bounds for kernel 0 must equal the simulator's extended-box geometry:
+  // cone on exterior faces, tile edge on shared faces, clamped to the
+  // updatable region.
+  const auto p = scl::stencil::make_jacobi2d(256, 256, 64);
+  sim::DesignConfig c;
+  c.kind = sim::DesignKind::kHeterogeneous;
+  c.fused_iterations = 8;
+  c.parallelism = {2, 2, 1};
+  c.tile_size = {64, 64, 1};
+  const GenContext ctx = GenContext::create(p, c, fpga::virtex7_690t());
+  const LoopBounds bounds = stage_compute_bounds(ctx, 0, 0);
+
+  for (const std::int64_t r0 : {0, 128}) {
+    for (const std::int64_t it : {1, 4, 8}) {
+      Env env{{"r0", r0}, {"r1", r0}, {"it", it}, {"pass_h", 8}};
+      // Simulator-side expectation: the extended box of the tile at
+      // iteration `it`, clipped to the updatable region (single-stage
+      // program: stage shrink == iteration radius, residual 0).
+      sim::TilePlacement tile = ctx.tile(0);
+      for (int d = 0; d < 2; ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        tile.box.lo[ds] += r0;
+        tile.box.hi[ds] += r0;
+      }
+      const auto ext = sim::extended_tile_box(p, tile, 8, it);
+      const auto expected = ext.intersect(p.updated_box(0));
+
+      EXPECT_EQ(eval_bound(bounds.lo[0], env), expected.lo[0])
+          << "r0=" << r0 << " it=" << it << ": " << bounds.lo[0];
+      EXPECT_EQ(eval_bound(bounds.lo[1], env), expected.lo[1]);
+      // Kernel 0's high faces are pipe-shared: bound at tile edge.
+      EXPECT_EQ(eval_bound(bounds.hi[0], env), tile.box.hi[0]);
+      EXPECT_EQ(eval_bound(bounds.hi[1], env), tile.box.hi[1]);
+    }
+  }
+}
+
+TEST(BoundsConsistencyTest, BaselineConesOnAllFaces) {
+  const auto p = scl::stencil::make_jacobi2d(256, 256, 64);
+  sim::DesignConfig c;
+  c.kind = sim::DesignKind::kBaseline;
+  c.fused_iterations = 4;
+  c.parallelism = {2, 2, 1};
+  c.tile_size = {64, 64, 1};
+  const GenContext ctx = GenContext::create(p, c, fpga::virtex7_690t());
+  // Interior placement: region origin far from the grid border.
+  const Env env{{"r0", 128}, {"r1", 128}, {"it", 1}, {"pass_h", 4}};
+  const LoopBounds bounds = stage_compute_bounds(ctx, 0, 0);
+  // Tile [128,192)^2, cone margin 1*(4-1)=3 on every face.
+  EXPECT_EQ(eval_bound(bounds.lo[0], env), 125);
+  EXPECT_EQ(eval_bound(bounds.hi[0], env), 195);
+  EXPECT_EQ(eval_bound(bounds.lo[1], env), 125);
+  EXPECT_EQ(eval_bound(bounds.hi[1], env), 195);
+}
+
+TEST(BoundsConsistencyTest, OwnedAndBufferBoundsEvaluate) {
+  const auto p = scl::stencil::make_hotspot2d(256, 256, 64);
+  sim::DesignConfig c;
+  c.kind = sim::DesignKind::kHeterogeneous;
+  c.fused_iterations = 8;
+  c.parallelism = {2, 2, 1};
+  c.tile_size = {64, 64, 1};
+  const GenContext ctx = GenContext::create(p, c, fpga::virtex7_690t());
+  const Env env{{"r0", 0}, {"r1", 0}};
+  const LoopBounds owned = owned_bounds(ctx, 0, 0);
+  EXPECT_EQ(eval_bound(owned.lo[0], env), 1);   // updatable region starts at 1
+  EXPECT_EQ(eval_bound(owned.hi[0], env), 64);  // tile edge
+  const LoopBounds buffer = buffer_bounds(ctx, 0);
+  EXPECT_EQ(eval_bound(buffer.lo[0], env), 0);       // clipped at the grid
+  EXPECT_EQ(eval_bound(buffer.hi[0], env), 64 + 1);  // one-cell pipe halo
+}
+
+}  // namespace
+}  // namespace scl::codegen

@@ -1,0 +1,182 @@
+// Cross-cutting tests: simulator tuning knobs, device catalog behavior,
+// exposed-pipe-overlap (λ) modeling, and radius-2 programs end to end.
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hpp"
+#include "sim/executor.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/parser.hpp"
+#include "stencil/reference.hpp"
+#include "codegen/opencl_emitter.hpp"
+#include "support/strings.hpp"
+
+namespace scl {
+namespace {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::sim::Executor;
+using scl::sim::SimMode;
+using scl::sim::SimTuning;
+
+DesignConfig hetero(std::int64_t h, int k, std::int64_t w) {
+  DesignConfig c;
+  c.kind = DesignKind::kHeterogeneous;
+  c.fused_iterations = h;
+  c.parallelism = {k, k, 1};
+  c.tile_size = {w, w, 1};
+  return c;
+}
+
+TEST(SimTuningTest, DisablingLatencyHidingExposesPipeTime) {
+  const auto p = scl::stencil::make_fdtd2d(256, 256, 64);
+  const DesignConfig c = hetero(8, 2, 64);
+  const Executor on(fpga::virtex7_690t());
+  SimTuning off_tuning;
+  off_tuning.latency_hiding = false;
+  const Executor off(fpga::virtex7_690t(), off_tuning);
+  const auto r_on = on.run(p, c, SimMode::kTimingOnly);
+  const auto r_off = off.run(p, c, SimMode::kTimingOnly);
+  EXPECT_GT(r_off.phases.pipe_transfer, r_on.phases.pipe_transfer);
+  EXPECT_GE(r_off.total_cycles, r_on.total_cycles);
+}
+
+TEST(SimTuningTest, LatencyHidingPreservesFunctionalResults) {
+  const auto p = scl::stencil::make_fdtd2d(24, 24, 6);
+  const DesignConfig c = hetero(3, 2, 12);
+  SimTuning off_tuning;
+  off_tuning.latency_hiding = false;
+  const auto with_hiding =
+      Executor(fpga::virtex7_690t()).run(p, c, SimMode::kFunctional);
+  const auto without =
+      Executor(fpga::virtex7_690t(), off_tuning).run(p, c, SimMode::kFunctional);
+  for (int f = 0; f < p.field_count(); ++f) {
+    EXPECT_TRUE((*with_hiding.fields)[static_cast<std::size_t>(f)].equals_on(
+        (*without.fields)[static_cast<std::size_t>(f)], p.grid_box()));
+  }
+}
+
+TEST(DeviceCatalogTest, FasterDeviceRunsFewerMilliseconds) {
+  // KU115: higher clock and more bandwidth; same design must take fewer
+  // wall-clock ms (and no more cycles than proportional).
+  const auto p = scl::stencil::make_jacobi2d(512, 512, 64);
+  const DesignConfig c = hetero(8, 2, 64);
+  const auto v7 =
+      Executor(fpga::virtex7_690t()).run(p, c, SimMode::kTimingOnly);
+  const auto ku =
+      Executor(fpga::kintex_ku115()).run(p, c, SimMode::kTimingOnly);
+  EXPECT_LT(ku.total_ms, v7.total_ms);
+}
+
+TEST(DeviceCatalogTest, LaunchDelayScalesMeasuredTime) {
+  const auto p = scl::stencil::make_jacobi2d(512, 512, 64);
+  const DesignConfig c = hetero(8, 2, 64);
+  fpga::DeviceSpec fast = fpga::virtex7_690t();
+  fast.kernel_launch_cycles = 0;
+  const auto with_launch =
+      Executor(fpga::virtex7_690t()).run(p, c, SimMode::kTimingOnly);
+  const auto without =
+      Executor(fast).run(p, c, SimMode::kTimingOnly);
+  EXPECT_LT(without.total_cycles, with_launch.total_cycles);
+  EXPECT_EQ(without.phases.launch, 0);
+}
+
+TEST(LambdaModelTest, ExposedPipeTimeAppearsWhenStripsDwarfCompute) {
+  // A deliberately communication-heavy program: six mutable fields, each
+  // read across both sides, on skinny tiles — strips rival the per-stage
+  // compute, so the model must report λ > 0.
+  const auto p = scl::stencil::make_fdtd3d(256, 256, 256, 64);
+  const model::PerfModel m(p, fpga::virtex7_690t());
+  DesignConfig c;
+  c.kind = DesignKind::kHeterogeneous;
+  c.fused_iterations = 4;
+  c.parallelism = {2, 2, 2};
+  c.tile_size = {4, 64, 64};
+  c.unroll = 16;  // fast compute, slow pipes
+  const auto pred = m.predict(c);
+  EXPECT_GT(pred.lambda, 0.0);
+  EXPECT_GT(pred.l_share_exposed, 0.0);
+}
+
+TEST(RadiusTwoTest, FunctionalBitExactAcrossDesigns) {
+  const auto p = scl::stencil::parse_program(R"(
+stencil "r2" dims 2 grid 26 26 iterations 6
+field u init affine 2 3 0 5 53
+stage s writes u:
+    0.5f * $u(0,0)
+    + 0.08f * ($u(-1,0) + $u(1,0) + $u(0,-1) + $u(0,1))
+    + 0.045f * ($u(-2,0) + $u(2,0) + $u(0,-2) + $u(0,2))
+)");
+  EXPECT_EQ(p.max_radius(), 2);
+  EXPECT_EQ(p.delta_w(0), 4);
+  stencil::ReferenceExecutor ref(p);
+  ref.run(6);
+  for (const DesignKind kind :
+       {DesignKind::kBaseline, DesignKind::kHeterogeneous}) {
+    DesignConfig c = hetero(3, 2, 8);
+    c.kind = kind;
+    const auto result =
+        Executor(fpga::virtex7_690t()).run(p, c, SimMode::kFunctional);
+    EXPECT_TRUE((*result.fields)[0].equals_on(ref.field(0), p.grid_box()))
+        << sim::to_string(kind);
+  }
+}
+
+TEST(RadiusTwoTest, TimingShapeDedupHandlesWideReach) {
+  // Regression for the fuzzer-found bug: regions within (radius * h +
+  // stage radius) of the border are not interchangeable with interior
+  // regions; the timing fast path must still equal the functional run.
+  const auto p = scl::stencil::parse_program(R"(
+stencil "r2-1d" dims 1 grid 17 iterations 5
+field u init affine 3 0 0 1 31
+stage s writes u: 0.3f * ($u(-2) + $u(0) + $u(2))
+)");
+  DesignConfig c;
+  c.kind = DesignKind::kBaseline;
+  c.fused_iterations = 1;
+  c.parallelism = {1, 1, 1};
+  c.tile_size = {3, 1, 1};
+  const Executor exec(fpga::virtex7_690t());
+  EXPECT_EQ(exec.run(p, c, SimMode::kFunctional).total_cycles,
+            exec.run(p, c, SimMode::kTimingOnly).total_cycles);
+}
+
+}  // namespace
+}  // namespace scl
+
+namespace scl {
+namespace {
+
+TEST(CodegenPreconditionTest, LambdaOnlyStagesCannotEmitCode) {
+  // Stages built without make_stage() carry no symbolic formula; code
+  // generation must fail loudly rather than emit placeholders.
+  stencil::Stage raw;
+  raw.name = "opaque";
+  raw.output_field = 0;
+  raw.reads = {{0, stencil::Offset{0, 0, 0}}};
+  raw.update = [](const stencil::CellReader& r) {
+    return r.read(0, stencil::Offset{0, 0, 0}) * 0.5f;
+  };
+  const stencil::StencilProgram p(
+      "opaque", 1, {16, 1, 1}, 4,
+      {stencil::make_field("A", "constant 1")}, {std::move(raw)});
+  sim::DesignConfig c;
+  c.kind = sim::DesignKind::kBaseline;
+  c.fused_iterations = 2;
+  c.parallelism = {2, 1, 1};
+  c.tile_size = {8, 1, 1};
+  EXPECT_THROW(codegen::generate_opencl(p, c, fpga::virtex7_690t()), Error);
+}
+
+TEST(CodegenPreconditionTest, BuildScriptListsEveryKernel) {
+  const auto p = stencil::make_jacobi2d(64, 64, 8);
+  const DesignConfig c = hetero(4, 2, 32);
+  const auto code = codegen::generate_opencl(p, c, fpga::virtex7_690t());
+  EXPECT_EQ(scl::count_occurrences(code.build_script, "--nk stencil_k"), 4u);
+  EXPECT_NE(code.build_script.find("xocc -t hw"), std::string::npos);
+  EXPECT_NE(code.build_script.find("kernel_frequency 200"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scl

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "stencil/formula.hpp"
+
+namespace scl::stencil {
+namespace {
+
+const std::vector<std::string> kFields{"A", "B"};
+
+/// CellReader returning field*1000 + a hash of the offset, so tests can
+/// verify exactly which reads the formula performs.
+class FakeReader final : public CellReader {
+ public:
+  float read(int field, const Offset& off) const override {
+    return static_cast<float>(field * 1000 + off[0] * 100 + off[1] * 10 +
+                              off[2]);
+  }
+};
+
+TEST(FormulaTest, ParsesNumberLiterals) {
+  const Formula f = Formula::parse("1.5f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(f.evaluate(r), 1.5f);
+  EXPECT_EQ(f.op_counts().total(), 0);
+  EXPECT_TRUE(f.reads().empty());
+}
+
+TEST(FormulaTest, ParsesScientificNotation) {
+  const Formula f = Formula::parse("2.5e-1f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(f.evaluate(r), 0.25f);
+}
+
+TEST(FormulaTest, ReadsAndArithmetic) {
+  const Formula f = Formula::parse("$A(1) + $B(-1) * 2.0f", kFields, 1);
+  FakeReader r;
+  // A(1)=100, B(-1)=900 -> 100 + 900*2.
+  EXPECT_FLOAT_EQ(f.evaluate(r), 1900.0f);
+  EXPECT_EQ(f.op_counts().adds, 1);
+  EXPECT_EQ(f.op_counts().muls, 1);
+  ASSERT_EQ(f.reads().size(), 2u);
+  EXPECT_EQ(f.reads()[0].field, 0);
+  EXPECT_EQ(f.reads()[0].offset, (Offset{1, 0, 0}));
+  EXPECT_EQ(f.reads()[1].field, 1);
+  EXPECT_EQ(f.reads()[1].offset, (Offset{-1, 0, 0}));
+}
+
+TEST(FormulaTest, PrecedenceAndParentheses) {
+  const Formula a = Formula::parse("2.0f + 3.0f * 4.0f", kFields, 1);
+  const Formula b = Formula::parse("(2.0f + 3.0f) * 4.0f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(a.evaluate(r), 14.0f);
+  EXPECT_FLOAT_EQ(b.evaluate(r), 20.0f);
+}
+
+TEST(FormulaTest, LeftAssociativeSubtraction) {
+  const Formula f = Formula::parse("10.0f - 4.0f - 3.0f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(f.evaluate(r), 3.0f);
+}
+
+TEST(FormulaTest, UnaryNegation) {
+  const Formula f = Formula::parse("-$A(0) + 5.0f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(f.evaluate(r), 5.0f);  // A(0)=0
+  const Formula g = Formula::parse("-(2.0f) * -3.0f", kFields, 1);
+  EXPECT_FLOAT_EQ(g.evaluate(r), 6.0f);
+}
+
+TEST(FormulaTest, Division) {
+  const Formula f = Formula::parse("$B(0) / 4.0f", kFields, 1);
+  FakeReader r;
+  EXPECT_FLOAT_EQ(f.evaluate(r), 250.0f);
+  EXPECT_EQ(f.op_counts().divs, 1);
+}
+
+TEST(FormulaTest, MultiDimOffsets) {
+  const Formula f = Formula::parse("$A(1,-2,3)", kFields, 3);
+  ASSERT_EQ(f.reads().size(), 1u);
+  EXPECT_EQ(f.reads()[0].offset, (Offset{1, -2, 3}));
+}
+
+TEST(FormulaTest, DeduplicatesRepeatedReads) {
+  const Formula f = Formula::parse("$A(0) + $A(0) + $A(1)", kFields, 1);
+  EXPECT_EQ(f.reads().size(), 2u);
+  EXPECT_EQ(f.op_counts().adds, 2);
+}
+
+TEST(FormulaTest, SyntaxErrors) {
+  EXPECT_THROW(Formula::parse("$C(0)", kFields, 1), Error);     // unknown field
+  EXPECT_THROW(Formula::parse("$A(0,0)", kFields, 1), Error);   // arity
+  EXPECT_THROW(Formula::parse("$A(0) +", kFields, 1), Error);   // trailing op
+  EXPECT_THROW(Formula::parse("$A(0))", kFields, 1), Error);    // extra paren
+  EXPECT_THROW(Formula::parse("(1.0f", kFields, 1), Error);     // open paren
+  EXPECT_THROW(Formula::parse("$A 0)", kFields, 1), Error);     // missing (
+  EXPECT_THROW(Formula::parse("1.0f 2.0f", kFields, 1), Error); // juxtaposed
+  EXPECT_THROW(Formula::parse("$A(x)", kFields, 1), Error);     // bad offset
+}
+
+TEST(FormulaTest, RenderSubstitutesReads) {
+  const Formula f = Formula::parse("0.5f * ($A(0) - $B(1))", kFields, 1);
+  const std::string rendered =
+      f.render([](int field, const Offset& off) {
+        return "FIELD" + std::to_string(field) + "_" +
+               std::to_string(off[0]);
+      });
+  EXPECT_NE(rendered.find("FIELD0_0"), std::string::npos);
+  EXPECT_NE(rendered.find("FIELD1_1"), std::string::npos);
+  EXPECT_NE(rendered.find("0.5f"), std::string::npos);
+  EXPECT_EQ(rendered.find('$'), std::string::npos);
+}
+
+TEST(FormulaTest, RenderPreservesFloatLiteralSpelling) {
+  const Formula f = Formula::parse("0.33333f * $A(0)", kFields, 1);
+  const std::string rendered =
+      f.render([](int, const Offset&) { return std::string("x"); });
+  EXPECT_NE(rendered.find("0.33333f"), std::string::npos);
+}
+
+TEST(MakeStageTest, PopulatesEverything) {
+  const Stage s =
+      make_stage("test", 0, "$A(0) + 0.25f * $B(-1)", kFields, 1);
+  EXPECT_EQ(s.name, "test");
+  EXPECT_EQ(s.output_field, 0);
+  EXPECT_EQ(s.reads.size(), 2u);
+  EXPECT_EQ(s.ops.adds, 1);
+  EXPECT_EQ(s.ops.muls, 1);
+  ASSERT_NE(s.formula, nullptr);
+  ASSERT_TRUE(static_cast<bool>(s.update));
+  FakeReader r;
+  EXPECT_FLOAT_EQ(s.update(r), 0.0f + 0.25f * 900.0f);
+}
+
+TEST(MakeStageTest, EvaluationMatchesFormulaObject) {
+  const Stage s = make_stage(
+      "j", 0, "0.2f * ($A(0) + $A(-1) + $A(1) + $B(0) + $B(1))", kFields, 1);
+  FakeReader r;
+  EXPECT_EQ(s.update(r), s.formula->evaluate(r));
+}
+
+}  // namespace
+}  // namespace scl::stencil

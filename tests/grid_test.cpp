@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "stencil/grid.hpp"
+
+namespace scl::stencil {
+namespace {
+
+Box box2d(std::int64_t lo0, std::int64_t hi0, std::int64_t lo1,
+          std::int64_t hi1) {
+  Box b;
+  b.lo = {lo0, lo1, 0};
+  b.hi = {hi0, hi1, 1};
+  return b;
+}
+
+TEST(GridTest, ValueInitialized) {
+  Grid<float> g(Box::from_extents(2, {4, 4, 1}));
+  for_each_cell(g.domain(), [&](const Index& p) { EXPECT_EQ(g.at(p), 0.0f); });
+}
+
+TEST(GridTest, FillConstructor) {
+  Grid<int> g(Box::from_extents(1, {5, 1, 1}), 7);
+  for_each_cell(g.domain(), [&](const Index& p) { EXPECT_EQ(g.at(p), 7); });
+}
+
+TEST(GridTest, AbsoluteCoordinateAddressing) {
+  // A grid whose domain does not start at the origin — the tile buffer case.
+  Grid<int> g(box2d(10, 14, 20, 23));
+  int v = 0;
+  for_each_cell(g.domain(), [&](const Index& p) { g.at(p) = v++; });
+  EXPECT_EQ(g.at(Index{10, 20, 0}), 0);
+  EXPECT_EQ(g.at(Index{10, 22, 0}), 2);
+  EXPECT_EQ(g.at(Index{13, 22, 0}), 11);
+}
+
+TEST(GridTest, EmptyDomainRejected) {
+  EXPECT_THROW(Grid<float>(Box{}), ContractError);
+}
+
+TEST(GridTest, CopyBoxFromTransfersSharedRegion) {
+  Grid<int> src(box2d(0, 8, 0, 8));
+  for_each_cell(src.domain(), [&](const Index& p) {
+    src.at(p) = static_cast<int>(p[0] * 100 + p[1]);
+  });
+  Grid<int> dst(box2d(2, 6, 2, 6), -1);
+  const Box shared = box2d(3, 5, 3, 5);
+  dst.copy_box_from(src, shared);
+  for_each_cell(dst.domain(), [&](const Index& p) {
+    if (shared.contains(p)) {
+      EXPECT_EQ(dst.at(p), static_cast<int>(p[0] * 100 + p[1]));
+    } else {
+      EXPECT_EQ(dst.at(p), -1);
+    }
+  });
+}
+
+TEST(GridTest, CopyBoxValidatesContainment) {
+  Grid<int> src(box2d(0, 4, 0, 4));
+  Grid<int> dst(box2d(0, 2, 0, 2));
+  EXPECT_THROW(dst.copy_box_from(src, box2d(0, 4, 0, 4)), ContractError);
+  EXPECT_THROW(src.copy_box_from(dst, box2d(0, 4, 0, 4)), ContractError);
+}
+
+TEST(GridTest, FillBox) {
+  Grid<int> g(box2d(0, 4, 0, 4), 0);
+  g.fill_box(box2d(1, 3, 1, 3), 9);
+  EXPECT_EQ(g.at(Index{1, 1, 0}), 9);
+  EXPECT_EQ(g.at(Index{2, 2, 0}), 9);
+  EXPECT_EQ(g.at(Index{0, 0, 0}), 0);
+  EXPECT_EQ(g.at(Index{3, 3, 0}), 0);
+}
+
+TEST(GridTest, ReadWriteBoxRoundTrip) {
+  Grid<float> g(box2d(0, 4, 0, 4));
+  for_each_cell(g.domain(), [&](const Index& p) {
+    g.at(p) = static_cast<float>(p[0] + 10 * p[1]);
+  });
+  const Box strip = box2d(1, 3, 0, 4);
+  const std::vector<float> data = g.read_box(strip);
+  EXPECT_EQ(data.size(), 8u);
+
+  Grid<float> h(box2d(0, 4, 0, 4), -1.0f);
+  h.write_box(strip, data);
+  EXPECT_TRUE(h.equals_on(g, strip));
+  EXPECT_EQ(h.at(Index{0, 0, 0}), -1.0f);
+}
+
+TEST(GridTest, WriteBoxSizeMismatchThrows) {
+  Grid<float> g(box2d(0, 4, 0, 4));
+  EXPECT_THROW(g.write_box(box2d(0, 2, 0, 2), {1.0f}), ContractError);
+}
+
+TEST(GridTest, EqualsOnDetectsDifference) {
+  Grid<int> a(box2d(0, 3, 0, 3), 1);
+  Grid<int> b(box2d(0, 3, 0, 3), 1);
+  EXPECT_TRUE(a.equals_on(b, a.domain()));
+  b.at(Index{2, 2, 0}) = 5;
+  EXPECT_FALSE(a.equals_on(b, a.domain()));
+  EXPECT_TRUE(a.equals_on(b, box2d(0, 2, 0, 2)));
+}
+
+}  // namespace
+}  // namespace scl::stencil

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "stencil/formula.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/parser.hpp"
+#include "stencil/reference.hpp"
+
+namespace scl::stencil {
+namespace {
+
+constexpr const char* kJacobi = R"(
+# Jacobi 2-D, small instance
+stencil "Jacobi-2D" dims 2 grid 16 16 iterations 8
+field A init affine 3 5 0 2 97
+stage jacobi writes A:
+    0.2f * ($A(0,0) + $A(0,-1) + $A(0,1) + $A(-1,0) + $A(1,0))
+)";
+
+TEST(ParserTest, ParsesHeaderFieldsAndStage) {
+  const StencilProgram p = parse_program(kJacobi);
+  EXPECT_EQ(p.name(), "Jacobi-2D");
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_EQ(p.grid_box(), Box::from_extents(2, {16, 16, 1}));
+  EXPECT_EQ(p.iterations(), 8);
+  EXPECT_EQ(p.field_count(), 1);
+  EXPECT_EQ(p.stage_count(), 1);
+  EXPECT_EQ(p.stage(0).name, "jacobi");
+  EXPECT_EQ(p.stage(0).reads.size(), 5u);
+  EXPECT_EQ(p.field(0).init_spec, "affine 3 5 0 2 97");
+}
+
+TEST(ParserTest, ParsedProgramMatchesBuiltinBenchmark) {
+  // The parsed Jacobi-2D must compute exactly what the built-in factory
+  // computes (same formula, same init spec -> bit-identical runs).
+  const StencilProgram parsed = parse_program(kJacobi);
+  const StencilProgram builtin = make_jacobi2d(16, 16, 8);
+  ReferenceExecutor a(parsed);
+  ReferenceExecutor b(builtin);
+  a.run(8);
+  b.run(8);
+  EXPECT_TRUE(a.field(0).equals_on(b.field(0), parsed.grid_box()));
+}
+
+TEST(ParserTest, MultiLineFormulaContinuation) {
+  const StencilProgram p = parse_program(R"(
+stencil "hs" dims 2 grid 12 12 iterations 4
+field temp init constant 50
+field power init constant 0.5
+stage hot writes temp:
+    $temp(0,0) + 0.5f * ($power(0,0)
+    + ($temp(-1,0) + $temp(1,0) - 2.0f * $temp(0,0)) * 0.1f
+    + ($temp(0,-1) + $temp(0,1) - 2.0f * $temp(0,0)) * 0.1f)
+)");
+  EXPECT_EQ(p.stage(0).reads.size(), 6u);
+  EXPECT_TRUE(p.is_constant_field(1));
+}
+
+TEST(ParserTest, MultiStagePrograms) {
+  const StencilProgram p = parse_program(R"(
+stencil "mini-fdtd" dims 1 grid 32 iterations 4
+field e init wave 0.25
+field h init wave 0.5
+stage upd_e writes e: $e(0) - 0.5f * ($h(0) - $h(-1))
+stage upd_h writes h: $h(0) - 0.7f * ($e(1) - $e(0))
+)");
+  EXPECT_EQ(p.stage_count(), 2);
+  EXPECT_EQ(p.stage(0).output_field, 0);
+  EXPECT_EQ(p.stage(1).output_field, 1);
+  EXPECT_EQ(p.delta_w(0), 2);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  const StencilProgram p = parse_program(
+      "# leading comment\n\n"
+      "stencil \"x\" dims 1 grid 8 iterations 2  # trailing\n"
+      "field A init constant 1   # the only field\n\n"
+      "stage s writes A: $A(0) * 0.5f\n");
+  EXPECT_EQ(p.name(), "x");
+}
+
+TEST(ParserTest, InitializerSpecs) {
+  const Index p5{5, 0, 0};
+  EXPECT_FLOAT_EQ(make_initializer("constant 2.5")(p5), 2.5f);
+  // affine: fmod(3*5+2, 97)/97
+  EXPECT_FLOAT_EQ(make_initializer("affine 3 0 0 2 97")(p5),
+                  static_cast<float>(17.0 / 97.0));
+  EXPECT_NEAR(make_initializer("wave 1.0")(p5), std::sin(0.37 * 5), 1e-6);
+}
+
+TEST(ParserTest, InitializerErrors) {
+  EXPECT_THROW(make_initializer(""), Error);
+  EXPECT_THROW(make_initializer("gaussian 1 2"), Error);
+  EXPECT_THROW(make_initializer("constant"), Error);
+  EXPECT_THROW(make_initializer("affine 1 2 3 4 0"), Error);  // div 0
+  EXPECT_THROW(make_initializer("constant abc"), Error);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLineNumbers) {
+  try {
+    parse_program("stencil \"x\" dims 1 grid 8 iterations 2\nbogus line\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, StructuralErrors) {
+  EXPECT_THROW(parse_program(""), Error);  // no header
+  EXPECT_THROW(parse_program("stencil \"x\" dims 1 grid 8 iterations 2\n"),
+               Error);  // no fields
+  EXPECT_THROW(
+      parse_program("stencil \"x\" dims 1 grid 8 iterations 2\n"
+                    "field A init constant 0\n"),
+      Error);  // no stages
+  EXPECT_THROW(
+      parse_program("stencil \"x\" dims 1 grid 8 iterations 2\n"
+                    "field A init constant 0\n"
+                    "stage s writes B: $A(0)\n"),
+      Error);  // unknown output field
+  EXPECT_THROW(
+      parse_program("stencil \"x\" dims 4 grid 8 8 8 8 iterations 2\n"),
+      Error);  // bad dims
+  EXPECT_THROW(
+      parse_program("stencil x dims 1 grid 8 iterations 2\n"),
+      Error);  // unquoted name
+  EXPECT_THROW(
+      parse_program("stencil \"x\" dims 1 grid 8 iterations 2\n"
+                    "stencil \"y\" dims 1 grid 8 iterations 2\n"),
+      Error);  // duplicate header
+}
+
+TEST(ParserTest, FormulaErrorsAreReportedAtStageLine) {
+  try {
+    parse_program(
+        "stencil \"x\" dims 1 grid 8 iterations 2\n"
+        "field A init constant 0\n"
+        "stage s writes A: $A(0,0)\n");  // wrong arity
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(RoundTripTest, AllBenchmarksSerializeAndReparse) {
+  for (const BenchmarkInfo& info : paper_benchmarks()) {
+    const StencilProgram original = info.make_scaled({12, 12, 12}, 5);
+    const std::string text = program_to_text(original);
+    const StencilProgram reparsed = parse_program(text);
+
+    ASSERT_EQ(reparsed.field_count(), original.field_count()) << info.name;
+    ASSERT_EQ(reparsed.stage_count(), original.stage_count()) << info.name;
+    EXPECT_EQ(reparsed.iterations(), original.iterations());
+    EXPECT_EQ(reparsed.grid_box(), original.grid_box());
+
+    // Bit-exact behavioral equivalence after the round trip.
+    ReferenceExecutor a(original);
+    ReferenceExecutor b(reparsed);
+    a.run(5);
+    b.run(5);
+    for (int f = 0; f < original.field_count(); ++f) {
+      EXPECT_TRUE(a.field(f).equals_on(b.field(f), original.grid_box()))
+          << info.name << " field " << f;
+    }
+  }
+}
+
+TEST(RoundTripTest, CustomInitializerCannotSerialize) {
+  std::vector<Field> fields;
+  Field f;
+  f.name = "A";
+  f.init = [](const Index&) { return 1.0f; };  // no init_spec
+  fields.push_back(std::move(f));
+  const StencilProgram p("custom", 1, {8, 1, 1}, 2, std::move(fields),
+                         {make_stage("s", 0, "$A(0)", {"A"}, 1)});
+  EXPECT_THROW(program_to_text(p), Error);
+}
+
+TEST(ParserTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/jacobi_test.stencil";
+  {
+    std::ofstream out(path);
+    out << kJacobi;
+  }
+  const StencilProgram p = parse_program_file(path);
+  EXPECT_EQ(p.name(), "Jacobi-2D");
+  EXPECT_THROW(parse_program_file(path + ".does-not-exist"), Error);
+}
+
+}  // namespace
+}  // namespace scl::stencil

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/kernels.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::stencil {
+namespace {
+
+// --- construction validation -------------------------------------------
+
+Stage trivial_stage(int out_field, std::vector<ReadAccess> reads) {
+  Stage s;
+  s.name = "s";
+  s.output_field = out_field;
+  s.reads = std::move(reads);
+  s.update = [](const CellReader&) { return 0.0f; };
+  return s;
+}
+
+TEST(ProgramValidationTest, RejectsEmptyStages) {
+  EXPECT_THROW(StencilProgram("p", 1, {8, 1, 1}, 10, {{"A", nullptr, ""}}, {}),
+               Error);
+}
+
+TEST(ProgramValidationTest, RejectsNonPositiveIterations) {
+  EXPECT_THROW(StencilProgram("p", 1, {8, 1, 1}, 0, {{"A", nullptr, ""}},
+                              {trivial_stage(0, {})}),
+               Error);
+}
+
+TEST(ProgramValidationTest, RejectsUnknownOutputField) {
+  EXPECT_THROW(StencilProgram("p", 1, {8, 1, 1}, 1, {{"A", nullptr, ""}},
+                              {trivial_stage(3, {})}),
+               Error);
+}
+
+TEST(ProgramValidationTest, RejectsUnknownReadField) {
+  EXPECT_THROW(
+      StencilProgram("p", 1, {8, 1, 1}, 1, {{"A", nullptr, ""}},
+                     {trivial_stage(0, {{7, Offset{0, 0, 0}}})}),
+      Error);
+}
+
+TEST(ProgramValidationTest, RejectsTwoWritersOfOneField) {
+  EXPECT_THROW(StencilProgram("p", 1, {8, 1, 1}, 1, {{"A", nullptr, ""}},
+                              {trivial_stage(0, {}), trivial_stage(0, {})}),
+               Error);
+}
+
+TEST(ProgramValidationTest, RejectsDiagonalOffsets) {
+  EXPECT_THROW(
+      StencilProgram("p", 2, {8, 8, 1}, 1, {{"A", nullptr, ""}},
+                     {trivial_stage(0, {{0, Offset{1, 1, 0}}})}),
+      Error);
+}
+
+TEST(ProgramValidationTest, RejectsOffsetBeyondDims) {
+  EXPECT_THROW(
+      StencilProgram("p", 1, {8, 1, 1}, 1, {{"A", nullptr, ""}},
+                     {trivial_stage(0, {{0, Offset{0, 1, 0}}})}),
+      Error);
+}
+
+TEST(ProgramValidationTest, RejectsMissingUpdateFn) {
+  Stage s;
+  s.name = "broken";
+  s.output_field = 0;
+  EXPECT_THROW(
+      StencilProgram("p", 1, {8, 1, 1}, 1, {{"A", nullptr, ""}}, {std::move(s)}),
+      Error);
+}
+
+// --- derived structure on the benchmark kernels -------------------------
+
+TEST(ProgramStructureTest, Jacobi2dBasics) {
+  const StencilProgram p = make_jacobi2d(16, 16, 8);
+  EXPECT_EQ(p.name(), "Jacobi-2D");
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_EQ(p.field_count(), 1);
+  EXPECT_EQ(p.stage_count(), 1);
+  EXPECT_EQ(p.iterations(), 8);
+  EXPECT_EQ(p.grid_box(), Box::from_extents(2, {16, 16, 1}));
+}
+
+TEST(ProgramStructureTest, Jacobi2dNeedsDoubleBuffer) {
+  const StencilProgram p = make_jacobi2d(16, 16, 8);
+  EXPECT_TRUE(p.stage_needs_double_buffer(0));
+}
+
+TEST(ProgramStructureTest, FdtdStagesAreInPlace) {
+  const StencilProgram p = make_fdtd2d(16, 16, 8);
+  EXPECT_EQ(p.stage_count(), 3);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_FALSE(p.stage_needs_double_buffer(s)) << "stage " << s;
+  }
+}
+
+TEST(ProgramStructureTest, Jacobi2dIterRadii) {
+  const StencilProgram p = make_jacobi2d(16, 16, 8);
+  const SideRadii& r = p.iter_radii();
+  EXPECT_EQ(r[0][0], 1);
+  EXPECT_EQ(r[0][1], 1);
+  EXPECT_EQ(r[1][0], 1);
+  EXPECT_EQ(r[1][1], 1);
+  EXPECT_EQ(r[2][0], 0);
+  EXPECT_EQ(r[2][1], 0);
+  EXPECT_EQ(p.delta_w(0), 2);
+  EXPECT_EQ(p.delta_w(1), 2);
+  EXPECT_EQ(p.max_radius(), 1);
+}
+
+TEST(ProgramStructureTest, Fdtd2dIterRadiiComposeAcrossStages) {
+  // hz reads the ex/ey values produced earlier in the same iteration, so
+  // the composed per-iteration radius is 1 on every side even though each
+  // individual stage is one-sided.
+  const StencilProgram p = make_fdtd2d(16, 16, 8);
+  const SideRadii& r = p.iter_radii();
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ(r[static_cast<std::size_t>(d)][0], 1) << "dim " << d;
+    EXPECT_EQ(r[static_cast<std::size_t>(d)][1], 1) << "dim " << d;
+  }
+  EXPECT_EQ(p.delta_w(0), 2);
+}
+
+TEST(ProgramStructureTest, Fdtd2dPerStageRadiiAreOneSided) {
+  const StencilProgram p = make_fdtd2d(16, 16, 8);
+  // Stage 0 (ey) reads hz at (-1,0): low side of dim 0 only.
+  const SideRadii& ey = p.stage_radii(0);
+  EXPECT_EQ(ey[0][0], 1);
+  EXPECT_EQ(ey[0][1], 0);
+  EXPECT_EQ(ey[1][0], 0);
+  EXPECT_EQ(ey[1][1], 0);
+  // Stage 2 (hz) reads ex at (0,+1) and ey at (+1,0): high sides only.
+  const SideRadii& hz = p.stage_radii(2);
+  EXPECT_EQ(hz[0][0], 0);
+  EXPECT_EQ(hz[0][1], 1);
+  EXPECT_EQ(hz[1][0], 0);
+  EXPECT_EQ(hz[1][1], 1);
+}
+
+TEST(ProgramStructureTest, HotspotPowerIsConstantField) {
+  const StencilProgram p = make_hotspot2d(16, 16, 8);
+  EXPECT_EQ(p.field_count(), 2);
+  EXPECT_FALSE(p.is_constant_field(0));
+  EXPECT_TRUE(p.is_constant_field(1));
+  EXPECT_EQ(p.writing_stage(1), -1);
+  EXPECT_EQ(p.mutable_field_count(), 1);
+  EXPECT_TRUE(p.updated_box(1).empty());
+}
+
+TEST(ProgramStructureTest, UpdatedBoxShrinksByStageRadii) {
+  const StencilProgram p = make_jacobi2d(16, 12, 8);
+  const Box ub = p.updated_box(0);
+  EXPECT_EQ(ub.lo, (Index{1, 1, 0}));
+  EXPECT_EQ(ub.hi, (Index{15, 11, 1}));
+}
+
+TEST(ProgramStructureTest, Fdtd2dUpdatedBoxesMatchPolybenchLoopBounds) {
+  const StencilProgram p = make_fdtd2d(8, 8, 4);
+  // ey: i in [1,N), j in [0,N)
+  EXPECT_EQ(p.updated_box(1).lo, (Index{1, 0, 0}));
+  EXPECT_EQ(p.updated_box(1).hi, (Index{8, 8, 1}));
+  // ex: i in [0,N), j in [1,N)
+  EXPECT_EQ(p.updated_box(0).lo, (Index{0, 1, 0}));
+  EXPECT_EQ(p.updated_box(0).hi, (Index{8, 8, 1}));
+  // hz: i,j in [0,N-1)
+  EXPECT_EQ(p.updated_box(2).lo, (Index{0, 0, 0}));
+  EXPECT_EQ(p.updated_box(2).hi, (Index{7, 7, 1}));
+}
+
+TEST(ProgramStructureTest, OpsPerCellSumsStages) {
+  const StencilProgram p = make_fdtd2d(8, 8, 4);
+  const OpCounts ops = p.ops_per_cell();
+  EXPECT_EQ(ops.adds, 2 + 2 + 4);
+  EXPECT_EQ(ops.muls, 3);
+  EXPECT_EQ(ops.total(), 11);
+}
+
+TEST(ProgramStructureTest, Fdtd3dHasSixInPlaceStages) {
+  const StencilProgram p = make_fdtd3d(8, 8, 8, 4);
+  EXPECT_EQ(p.stage_count(), 6);
+  EXPECT_EQ(p.field_count(), 6);
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_FALSE(p.stage_needs_double_buffer(s));
+  }
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(p.delta_w(d), 2);
+  }
+}
+
+TEST(ProgramStructureTest, ElementBytesIsFloat) {
+  EXPECT_EQ(StencilProgram::element_bytes(), 4);
+}
+
+// --- benchmark registry --------------------------------------------------
+
+TEST(RegistryTest, HasSevenBenchmarksInPaperOrder) {
+  const auto& suite = paper_benchmarks();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite[0].name, "Jacobi-1D");
+  EXPECT_EQ(suite[1].name, "Jacobi-2D");
+  EXPECT_EQ(suite[2].name, "Jacobi-3D");
+  EXPECT_EQ(suite[3].name, "HotSpot-2D");
+  EXPECT_EQ(suite[4].name, "HotSpot-3D");
+  EXPECT_EQ(suite[5].name, "FDTD-2D");
+  EXPECT_EQ(suite[6].name, "FDTD-3D");
+}
+
+TEST(RegistryTest, Table2InputSizes) {
+  EXPECT_EQ(find_benchmark("Jacobi-1D").input_size,
+            (std::array<std::int64_t, 3>{131072, 1, 1}));
+  EXPECT_EQ(find_benchmark("Jacobi-3D").input_size,
+            (std::array<std::int64_t, 3>{1024, 1024, 1024}));
+  EXPECT_EQ(find_benchmark("HotSpot-3D").input_size,
+            (std::array<std::int64_t, 3>{4096, 4096, 128}));
+  EXPECT_EQ(find_benchmark("FDTD-2D").iterations, 500);
+  EXPECT_EQ(find_benchmark("HotSpot-2D").iterations, 1000);
+  EXPECT_EQ(find_benchmark("Jacobi-2D").iterations, 1024);
+}
+
+TEST(RegistryTest, UnknownBenchmarkThrows) {
+  EXPECT_THROW(find_benchmark("Gauss-Seidel"), Error);
+}
+
+TEST(RegistryTest, ScaledFactoryProducesRequestedSize) {
+  const StencilProgram p =
+      find_benchmark("Jacobi-3D").make_scaled({12, 10, 8}, 5);
+  EXPECT_EQ(p.grid_box(), Box::from_extents(3, {12, 10, 8}));
+  EXPECT_EQ(p.iterations(), 5);
+}
+
+TEST(RegistryTest, InitialConditionsAreDeterministic) {
+  const StencilProgram a = make_hotspot2d(8, 8, 4);
+  const StencilProgram b = make_hotspot2d(8, 8, 4);
+  for (int f = 0; f < a.field_count(); ++f) {
+    for_each_cell(a.grid_box(), [&](const Index& p) {
+      EXPECT_EQ(a.field(f).init(p), b.field(f).init(p));
+    });
+  }
+}
+
+TEST(RegistryTest, InitialConditionsAreFinite) {
+  for (const BenchmarkInfo& info : paper_benchmarks()) {
+    const StencilProgram p = info.make_scaled({6, 6, 6}, 2);
+    for (int f = 0; f < p.field_count(); ++f) {
+      for_each_cell(p.grid_box(), [&](const Index& idx) {
+        EXPECT_TRUE(std::isfinite(p.field(f).init(idx)))
+            << info.name << " field " << f;
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scl::stencil

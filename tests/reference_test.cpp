@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/kernels.hpp"
+#include "stencil/reference.hpp"
+
+namespace scl::stencil {
+namespace {
+
+TEST(ReferenceTest, JacobiOneStepMatchesHandComputation) {
+  const StencilProgram p = make_jacobi2d(4, 4, 1);
+  // Capture the initial values before stepping.
+  FieldSet init = make_initial_state(p, p.grid_box());
+  ReferenceExecutor exec(p);
+  exec.run(1);
+  // Interior cells follow the 5-point average of the initial state.
+  for (std::int64_t i = 1; i < 3; ++i) {
+    for (std::int64_t j = 1; j < 3; ++j) {
+      const float expect =
+          0.2f * (init[0].at(Index{i, j, 0}) + init[0].at(Index{i, j - 1, 0}) +
+                  init[0].at(Index{i, j + 1, 0}) +
+                  init[0].at(Index{i - 1, j, 0}) +
+                  init[0].at(Index{i + 1, j, 0}));
+      EXPECT_EQ(exec.field(0).at(Index{i, j, 0}), expect);
+    }
+  }
+}
+
+TEST(ReferenceTest, BoundaryCellsNeverChange) {
+  const StencilProgram p = make_jacobi2d(8, 8, 1);
+  FieldSet init = make_initial_state(p, p.grid_box());
+  ReferenceExecutor exec(p);
+  exec.run(10);
+  for_each_cell(p.grid_box(), [&](const Index& idx) {
+    if (!p.updated_box(0).contains(idx)) {
+      EXPECT_EQ(exec.field(0).at(idx), init[0].at(idx));
+    }
+  });
+}
+
+TEST(ReferenceTest, ConstantFieldNeverChanges) {
+  const StencilProgram p = make_hotspot2d(8, 8, 1);
+  FieldSet init = make_initial_state(p, p.grid_box());
+  ReferenceExecutor exec(p);
+  exec.run(10);
+  EXPECT_TRUE(exec.field(1).equals_on(init[1], p.grid_box()));
+}
+
+TEST(ReferenceTest, RunIsIncremental) {
+  const StencilProgram p = make_jacobi1d(32, 8);
+  ReferenceExecutor once(p);
+  once.run(8);
+  ReferenceExecutor stepped(p);
+  stepped.run(3);
+  stepped.run(5);
+  EXPECT_EQ(stepped.iteration(), 8);
+  EXPECT_TRUE(once.field(0).equals_on(stepped.field(0), p.grid_box()));
+}
+
+TEST(ReferenceTest, RunZeroIsIdentity) {
+  const StencilProgram p = make_jacobi1d(16, 4);
+  FieldSet init = make_initial_state(p, p.grid_box());
+  ReferenceExecutor exec(p);
+  exec.run(0);
+  EXPECT_TRUE(exec.field(0).equals_on(init[0], p.grid_box()));
+}
+
+TEST(ReferenceTest, NegativeRunRejected) {
+  const StencilProgram p = make_jacobi1d(16, 4);
+  ReferenceExecutor exec(p);
+  EXPECT_THROW(exec.run(-1), ContractError);
+}
+
+TEST(ReferenceTest, JacobiStaysFiniteAndContracts) {
+  // The averaging stencil is contractive; values must stay within the
+  // initial min/max envelope.
+  const StencilProgram p = make_jacobi2d(16, 16, 1);
+  FieldSet init = make_initial_state(p, p.grid_box());
+  float lo = 1e30f, hi = -1e30f;
+  for_each_cell(p.grid_box(), [&](const Index& idx) {
+    lo = std::min(lo, init[0].at(idx));
+    hi = std::max(hi, init[0].at(idx));
+  });
+  ReferenceExecutor exec(p);
+  exec.run(50);
+  for_each_cell(p.grid_box(), [&](const Index& idx) {
+    const float v = exec.field(0).at(idx);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, lo - 1e-4f);
+    EXPECT_LE(v, hi + 1e-4f);
+  });
+}
+
+TEST(ReferenceTest, AllBenchmarksStayFiniteOverManyIterations) {
+  for (const BenchmarkInfo& info : paper_benchmarks()) {
+    const StencilProgram p = info.make_scaled({10, 10, 10}, 40);
+    ReferenceExecutor exec(p);
+    exec.run(p.iterations());
+    for (int f = 0; f < p.field_count(); ++f) {
+      for_each_cell(p.grid_box(), [&](const Index& idx) {
+        ASSERT_TRUE(std::isfinite(exec.field(f).at(idx)))
+            << info.name << " field " << f << " at " << idx[0] << ","
+            << idx[1] << "," << idx[2];
+      });
+    }
+  }
+}
+
+TEST(ReferenceTest, FdtdInPlaceStageOrderingMatters) {
+  // hz must see the ex/ey values updated earlier in the same iteration.
+  // Verify by manually computing one iteration for a tiny grid.
+  const StencilProgram p = make_fdtd2d(3, 3, 1);
+  FieldSet s = make_initial_state(p, p.grid_box());
+  auto ex = [&](std::int64_t i, std::int64_t j) {
+    return s[0].at(Index{i, j, 0});
+  };
+  auto ey = [&](std::int64_t i, std::int64_t j) {
+    return s[1].at(Index{i, j, 0});
+  };
+  auto hz = [&](std::int64_t i, std::int64_t j) {
+    return s[2].at(Index{i, j, 0});
+  };
+  // Manual sequential update, same order as the program stages.
+  for (std::int64_t i = 1; i < 3; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      s[1].at(Index{i, j, 0}) =
+          ey(i, j) - 0.5f * (hz(i, j) - hz(i - 1, j));
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 1; j < 3; ++j)
+      s[0].at(Index{i, j, 0}) =
+          ex(i, j) - 0.5f * (hz(i, j) - hz(i, j - 1));
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 2; ++j)
+      s[2].at(Index{i, j, 0}) =
+          hz(i, j) - 0.7f * (ex(i, j + 1) - ex(i, j) + ey(i + 1, j) - ey(i, j));
+
+  ReferenceExecutor exec(p);
+  exec.run(1);
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_TRUE(exec.field(f).equals_on(s[static_cast<std::size_t>(f)],
+                                        p.grid_box()))
+        << "field " << f;
+  }
+}
+
+}  // namespace
+}  // namespace scl::stencil

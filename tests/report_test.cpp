@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "stencil/kernels.hpp"
+
+namespace scl::core {
+namespace {
+
+TEST(ReportTest, MarkdownContainsAllSections) {
+  const auto p = scl::stencil::make_jacobi2d(512, 512, 64);
+  const Framework fw(p, FrameworkOptions{});
+  const SynthesisReport rep = fw.synthesize();
+  const std::string md = render_markdown_report(rep);
+  EXPECT_NE(md.find("# stencilcl synthesis report — Jacobi-2D"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Latency"), std::string::npos);
+  EXPECT_NE(md.find("## Resources"), std::string::npos);
+  EXPECT_NE(md.find("## Execution-phase breakdown (baseline)"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Generated code"), std::string::npos);
+  EXPECT_NE(md.find("Simulated speedup"), std::string::npos);
+  EXPECT_NE(md.find("Effective throughput"), std::string::npos);
+  EXPECT_NE(md.find("Estimated energy"), std::string::npos);
+  // Markdown tables render.
+  EXPECT_NE(md.find("| design | FF | LUT | DSP | BRAM18 |"),
+            std::string::npos);
+}
+
+TEST(ReportTest, SkipsSimSectionsWhenSimulationDisabled) {
+  const auto p = scl::stencil::make_jacobi2d(512, 512, 64);
+  FrameworkOptions opts;
+  opts.simulate = false;
+  opts.generate_code = false;
+  const Framework fw(p, opts);
+  const std::string md = render_markdown_report(fw.synthesize());
+  EXPECT_EQ(md.find("Execution-phase breakdown"), std::string::npos);
+  EXPECT_EQ(md.find("## Generated code"), std::string::npos);
+  EXPECT_NE(md.find("## Resources"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scl::core
