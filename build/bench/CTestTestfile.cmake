@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table2 "/root/repo/build/bench/bench_table2")
+set_tests_properties(smoke_bench_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table3 "/root/repo/build/bench/bench_table3")
+set_tests_properties(smoke_bench_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig1 "/root/repo/build/bench/bench_fig1")
+set_tests_properties(smoke_bench_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig6 "/root/repo/build/bench/bench_fig6")
+set_tests_properties(smoke_bench_fig6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig7 "/root/repo/build/bench/bench_fig7")
+set_tests_properties(smoke_bench_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation "/root/repo/build/bench/bench_ablation")
+set_tests_properties(smoke_bench_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_devices "/root/repo/build/bench/bench_devices")
+set_tests_properties(smoke_bench_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_micro "/root/repo/build/bench/bench_micro" "--benchmark_min_time=0.01")
+set_tests_properties(smoke_bench_micro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

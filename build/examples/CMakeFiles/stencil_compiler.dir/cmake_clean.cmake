@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_compiler.dir/stencil_compiler.cpp.o"
+  "CMakeFiles/stencil_compiler.dir/stencil_compiler.cpp.o.d"
+  "stencil_compiler"
+  "stencil_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

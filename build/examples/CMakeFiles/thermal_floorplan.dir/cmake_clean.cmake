@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_floorplan.dir/thermal_floorplan.cpp.o"
+  "CMakeFiles/thermal_floorplan.dir/thermal_floorplan.cpp.o.d"
+  "thermal_floorplan"
+  "thermal_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

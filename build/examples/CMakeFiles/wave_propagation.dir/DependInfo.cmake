@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wave_propagation.cpp" "examples/CMakeFiles/wave_propagation.dir/wave_propagation.cpp.o" "gcc" "examples/CMakeFiles/wave_propagation.dir/wave_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/scl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/scl_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/scl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/scl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/scl_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

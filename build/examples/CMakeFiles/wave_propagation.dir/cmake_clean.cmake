@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_propagation.dir/wave_propagation.cpp.o"
+  "CMakeFiles/wave_propagation.dir/wave_propagation.cpp.o.d"
+  "wave_propagation"
+  "wave_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

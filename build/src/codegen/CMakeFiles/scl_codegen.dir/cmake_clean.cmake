@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_codegen.dir/boundary_gen.cpp.o"
+  "CMakeFiles/scl_codegen.dir/boundary_gen.cpp.o.d"
+  "CMakeFiles/scl_codegen.dir/context.cpp.o"
+  "CMakeFiles/scl_codegen.dir/context.cpp.o.d"
+  "CMakeFiles/scl_codegen.dir/fused_op_gen.cpp.o"
+  "CMakeFiles/scl_codegen.dir/fused_op_gen.cpp.o.d"
+  "CMakeFiles/scl_codegen.dir/opencl_emitter.cpp.o"
+  "CMakeFiles/scl_codegen.dir/opencl_emitter.cpp.o.d"
+  "CMakeFiles/scl_codegen.dir/pipe_gen.cpp.o"
+  "CMakeFiles/scl_codegen.dir/pipe_gen.cpp.o.d"
+  "CMakeFiles/scl_codegen.dir/validator.cpp.o"
+  "CMakeFiles/scl_codegen.dir/validator.cpp.o.d"
+  "libscl_codegen.a"
+  "libscl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

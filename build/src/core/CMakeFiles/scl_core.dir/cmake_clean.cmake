@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_core.dir/features.cpp.o"
+  "CMakeFiles/scl_core.dir/features.cpp.o.d"
+  "CMakeFiles/scl_core.dir/framework.cpp.o"
+  "CMakeFiles/scl_core.dir/framework.cpp.o.d"
+  "CMakeFiles/scl_core.dir/optimizer.cpp.o"
+  "CMakeFiles/scl_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/scl_core.dir/report.cpp.o"
+  "CMakeFiles/scl_core.dir/report.cpp.o.d"
+  "CMakeFiles/scl_core.dir/resource_estimator.cpp.o"
+  "CMakeFiles/scl_core.dir/resource_estimator.cpp.o.d"
+  "libscl_core.a"
+  "libscl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

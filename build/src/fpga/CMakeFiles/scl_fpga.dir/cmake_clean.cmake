@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_fpga.dir/device.cpp.o"
+  "CMakeFiles/scl_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/scl_fpga.dir/hls.cpp.o"
+  "CMakeFiles/scl_fpga.dir/hls.cpp.o.d"
+  "CMakeFiles/scl_fpga.dir/power.cpp.o"
+  "CMakeFiles/scl_fpga.dir/power.cpp.o.d"
+  "CMakeFiles/scl_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/scl_fpga.dir/resource_model.cpp.o.d"
+  "CMakeFiles/scl_fpga.dir/resources.cpp.o"
+  "CMakeFiles/scl_fpga.dir/resources.cpp.o.d"
+  "libscl_fpga.a"
+  "libscl_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

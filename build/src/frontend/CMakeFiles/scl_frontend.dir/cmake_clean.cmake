@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/scl_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/scl_frontend.dir/ocl_import.cpp.o"
+  "CMakeFiles/scl_frontend.dir/ocl_import.cpp.o.d"
+  "libscl_frontend.a"
+  "libscl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

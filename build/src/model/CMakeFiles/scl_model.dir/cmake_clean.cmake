@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_model.dir/perf_model.cpp.o"
+  "CMakeFiles/scl_model.dir/perf_model.cpp.o.d"
+  "libscl_model.a"
+  "libscl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

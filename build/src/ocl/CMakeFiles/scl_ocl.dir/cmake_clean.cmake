@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_ocl.dir/pipe.cpp.o"
+  "CMakeFiles/scl_ocl.dir/pipe.cpp.o.d"
+  "CMakeFiles/scl_ocl.dir/runtime.cpp.o"
+  "CMakeFiles/scl_ocl.dir/runtime.cpp.o.d"
+  "libscl_ocl.a"
+  "libscl_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

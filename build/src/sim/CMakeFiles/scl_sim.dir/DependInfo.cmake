@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/design.cpp" "src/sim/CMakeFiles/scl_sim.dir/design.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/design.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/scl_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/region.cpp" "src/sim/CMakeFiles/scl_sim.dir/region.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/region.cpp.o.d"
+  "/root/repo/src/sim/tile_task.cpp" "src/sim/CMakeFiles/scl_sim.dir/tile_task.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/tile_task.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/scl_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/scl_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/scl_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/scl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/scl_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/scl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/scl_ocl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_sim.dir/design.cpp.o"
+  "CMakeFiles/scl_sim.dir/design.cpp.o.d"
+  "CMakeFiles/scl_sim.dir/executor.cpp.o"
+  "CMakeFiles/scl_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/scl_sim.dir/region.cpp.o"
+  "CMakeFiles/scl_sim.dir/region.cpp.o.d"
+  "CMakeFiles/scl_sim.dir/tile_task.cpp.o"
+  "CMakeFiles/scl_sim.dir/tile_task.cpp.o.d"
+  "CMakeFiles/scl_sim.dir/timeline.cpp.o"
+  "CMakeFiles/scl_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/scl_sim.dir/trace.cpp.o"
+  "CMakeFiles/scl_sim.dir/trace.cpp.o.d"
+  "libscl_sim.a"
+  "libscl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

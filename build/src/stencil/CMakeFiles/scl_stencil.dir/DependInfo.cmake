@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/formula.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/formula.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/formula.cpp.o.d"
+  "/root/repo/src/stencil/geometry.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/geometry.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/geometry.cpp.o.d"
+  "/root/repo/src/stencil/kernels.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/kernels.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/kernels.cpp.o.d"
+  "/root/repo/src/stencil/parser.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/parser.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/parser.cpp.o.d"
+  "/root/repo/src/stencil/program.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/program.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/program.cpp.o.d"
+  "/root/repo/src/stencil/reference.cpp" "src/stencil/CMakeFiles/scl_stencil.dir/reference.cpp.o" "gcc" "src/stencil/CMakeFiles/scl_stencil.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/scl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

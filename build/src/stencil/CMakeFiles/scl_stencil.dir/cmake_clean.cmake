@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_stencil.dir/formula.cpp.o"
+  "CMakeFiles/scl_stencil.dir/formula.cpp.o.d"
+  "CMakeFiles/scl_stencil.dir/geometry.cpp.o"
+  "CMakeFiles/scl_stencil.dir/geometry.cpp.o.d"
+  "CMakeFiles/scl_stencil.dir/kernels.cpp.o"
+  "CMakeFiles/scl_stencil.dir/kernels.cpp.o.d"
+  "CMakeFiles/scl_stencil.dir/parser.cpp.o"
+  "CMakeFiles/scl_stencil.dir/parser.cpp.o.d"
+  "CMakeFiles/scl_stencil.dir/program.cpp.o"
+  "CMakeFiles/scl_stencil.dir/program.cpp.o.d"
+  "CMakeFiles/scl_stencil.dir/reference.cpp.o"
+  "CMakeFiles/scl_stencil.dir/reference.cpp.o.d"
+  "libscl_stencil.a"
+  "libscl_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

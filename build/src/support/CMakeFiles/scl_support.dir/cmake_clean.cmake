@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scl_support.dir/error.cpp.o"
+  "CMakeFiles/scl_support.dir/error.cpp.o.d"
+  "CMakeFiles/scl_support.dir/log.cpp.o"
+  "CMakeFiles/scl_support.dir/log.cpp.o.d"
+  "CMakeFiles/scl_support.dir/math.cpp.o"
+  "CMakeFiles/scl_support.dir/math.cpp.o.d"
+  "CMakeFiles/scl_support.dir/strings.cpp.o"
+  "CMakeFiles/scl_support.dir/strings.cpp.o.d"
+  "CMakeFiles/scl_support.dir/table.cpp.o"
+  "CMakeFiles/scl_support.dir/table.cpp.o.d"
+  "libscl_support.a"
+  "libscl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

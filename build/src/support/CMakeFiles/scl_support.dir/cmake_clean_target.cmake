@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscl_support.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_suite_test.dir/opencl_suite_test.cpp.o"
+  "CMakeFiles/opencl_suite_test.dir/opencl_suite_test.cpp.o.d"
+  "opencl_suite_test"
+  "opencl_suite_test.pdb"
+  "opencl_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_design_test.dir/sim_design_test.cpp.o"
+  "CMakeFiles/sim_design_test.dir/sim_design_test.cpp.o.d"
+  "sim_design_test"
+  "sim_design_test.pdb"
+  "sim_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

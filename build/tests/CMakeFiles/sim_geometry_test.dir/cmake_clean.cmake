@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_geometry_test.dir/sim_geometry_test.cpp.o"
+  "CMakeFiles/sim_geometry_test.dir/sim_geometry_test.cpp.o.d"
+  "sim_geometry_test"
+  "sim_geometry_test.pdb"
+  "sim_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
