@@ -1,0 +1,74 @@
+// Design-space enumeration (paper §5.1), split out of the optimizer.
+//
+// CandidateSpace is a pure generator: given the program and the optimizer
+// options it produces the candidate axes (parallelism arrangements, tile
+// shapes, fusion depths) and the composed DesignConfig sequences the
+// evaluation engine walks. It owns no models and performs no evaluation,
+// so enumeration order — which the deterministic DSE contract depends
+// on — is testable in isolation.
+//
+// Enumeration order is part of the contract: chains are emitted
+// parallelism-major, then unroll, then tile shape, with fusion depth
+// ascending inside each chain. The serial and the parallel evaluation
+// paths both consume this exact order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::core {
+
+struct OptimizerOptions;
+
+/// One maximal run of candidates that differ only in fusion depth h,
+/// ascending. Resource use grows monotonically with h (cone buffers), so
+/// the evaluator stops a chain at its first over-budget depth; everything
+/// after it is infeasible too.
+struct CandidateChain {
+  std::vector<sim::DesignConfig> configs;
+};
+
+class CandidateSpace {
+ public:
+  CandidateSpace(const scl::stencil::StencilProgram& program,
+                 const OptimizerOptions& options);
+
+  /// Parallelism arrangements (K_d per dimension, product <= max_kernels).
+  std::vector<std::array<int, 3>> parallelism_candidates() const;
+
+  /// Candidate tile extents along dimension d (clamped to the grid).
+  std::vector<std::int64_t> tile_candidates_for_dim(int d) const;
+
+  /// Per-dimension tile extents to explore: uniform shapes, plus (for 3-D
+  /// stencils) variants with the outermost dimension halved or quartered —
+  /// the flattened-tile shapes the paper's Table 3 favors (16x32x32).
+  std::vector<std::array<std::int64_t, 3>> tile_shape_candidates() const;
+
+  /// Fusion depths h to explore (filtered to <= program iterations).
+  std::vector<std::int64_t> fusion_candidates() const;
+
+  /// Every (parallelism, unroll, tile-shape) combination of `kind` as a
+  /// chain over the fusion depths, in the contract enumeration order.
+  std::vector<CandidateChain> chains(sim::DesignKind kind) const;
+
+  /// The heterogeneous search derived from a chosen baseline (§5.4):
+  /// parallelism/unroll/tile pinned, fusion depth x balancing shrink
+  /// varying. Shrink is applied only along dimensions that can rebalance
+  /// (K_d >= 3 with interior tiles to absorb the released cells); grid
+  /// points whose shrink collapses to the shrink=0 candidate are skipped.
+  std::vector<sim::DesignConfig> heterogeneous_candidates(
+      const sim::DesignConfig& baseline) const;
+
+  /// Total configs across chains(kind) — the upper bound on evaluations.
+  std::int64_t chain_config_count(sim::DesignKind kind) const;
+
+ private:
+  const scl::stencil::StencilProgram* program_;
+  const OptimizerOptions* options_;
+};
+
+}  // namespace scl::core

@@ -1,0 +1,87 @@
+#include "core/eval_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace scl::core {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(std::size_t shard_count) {
+  SCL_CHECK(shard_count >= 1, "eval cache needs at least one shard");
+  const std::size_t n = round_up_pow2(shard_count);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = n - 1;
+}
+
+EvalCache::Shard& EvalCache::shard_for(const sim::DesignKey& key) {
+  const std::size_t h = sim::DesignKeyHash{}(key);
+  // The map reuses the low hash bits for bucketing; shard on high bits.
+  return *shards_[(h >> 32) & shard_mask_];
+}
+
+bool EvalCache::lookup(const sim::DesignKey& key, CachedEvaluation* out) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+bool EvalCache::insert(const sim::DesignKey& key,
+                       const CachedEvaluation& value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.emplace(key, value).second;
+}
+
+CachedEvaluation EvalCache::find_or_compute(
+    const sim::DesignKey& key,
+    const std::function<CachedEvaluation()>& compute) {
+  CachedEvaluation cached;
+  if (lookup(key, &cached)) return cached;
+  cached = compute();
+  insert(key, cached);
+  return cached;
+}
+
+std::int64_t EvalCache::size() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += static_cast<std::int64_t>(shard->map.size());
+  }
+  return total;
+}
+
+double EvalCache::hit_rate() const {
+  const double h = static_cast<double>(hits());
+  const double m = static_cast<double>(misses());
+  return h + m > 0.0 ? h / (h + m) : 0.0;
+}
+
+void EvalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace scl::core

@@ -1,0 +1,83 @@
+// Memoizing evaluation cache for design-space exploration.
+//
+// Candidate evaluation (analytical prediction + whole-design resource
+// estimation) is a pure function of the DesignConfig, so results are
+// memoized under the config's canonical DesignKey. Hits come from the
+// overlap between search phases — optimize_baseline() and the Pareto
+// sweep walk the same feasible set, the heterogeneous search revisits the
+// baseline's fusion column, and fused-depth sweeps (bench_fig7) re-touch
+// DSE points — and from repeated evaluate() calls in user sweeps.
+//
+// Thread safety: the table is sharded by key hash, each shard behind its
+// own mutex, so pool workers probe concurrently with little contention.
+// Memoization cannot perturb results (values are pure); when two workers
+// race to fill the same key, the first insert wins and both observe the
+// identical value.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/resource_estimator.hpp"
+#include "model/perf_model.hpp"
+#include "sim/design.hpp"
+
+namespace scl::core {
+
+/// One memoized evaluation: the per-candidate sub-results the engine
+/// would otherwise recompute — the region decomposition (inside the
+/// prediction) and the resource vectors.
+struct CachedEvaluation {
+  model::Prediction prediction;
+  DesignResources resources;
+};
+
+class EvalCache {
+ public:
+  /// `shard_count` is rounded up to a power of two; defaults suit up to
+  /// ~64 worker threads.
+  explicit EvalCache(std::size_t shard_count = 64);
+
+  /// Returns the cached evaluation for `key`, or runs `compute`, stores
+  /// its result, and returns it. `compute` may run concurrently for the
+  /// same key under a race; both callers get the same (pure) value.
+  CachedEvaluation find_or_compute(
+      const sim::DesignKey& key,
+      const std::function<CachedEvaluation()>& compute);
+
+  /// True plus the value when `key` is resident (counts as a hit or miss).
+  bool lookup(const sim::DesignKey& key, CachedEvaluation* out);
+
+  /// Inserts (first writer wins); returns false when already resident.
+  bool insert(const sim::DesignKey& key, const CachedEvaluation& value);
+
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::int64_t size() const;
+  double hit_rate() const;
+
+  void clear();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<sim::DesignKey, CachedEvaluation, sim::DesignKeyHash>
+        map;
+  };
+
+  Shard& shard_for(const sim::DesignKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace scl::core

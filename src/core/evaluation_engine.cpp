@@ -1,0 +1,126 @@
+#include "core/evaluation_engine.hpp"
+
+#include <chrono>
+
+#include "core/optimizer.hpp"
+
+namespace scl::core {
+
+using scl::sim::DesignConfig;
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+DesignPoint to_point(const DesignConfig& config,
+                     const CachedEvaluation& eval) {
+  DesignPoint point;
+  point.config = config;
+  point.prediction = eval.prediction;
+  point.resources = eval.resources;
+  return point;
+}
+
+}  // namespace
+
+EvaluationEngine::EvaluationEngine(
+    const scl::stencil::StencilProgram& program,
+    const fpga::DeviceSpec& device, model::ConeMode cone_mode, int threads)
+    : program_(&program) {
+  const int resolved = ThreadPool::resolve_threads(threads);
+  perf_models_.reserve(static_cast<std::size_t>(resolved));
+  resource_models_.reserve(static_cast<std::size_t>(resolved));
+  for (int t = 0; t < resolved; ++t) {
+    perf_models_.emplace_back(program, device, cone_mode);
+    resource_models_.emplace_back(device);
+  }
+  pool_ = std::make_unique<ThreadPool>(resolved);
+}
+
+CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
+  const auto slot = static_cast<std::size_t>(ThreadPool::worker_slot());
+  CachedEvaluation eval;
+  eval.prediction = perf_models_[slot].predict(config);
+  eval.resources =
+      estimate_design_resources(*program_, config, resource_models_[slot]);
+  return eval;
+}
+
+DesignPoint EvaluationEngine::evaluate(const DesignConfig& config) {
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
+  const CachedEvaluation eval = cache_.find_or_compute(
+      config.key(), [&] { return compute(config); });
+  return to_point(config, eval);
+}
+
+std::vector<DesignPoint> EvaluationEngine::evaluate_batch(
+    const std::vector<DesignConfig>& configs) {
+  const WallTimer timer;
+  std::vector<DesignPoint> out(configs.size());
+  pool_->parallel_for(static_cast<std::int64_t>(configs.size()),
+                      [&](std::int64_t i) {
+                        const auto s = static_cast<std::size_t>(i);
+                        out[s] = evaluate(configs[s]);
+                      });
+  add_wall_seconds(timer.seconds());
+  return out;
+}
+
+std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
+    const std::vector<CandidateChain>& chains,
+    const fpga::ResourceVector& budget) {
+  const WallTimer timer;
+  std::vector<std::vector<DesignPoint>> per_chain(chains.size());
+  pool_->parallel_for(
+      static_cast<std::int64_t>(chains.size()), [&](std::int64_t i) {
+        const auto s = static_cast<std::size_t>(i);
+        std::vector<DesignPoint>& feasible = per_chain[s];
+        for (const DesignConfig& config : chains[s].configs) {
+          DesignPoint point = evaluate(config);
+          if (!point.resources.total.fits_within(budget)) break;
+          feasible.push_back(std::move(point));
+        }
+      });
+  std::vector<DesignPoint> out;
+  for (std::vector<DesignPoint>& feasible : per_chain) {
+    out.insert(out.end(), std::make_move_iterator(feasible.begin()),
+               std::make_move_iterator(feasible.end()));
+  }
+  add_wall_seconds(timer.seconds());
+  return out;
+}
+
+DseStats EvaluationEngine::stats() const {
+  DseStats stats;
+  stats.candidates_evaluated = evaluated_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.wall_seconds =
+      static_cast<double>(wall_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  stats.threads = pool_->thread_count();
+  return stats;
+}
+
+void EvaluationEngine::reset_stats() {
+  evaluated_.store(0, std::memory_order_relaxed);
+  wall_nanos_.store(0, std::memory_order_relaxed);
+  cache_.clear();
+}
+
+void EvaluationEngine::add_wall_seconds(double seconds) {
+  wall_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+}  // namespace scl::core

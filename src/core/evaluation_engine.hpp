@@ -1,0 +1,103 @@
+// Parallel, memoizing candidate evaluation for design-space exploration.
+//
+// The engine is the stateless counterpart to CandidateSpace: it turns
+// DesignConfigs into DesignPoints (prediction + resources) and knows
+// nothing about search policy. Each worker slot owns its own PerfModel
+// and ResourceModel instance, so evaluation never locks shared model
+// state; the only shared structures are the memoizing EvalCache (sharded,
+// see eval_cache.hpp) and the atomic statistics counters.
+//
+// Determinism contract: evaluation is a pure function of the config, the
+// pool writes results by index, and chains are concatenated in enumeration
+// order — so evaluate_batch()/evaluate_chains() return byte-identical
+// vectors for any thread count, including 1 (the serial path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/candidate_space.hpp"
+#include "core/eval_cache.hpp"
+#include "core/resource_estimator.hpp"
+#include "fpga/device.hpp"
+#include "model/perf_model.hpp"
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+#include "support/thread_pool.hpp"
+
+namespace scl::core {
+
+struct DesignPoint;
+
+/// Aggregated DSE counters for reporting (core/report.cpp renders them).
+struct DseStats {
+  std::int64_t candidates_evaluated = 0;  ///< cache hits + misses
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  double wall_seconds = 0.0;  ///< time inside batch/chain evaluation
+  int threads = 1;
+
+  double cache_hit_rate() const {
+    const auto total = static_cast<double>(candidates_evaluated);
+    return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+  double candidates_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(candidates_evaluated) / wall_seconds
+               : 0.0;
+  }
+};
+
+class EvaluationEngine {
+ public:
+  /// `threads` <= 0 resolves via SCL_THREADS / hardware concurrency
+  /// (ThreadPool::resolve_threads).
+  EvaluationEngine(const scl::stencil::StencilProgram& program,
+                   const fpga::DeviceSpec& device, model::ConeMode cone_mode,
+                   int threads);
+
+  /// Evaluates one configuration through the cache (always on the calling
+  /// thread). Thread-safe.
+  DesignPoint evaluate(const sim::DesignConfig& config);
+
+  /// Evaluates every config on the pool; results in input order.
+  std::vector<DesignPoint> evaluate_batch(
+      const std::vector<sim::DesignConfig>& configs);
+
+  /// Evaluates chains on the pool (one chain per work item), walking each
+  /// chain's ascending fusion depths and stopping at the first candidate
+  /// whose resources exceed `budget` — resource use grows monotonically
+  /// with h, so the rest of the chain cannot fit either (this reproduces
+  /// the serial optimizer's early exit). Returns the feasible points of
+  /// every chain concatenated in chain order.
+  std::vector<DesignPoint> evaluate_chains(
+      const std::vector<CandidateChain>& chains,
+      const fpga::ResourceVector& budget);
+
+  int threads() const { return pool_->thread_count(); }
+  EvalCache& cache() { return cache_; }
+  const EvalCache& cache() const { return cache_; }
+
+  /// Counters since construction (or the last reset_stats()).
+  DseStats stats() const;
+  void reset_stats();
+
+ private:
+  /// Uncached evaluation on this worker slot's own models.
+  CachedEvaluation compute(const sim::DesignConfig& config) const;
+  void add_wall_seconds(double seconds);
+
+  const scl::stencil::StencilProgram* program_;
+  /// One (PerfModel, ResourceModel) pair per worker slot; slot 0 is the
+  /// submitting thread.
+  std::vector<model::PerfModel> perf_models_;
+  std::vector<fpga::ResourceModel> resource_models_;
+  std::unique_ptr<ThreadPool> pool_;
+  EvalCache cache_;
+  std::atomic<std::int64_t> evaluated_{0};
+  std::atomic<std::int64_t> wall_nanos_{0};
+};
+
+}  // namespace scl::core

@@ -23,6 +23,7 @@ SynthesisReport Framework::synthesize() const {
   report.heterogeneous = optimizer_.optimize_heterogeneous(report.baseline);
   SCL_INFO() << "heterogeneous: "
              << report.heterogeneous.config.summary(program_->dims());
+  report.dse = optimizer_.dse_stats();
 
   if (options_.simulate) {
     const sim::Executor exec(options_.optimizer.device);
@@ -60,6 +61,13 @@ std::string SynthesisReport::to_string() const {
   describe("heterogeneous", heterogeneous, heterogeneous_sim);
   if (speedup > 0.0) {
     out += str_cat("speedup: ", format_speedup(speedup), "\n");
+  }
+  if (dse.candidates_evaluated > 0) {
+    out += str_cat("DSE: ", format_thousands(dse.candidates_evaluated),
+                   " candidates, ",
+                   format_fixed(100.0 * dse.cache_hit_rate(), 1),
+                   "% cache hits, ", dse.threads, " thread(s), ",
+                   format_fixed(dse.wall_seconds, 2), " s\n");
   }
   return out;
 }

@@ -34,6 +34,10 @@ struct SynthesisReport {
   DesignPoint baseline;
   DesignPoint heterogeneous;
 
+  /// DSE evaluation counters over both searches: candidates evaluated,
+  /// cache hit rate, throughput, wall-clock, worker threads.
+  DseStats dse;
+
   // Measured (simulated) results; valid when options.simulate.
   sim::SimResult baseline_sim;
   sim::SimResult heterogeneous_sim;

@@ -13,11 +13,59 @@ using scl::sim::DesignConfig;
 using scl::sim::DesignKind;
 using scl::stencil::StencilProgram;
 
+bool design_order(const DesignPoint& a, const DesignPoint& b) {
+  if (a.prediction.total_cycles != b.prediction.total_cycles) {
+    return a.prediction.total_cycles < b.prediction.total_cycles;
+  }
+  const fpga::ResourceVector& ra = a.resources.total;
+  const fpga::ResourceVector& rb = b.resources.total;
+  if (ra.bram18 != rb.bram18) return ra.bram18 < rb.bram18;
+  if (ra.ff != rb.ff) return ra.ff < rb.ff;
+  if (ra.lut != rb.lut) return ra.lut < rb.lut;
+  if (ra.dsp != rb.dsp) return ra.dsp < rb.dsp;
+  return a.config.key() < b.config.key();
+}
+
+namespace {
+
+/// Selection predicate of the running-best scan: should `candidate`
+/// replace `incumbent`? Strictly fewer cycles always wins. Within a
+/// 1.0005x near-tie band (the baseline's overlapped cones make the
+/// latency insensitive to the parallelism arrangement) prefer more
+/// compute units, then the squarer arrangement — both benefit the
+/// heterogeneous design later derived from this choice (more interior
+/// tiles, shorter pipe boundaries). Exact residual ties fall through to
+/// the explicit deterministic comparator, never to enumeration order.
+bool better_design(const DesignPoint& candidate,
+                   const DesignPoint& incumbent) {
+  const double c_new = candidate.prediction.total_cycles;
+  const double c_old = incumbent.prediction.total_cycles;
+  if (c_new < c_old) return true;
+  if (c_new > 1.0005 * c_old) return false;
+  auto spread = [](const std::array<int, 3>& arrangement) {
+    return *std::max_element(arrangement.begin(), arrangement.end()) -
+           *std::min_element(arrangement.begin(), arrangement.end());
+  };
+  const std::int64_t k_new = candidate.config.total_kernels();
+  const std::int64_t k_old = incumbent.config.total_kernels();
+  if (k_new != k_old) return k_new > k_old;
+  const int s_new = spread(candidate.config.parallelism);
+  const int s_old = spread(incumbent.config.parallelism);
+  if (s_new != s_old) return s_new < s_old;
+  // Same latency band, same arrangement quality: only an exact latency
+  // tie may still flip the choice, through the stable comparator.
+  if (c_new != c_old) return false;
+  return design_order(candidate, incumbent);
+}
+
+}  // namespace
+
 Optimizer::Optimizer(const StencilProgram& program, OptimizerOptions options)
     : program_(&program),
       options_(std::move(options)),
-      resource_model_(options_.device),
-      perf_model_(program, options_.device, options_.cone_mode) {
+      space_(program, options_),
+      engine_(program, options_.device, options_.cone_mode,
+              options_.threads) {
   SCL_CHECK(options_.resource_fraction > 0.0 &&
                 options_.resource_fraction <= 1.0,
             "resource fraction must be in (0, 1]");
@@ -32,221 +80,39 @@ fpga::ResourceVector Optimizer::budget() const {
   return {scale(cap.ff), scale(cap.lut), scale(cap.dsp), scale(cap.bram18)};
 }
 
-std::vector<std::array<int, 3>> Optimizer::parallelism_candidates() const {
-  const int dims = program_->dims();
-  std::vector<std::array<int, 3>> out;
-  const std::vector<int> per_dim{1, 2, 4, 8, 16};
-  std::array<int, 3> k{1, 1, 1};
-  auto emit = [&] {
-    std::int64_t product = 1;
-    for (int d = 0; d < dims; ++d) product *= k[static_cast<std::size_t>(d)];
-    if (product <= options_.max_kernels && product >= 1) out.push_back(k);
-  };
-  if (dims == 1) {
-    for (int a : per_dim) {
-      k = {a, 1, 1};
-      emit();
-    }
-  } else if (dims == 2) {
-    for (int a : per_dim) {
-      for (int b : per_dim) {
-        k = {a, b, 1};
-        emit();
-      }
-    }
-  } else {
-    for (int a : per_dim) {
-      for (int b : per_dim) {
-        for (int c : per_dim) {
-          k = {a, b, c};
-          emit();
-        }
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<std::int64_t> Optimizer::tile_candidates_for_dim(int d) const {
-  std::vector<std::int64_t> base = options_.tile_candidates;
-  if (base.empty()) {
-    switch (program_->dims()) {
-      case 1:
-        base = {1024, 2048, 4096, 8192, 16384};
-        break;
-      case 2:
-        base = {32, 64, 128, 256};
-        break;
-      default:
-        base = {8, 16, 32, 64};
-        break;
-    }
-  }
-  const std::int64_t w = program_->grid_box().extent(d);
-  std::vector<std::int64_t> out;
-  for (const std::int64_t t : base) {
-    if (t <= w) out.push_back(t);
-  }
-  if (out.empty()) out.push_back(w);
-  return out;
-}
-
-std::vector<std::int64_t> Optimizer::fusion_candidates() const {
-  std::vector<std::int64_t> base = options_.fusion_candidates;
-  if (base.empty()) {
-    // Dense at the bottom, then geometric with midpoints — the optima the
-    // paper reports (6, 16, 23, 63, 69, ...) are rarely powers of two.
-    base = {1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96,
-            128, 160, 192, 256, 384, 512};
-  }
-  std::vector<std::int64_t> out;
-  for (const std::int64_t h : base) {
-    if (h >= 1 && h <= program_->iterations()) out.push_back(h);
-  }
-  if (out.empty()) out.push_back(1);
-  return out;
-}
-
-std::vector<std::array<std::int64_t, 3>> Optimizer::tile_shape_candidates()
-    const {
-  std::vector<std::array<std::int64_t, 3>> out;
-  auto clamp_dim = [&](std::int64_t t, int d) {
-    return std::max<std::int64_t>(
-        1, std::min<std::int64_t>(t, program_->grid_box().extent(d)));
-  };
-  for (const std::int64_t tile : tile_candidates_for_dim(0)) {
-    std::array<std::int64_t, 3> shape{1, 1, 1};
-    for (int d = 0; d < program_->dims(); ++d) {
-      shape[static_cast<std::size_t>(d)] = clamp_dim(tile, d);
-    }
-    out.push_back(shape);
-    if (program_->dims() == 3) {
-      for (const std::int64_t div : {2, 4}) {
-        if (tile / div >= 4) {
-          auto flat = shape;
-          flat[0] = clamp_dim(tile / div, 0);
-          out.push_back(flat);
-        }
-      }
-    }
-  }
-  // Deduplicate (clamping can collapse shapes).
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
 DesignPoint Optimizer::evaluate(const DesignConfig& config) const {
-  DesignPoint point;
-  point.config = config;
-  point.prediction = perf_model_.predict(config);
-  point.resources =
-      estimate_design_resources(*program_, config, resource_model_);
-  return point;
+  return engine_.evaluate(config);
 }
 
-std::vector<DesignPoint> Optimizer::pareto_frontier(
-    sim::DesignKind kind) const {
-  const fpga::ResourceVector cap = budget();
-  std::vector<DesignPoint> feasible;
-  for (const auto& par : parallelism_candidates()) {
-    for (const int unroll : options_.unroll_candidates) {
-      for (const auto& tile : tile_shape_candidates()) {
-        DesignConfig config;
-        config.kind = kind;
-        config.unroll = unroll;
-        config.tile_size = tile;
-        for (int d = 0; d < program_->dims(); ++d) {
-          config.parallelism[static_cast<std::size_t>(d)] =
-              par[static_cast<std::size_t>(d)];
-        }
-        for (const std::int64_t h : fusion_candidates()) {
-          config.fused_iterations = h;
-          const DesignPoint point = evaluate(config);
-          if (!point.resources.total.fits_within(cap)) break;
-          feasible.push_back(point);
-        }
-      }
-    }
+std::vector<DesignPoint> Optimizer::explore(DesignKind kind) const {
+  return engine_.evaluate_chains(space_.chains(kind), budget());
+}
+
+DesignPoint Optimizer::select_best(
+    const std::vector<DesignPoint>& feasible) const {
+  // Running-best scan over the deterministic enumeration order. The scan
+  // itself is serial (and cheap); all evaluation already happened on the
+  // pool, so the result cannot depend on thread scheduling.
+  const DesignPoint* best = nullptr;
+  for (const DesignPoint& point : feasible) {
+    if (best == nullptr || better_design(point, *best)) best = &point;
   }
-  std::sort(feasible.begin(), feasible.end(),
-            [](const DesignPoint& a, const DesignPoint& b) {
-              if (a.prediction.total_cycles != b.prediction.total_cycles) {
-                return a.prediction.total_cycles < b.prediction.total_cycles;
-              }
-              return a.resources.total.bram18 < b.resources.total.bram18;
-            });
-  std::vector<DesignPoint> frontier;
-  std::int64_t best_bram = std::numeric_limits<std::int64_t>::max();
-  for (DesignPoint& point : feasible) {
-    if (point.resources.total.bram18 < best_bram) {
-      best_bram = point.resources.total.bram18;
-      frontier.push_back(std::move(point));
-    }
-  }
-  return frontier;
+  SCL_CHECK(best != nullptr, "select_best needs a non-empty feasible set");
+  return *best;
 }
 
 DesignPoint Optimizer::optimize_baseline() const {
-  const fpga::ResourceVector cap = budget();
-  std::optional<DesignPoint> best;
-  std::int64_t evaluated = 0;
-
-  for (const auto& par : parallelism_candidates()) {
-    for (const int unroll : options_.unroll_candidates) {
-      for (const auto& tile : tile_shape_candidates()) {
-        DesignConfig config;
-        config.kind = DesignKind::kBaseline;
-        config.unroll = unroll;
-        config.tile_size = tile;
-        for (int d = 0; d < program_->dims(); ++d) {
-          config.parallelism[static_cast<std::size_t>(d)] =
-              par[static_cast<std::size_t>(d)];
-        }
-        for (const std::int64_t h : fusion_candidates()) {
-          config.fused_iterations = h;
-          // Resource use grows monotonically with h (cone buffers), so
-          // stop raising h once the budget is exceeded.
-          const DesignPoint point = evaluate(config);
-          ++evaluated;
-          if (!point.resources.total.fits_within(cap)) break;
-          if (!best.has_value() ||
-              point.prediction.total_cycles <
-                  best->prediction.total_cycles) {
-            best = point;
-          } else if (point.prediction.total_cycles <=
-                     1.0005 * best->prediction.total_cycles) {
-            // Near-tie (the baseline's overlapped cones make the latency
-            // insensitive to the parallelism arrangement): prefer more
-            // compute units, then the squarer arrangement — both benefit
-            // the heterogeneous design later derived from this choice
-            // (more interior tiles, shorter pipe boundaries).
-            auto spread = [](const std::array<int, 3>& arrangement) {
-              return *std::max_element(arrangement.begin(),
-                                       arrangement.end()) -
-                     *std::min_element(arrangement.begin(),
-                                       arrangement.end());
-            };
-            const std::int64_t k_new = config.total_kernels();
-            const std::int64_t k_best = best->config.total_kernels();
-            if (k_new > k_best ||
-                (k_new == k_best && spread(config.parallelism) <
-                                        spread(best->config.parallelism))) {
-              best = point;
-            }
-          }
-        }
-      }
-    }
-  }
-  SCL_INFO() << "baseline DSE for " << program_->name() << ": " << evaluated
-             << " candidates";
-  if (!best.has_value()) {
+  const std::int64_t evaluated_before = engine_.stats().candidates_evaluated;
+  const std::vector<DesignPoint> feasible = explore(DesignKind::kBaseline);
+  SCL_INFO() << "baseline DSE for " << program_->name() << ": "
+             << engine_.stats().candidates_evaluated - evaluated_before
+             << " candidates on " << engine_.threads() << " thread(s)";
+  if (feasible.empty()) {
     throw ResourceError(
         str_cat("no baseline design for '", program_->name(),
-                "' fits the device budget ", cap.to_string()));
+                "' fits the device budget ", budget().to_string()));
   }
-  return *best;
+  return select_best(feasible);
 }
 
 DesignPoint Optimizer::optimize_heterogeneous(
@@ -260,50 +126,42 @@ DesignPoint Optimizer::optimize_heterogeneous(
   fpga::ResourceVector cap = baseline.resources.total;
   cap.ff = static_cast<std::int64_t>(static_cast<double>(cap.ff) * 1.03);
   cap.lut = static_cast<std::int64_t>(static_cast<double>(cap.lut) * 1.03);
-  std::optional<DesignPoint> best;
-  std::int64_t evaluated = 0;
 
   // Table 3 protocol: the heterogeneous design keeps the baseline's
   // nominal tile (its region sweep), so the reported "tile size of the
   // slowest kernel" is the baseline tile minus the balancing shrink.
-  {
-    DesignConfig config;
-    config.kind = DesignKind::kHeterogeneous;
-    config.unroll = baseline.config.unroll;
-    config.parallelism = baseline.config.parallelism;
-    config.tile_size = baseline.config.tile_size;
-    for (const std::int64_t h : fusion_candidates()) {
-      config.fused_iterations = h;
-      for (const std::int64_t shrink : options_.shrink_candidates) {
-        // Apply the shrink only along dimensions that can rebalance
-        // (K_d >= 3 leaves interior tiles to absorb the released cells).
-        bool any_applied = shrink == 0;
-        for (int d = 0; d < program_->dims(); ++d) {
-          const auto ds = static_cast<std::size_t>(d);
-          const bool can_balance = config.parallelism[ds] >= 3 &&
-                                   shrink < config.tile_size[ds];
-          config.edge_shrink[ds] = can_balance ? shrink : 0;
-          any_applied |= can_balance;
-        }
-        if (!any_applied) continue;  // identical to the shrink=0 candidate
-        const DesignPoint point = evaluate(config);
-        ++evaluated;
-        if (!point.resources.total.fits_within(cap)) continue;
-        if (!best.has_value() ||
-            point.prediction.total_cycles < best->prediction.total_cycles) {
-          best = point;
-        }
-      }
-    }
-  }
+  const std::vector<DesignConfig> candidates =
+      space_.heterogeneous_candidates(baseline.config);
+  const std::vector<DesignPoint> points = engine_.evaluate_batch(candidates);
   SCL_INFO() << "heterogeneous DSE for " << program_->name() << ": "
-             << evaluated << " candidates";
-  if (!best.has_value()) {
+             << points.size() << " candidates on " << engine_.threads()
+             << " thread(s)";
+  std::vector<DesignPoint> feasible;
+  feasible.reserve(points.size());
+  for (const DesignPoint& point : points) {
+    if (point.resources.total.fits_within(cap)) feasible.push_back(point);
+  }
+  if (feasible.empty()) {
     throw ResourceError(
         str_cat("no heterogeneous design for '", program_->name(),
                 "' fits within the baseline's resources ", cap.to_string()));
   }
-  return *best;
+  return select_best(feasible);
+}
+
+std::vector<DesignPoint> Optimizer::pareto_frontier(
+    sim::DesignKind kind) const {
+  std::vector<DesignPoint> feasible = explore(kind);
+  std::sort(feasible.begin(), feasible.end(), design_order);
+  std::vector<DesignPoint> frontier;
+  std::int64_t best_bram = std::numeric_limits<std::int64_t>::max();
+  for (DesignPoint& point : feasible) {
+    if (point.resources.total.bram18 < best_bram) {
+      best_bram = point.resources.total.bram18;
+      frontier.push_back(std::move(point));
+    }
+  }
+  return frontier;
 }
 
 }  // namespace scl::core

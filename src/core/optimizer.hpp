@@ -12,11 +12,20 @@
 //    total resources are capped by what the *baseline* consumed, and the
 //    fusion depth, tile size and workload-balancing factors are chosen by
 //    the model.
+//
+// Internally the search is split into a pure CandidateSpace enumerator
+// and a parallel, memoizing EvaluationEngine (see candidate_space.hpp,
+// evaluation_engine.hpp). Candidates are evaluated concurrently on a
+// thread pool, collected in enumeration order, and selected by an
+// explicit deterministic comparator — so explore results, Pareto
+// frontiers and best() are bit-identical for any thread count.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "core/candidate_space.hpp"
+#include "core/evaluation_engine.hpp"
 #include "core/resource_estimator.hpp"
 #include "fpga/device.hpp"
 #include "model/perf_model.hpp"
@@ -41,6 +50,9 @@ struct OptimizerOptions {
   /// Candidate edge-shrink values for workload balancing.
   std::vector<std::int64_t> shrink_candidates{0, 1, 2, 4, 8};
   model::ConeMode cone_mode = model::ConeMode::kRefined;
+  /// Worker threads for candidate evaluation. <= 0 resolves via the
+  /// SCL_THREADS environment variable, then hardware concurrency.
+  int threads = 0;
 };
 
 /// One evaluated design: configuration, predicted latency, resources.
@@ -49,6 +61,13 @@ struct DesignPoint {
   model::Prediction prediction;
   DesignResources resources;
 };
+
+/// The total deterministic design ordering: predicted latency, then the
+/// resource vector (BRAM18, FF, LUT, DSP), then the canonical config key.
+/// No two distinct configs compare equal, so any selection or sort that
+/// uses this order is independent of enumeration and thread scheduling.
+/// Shared by the serial and parallel search paths.
+bool design_order(const DesignPoint& a, const DesignPoint& b);
 
 class Optimizer {
  public:
@@ -65,6 +84,7 @@ class Optimizer {
 
   /// Evaluates one configuration (prediction + resources) without
   /// feasibility filtering. Useful for sweeps and ablation studies.
+  /// Memoized: repeated calls with the same config hit the eval cache.
   DesignPoint evaluate(const sim::DesignConfig& config) const;
 
   /// All budget-feasible designs of `kind` that are Pareto-optimal in
@@ -73,25 +93,31 @@ class Optimizer {
   /// memory footprint.
   std::vector<DesignPoint> pareto_frontier(sim::DesignKind kind) const;
 
+  /// Every budget-feasible design of `kind`, in enumeration order — the
+  /// raw material of pareto_frontier() and optimize_baseline(). The list
+  /// is bit-identical for any thread count.
+  std::vector<DesignPoint> explore(sim::DesignKind kind) const;
+
   /// The resource budget configurations must fit
   /// (device capacity x resource_fraction).
   fpga::ResourceVector budget() const;
 
   const OptimizerOptions& options() const { return options_; }
+  const CandidateSpace& space() const { return space_; }
+
+  /// Evaluation counters (candidates, cache hits, wall-clock) accumulated
+  /// over every search this optimizer ran.
+  DseStats dse_stats() const { return engine_.stats(); }
 
  private:
-  std::vector<std::array<int, 3>> parallelism_candidates() const;
-  std::vector<std::int64_t> tile_candidates_for_dim(int d) const;
-  /// Per-dimension tile extents to explore: uniform shapes, plus (for 3-D
-  /// stencils) variants with the outermost dimension halved or quartered —
-  /// the flattened-tile shapes the paper's Table 3 favors (16x32x32).
-  std::vector<std::array<std::int64_t, 3>> tile_shape_candidates() const;
-  std::vector<std::int64_t> fusion_candidates() const;
+  DesignPoint select_best(const std::vector<DesignPoint>& feasible) const;
 
   const scl::stencil::StencilProgram* program_;
   OptimizerOptions options_;
-  fpga::ResourceModel resource_model_;
-  model::PerfModel perf_model_;
+  CandidateSpace space_;
+  /// Mutable: the engine's cache and counters advance under const
+  /// searches; evaluation itself is pure.
+  mutable EvaluationEngine engine_;
 };
 
 }  // namespace scl::core

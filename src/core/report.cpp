@@ -125,6 +125,24 @@ std::string render_markdown_report(const SynthesisReport& report) {
     out += table.to_markdown();
   }
 
+  if (report.dse.candidates_evaluated > 0) {
+    out += "\n## Design-space exploration\n\n";
+    TableWriter table({"metric", "value"});
+    table.add_row({"candidates evaluated",
+                   format_thousands(report.dse.candidates_evaluated)});
+    table.add_row(
+        {"cache hits", str_cat(format_thousands(report.dse.cache_hits), " (",
+                               format_fixed(100.0 * report.dse.cache_hit_rate(), 1),
+                               "%)")});
+    table.add_row({"worker threads", std::to_string(report.dse.threads)});
+    table.add_row(
+        {"wall-clock", str_cat(format_fixed(report.dse.wall_seconds, 3), " s")});
+    table.add_row({"candidates/sec",
+                   format_thousands(static_cast<std::int64_t>(
+                       report.dse.candidates_per_sec()))});
+    out += table.to_markdown();
+  }
+
   if (report.baseline_sim.total_cycles > 0) {
     out += "\n## Execution-phase breakdown (baseline)\n\n";
     out += phase_table(report.baseline_sim);

@@ -87,6 +87,41 @@ void DesignConfig::validate(const scl::stencil::StencilProgram& program) const {
   }
 }
 
+DesignKey DesignConfig::key() const {
+  DesignKey k;
+  k.v[0] = static_cast<std::int64_t>(kind);
+  k.v[1] = fused_iterations;
+  for (std::size_t d = 0; d < 3; ++d) {
+    k.v[2 + d] = parallelism[d];
+    k.v[5 + d] = tile_size[d];
+    k.v[8 + d] = edge_shrink[d];
+  }
+  k.v[11] = unroll;
+  return k;
+}
+
+namespace {
+
+std::uint64_t fnv1a(const DesignKey& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const std::int64_t word : key.v) {
+    auto u = static_cast<std::uint64_t>(word);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (u >> (8 * byte)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t DesignConfig::hash() const { return fnv1a(key()); }
+
+std::size_t DesignKeyHash::operator()(const DesignKey& key) const {
+  return static_cast<std::size_t>(fnv1a(key));
+}
+
 std::string DesignConfig::summary(int dims) const {
   std::vector<std::string> tiles;
   std::vector<std::string> cus;

@@ -33,6 +33,25 @@ enum class DesignKind { kBaseline, kHeterogeneous };
 
 const char* to_string(DesignKind kind);
 
+/// Canonical identity of a DesignConfig: every field that influences the
+/// analytical model, the resource estimate, the simulator and codegen,
+/// packed into one lexicographically comparable tuple. Two configs with
+/// equal keys evaluate identically, which is what makes the key usable
+/// both as the eval-cache key and as the final tie-breaker of the
+/// deterministic design ordering.
+struct DesignKey {
+  std::array<std::int64_t, 12> v{};
+
+  friend bool operator==(const DesignKey&, const DesignKey&) = default;
+  friend auto operator<=>(const DesignKey&, const DesignKey&) = default;
+};
+
+/// Hash functor for DesignKey (FNV-1a over the packed words), for
+/// unordered containers.
+struct DesignKeyHash {
+  std::size_t operator()(const DesignKey& key) const;
+};
+
 struct DesignConfig {
   DesignKind kind = DesignKind::kBaseline;
   std::int64_t fused_iterations = 1;
@@ -65,6 +84,15 @@ struct DesignConfig {
 
   /// Short human-readable description, e.g. "128x128 tiles, 4x4 CUs, h=32".
   std::string summary(int dims) const;
+
+  /// Canonical identity (see DesignKey).
+  DesignKey key() const;
+
+  /// 64-bit FNV-1a hash of key(); stable across runs and platforms with
+  /// 64-bit std::int64_t.
+  std::uint64_t hash() const;
+
+  friend bool operator==(const DesignConfig&, const DesignConfig&) = default;
 };
 
 }  // namespace scl::sim

@@ -1,0 +1,157 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace scl {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+thread_local int tls_worker_slot = 0;
+
+/// Shared state of one parallel_for: the index cursor, the helper
+/// completion count, and the lowest-index exception.
+struct LoopState {
+  std::int64_t n = 0;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> cursor{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int helpers_pending = 0;
+  std::int64_t error_index = std::numeric_limits<std::int64_t>::max();
+  std::exception_ptr error;
+
+  void drain() {
+    while (true) {
+      const std::int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void worker_main(int slot) {
+    tls_in_worker = true;
+    tls_worker_slot = slot;
+    while (true) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (queue.empty()) {
+          if (stop) return;
+          continue;
+        }
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      job();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl), threads_(threads) {
+  SCL_CHECK(threads >= 1, "thread pool needs at least one thread");
+  impl_->workers.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    impl_->workers.emplace_back([this, t] { impl_->worker_main(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  // Oversubscription beyond this never helps the DSE and would fail
+  // thread creation with an obscure system error; clamp instead.
+  constexpr int kMaxThreads = 256;
+  if (requested >= 1) return std::min(requested, kMaxThreads);
+  if (const char* env = std::getenv("SCL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+bool ThreadPool::in_worker() { return tls_in_worker; }
+
+int ThreadPool::worker_slot() { return tls_worker_slot; }
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (threads_ <= 1 || n == 1 || tls_in_worker) {
+    // Serial fallback — also the nested case: a parallel_for from inside
+    // pool work must not wait on the pool it occupies.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  LoopState state;
+  state.n = n;
+  state.fn = &fn;
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(threads_ - 1, n - 1));
+  state.helpers_pending = helpers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (int h = 0; h < helpers; ++h) {
+      impl_->queue.emplace_back([&state] {
+        state.drain();
+        std::lock_guard<std::mutex> state_lock(state.mutex);
+        if (--state.helpers_pending == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  impl_->work_cv.notify_all();
+
+  // The submitting thread drains too; flag it so nested calls serialize.
+  tls_in_worker = true;
+  state.drain();
+  tls_in_worker = false;
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done_cv.wait(lock, [&] { return state.helpers_pending == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace scl

@@ -1,0 +1,81 @@
+// Deterministic thread pool for design-space exploration.
+//
+// A fixed set of workers drains an index range through an atomic cursor —
+// there is no work stealing and no task migration, so which *thread* runs
+// an index is scheduling-dependent, but every result is written to the
+// slot of its index: outputs are position-deterministic regardless of
+// thread count or interleaving. Callers that need bit-identical results
+// across thread counts get them by construction, as long as the per-index
+// function is pure.
+//
+// The pool is nested-free: a parallel_for issued from inside a worker (or
+// from inside the caller's own drain loop) degrades to a serial loop
+// instead of re-entering the pool, so work functions may freely call
+// library code that itself parallelizes.
+//
+// Sizing: an explicit thread count wins; otherwise the SCL_THREADS
+// environment variable; otherwise std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace scl {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread always participates
+  /// in parallel_for). `threads` must be >= 1; 1 means fully serial.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Resolves a requested thread count: `requested` >= 1 wins, else the
+  /// SCL_THREADS environment variable (clamped to >= 1), else hardware
+  /// concurrency (>= 1).
+  static int resolve_threads(int requested);
+
+  /// True when the calling thread is currently executing pool work (its
+  /// own drain loop included); parallel_for then runs serially.
+  static bool in_worker();
+
+  /// Index of the calling thread's evaluation slot: 0 for the submitting
+  /// thread, 1..threads-1 for workers. Stable for the duration of one
+  /// work item; callers use it to pick per-worker scratch state.
+  static int worker_slot();
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete. Indices are
+  /// claimed through a shared cursor; results must be written by index.
+  /// The first exception (lowest index) is rethrown after the loop
+  /// drains; remaining indices still run.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// Maps `fn` over `items`, returning results in input order. `fn` must
+  /// be pure for cross-thread-count determinism; the result type must be
+  /// default-constructible.
+  template <typename In, typename Fn>
+  auto parallel_map(const std::vector<In>& items, Fn&& fn)
+      -> std::vector<decltype(fn(items[std::size_t{0}]))> {
+    using Out = decltype(fn(items[std::size_t{0}]));
+    std::vector<Out> out(items.size());
+    parallel_for(static_cast<std::int64_t>(items.size()),
+                 [&](std::int64_t i) {
+                   const auto s = static_cast<std::size_t>(i);
+                   out[s] = fn(items[s]);
+                 });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+}  // namespace scl

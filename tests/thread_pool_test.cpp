@@ -1,0 +1,150 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scl {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  pool.parallel_for(-3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::int64_t n = 10000;
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(8);
+  std::vector<int> items(513);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> out =
+      pool.parallel_map(items, [](int v) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsSerially) {
+  ThreadPool pool(1);
+  std::vector<std::int64_t> order;
+  pool.parallel_for(16, [&](std::int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToTheCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::int64_t i) {
+                          if (i == 42) throw std::runtime_error("boom 42");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  // Several indices throw; the rethrown one must be the lowest index so
+  // serial and parallel runs report the same failure.
+  ThreadPool pool(4);
+  std::string what;
+  try {
+    pool.parallel_for(1000, [](std::int64_t i) {
+      if (i % 250 == 7) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    what = e.what();
+  }
+  EXPECT_EQ(what, "boom 7");
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotAbortRemainingIndices) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(64, [&](std::int64_t i) {
+      executed.fetch_add(1);
+      if (i == 0) throw std::runtime_error("early");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::int64_t) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    // Nested call must not wait on the pool it occupies.
+    pool.parallel_for(8, [&](std::int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolTest, WorkerSlotsAreWithinPoolSize) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  pool.parallel_for(256, [&](std::int64_t) {
+    const int slot = ThreadPool::worker_slot();
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+    seen[static_cast<std::size_t>(slot)].fetch_add(1);
+  });
+  int covered = 0;
+  for (const auto& s : seen) covered += s.load();
+  EXPECT_EQ(covered, 256);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPrefersExplicitCount) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsReadsEnvironment) {
+  ::setenv("SCL_THREADS", "5", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 5);
+  ::setenv("SCL_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);  // falls back to hardware
+  ::setenv("SCL_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  ::setenv("SCL_THREADS", "100000", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 256);  // clamped, not fatal
+  EXPECT_EQ(ThreadPool::resolve_threads(100000), 256);
+  ::unsetenv("SCL_THREADS");
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+}
+
+TEST(ThreadPoolTest, ManyIterationsStress) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  const std::int64_t n = 100000;
+  pool.parallel_for(n, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace scl
