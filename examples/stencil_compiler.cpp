@@ -9,6 +9,11 @@
 //   --emit <dir>          write stencil_kernels.cl / stencil_host.cpp there
 //   --report <file.md>    write a Markdown synthesis report
 //   --no-sim              skip the device simulation
+//   --analyze             print design-verifier diagnostics (pipe graph,
+//                         halo & bounds, resource cross-check, generated
+//                         sources); exit 1 when errors are reported
+//   --analyze-json        like --analyze but machine-readable JSON (see
+//                         docs/ARCHITECTURE.md §8 for the schema)
 //   --dump-stencil        print the program in .stencil form and exit
 //   --list                list built-in benchmarks and devices, exit
 //
@@ -35,8 +40,8 @@ namespace {
 int usage() {
   std::cerr
       << "usage: stencil_compiler <input.stencil | benchmark-name> "
-         "[--device <name>] [--emit <dir>] [--no-sim] [--dump-stencil] "
-         "[--list]\n";
+         "[--device <name>] [--emit <dir>] [--no-sim] [--analyze] "
+         "[--analyze-json] [--dump-stencil] [--list]\n";
   return 2;
 }
 
@@ -91,6 +96,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> report_path;
   bool simulate = true;
   bool dump = false;
+  bool analyze = false;
+  bool analyze_json = false;
   scl::frontend::OpenClImportOptions ocl_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +108,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-sim") {
       simulate = false;
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--analyze-json") {
+      analyze_json = true;
     } else if (arg == "--dump-stencil") {
       dump = true;
     } else if (arg == "--device") {
@@ -150,10 +161,26 @@ int main(int argc, char** argv) {
 
     scl::core::FrameworkOptions options;
     options.optimizer.device = scl::fpga::find_device(device_name);
-    options.simulate = simulate;
+    options.simulate = simulate && !analyze && !analyze_json;
     options.generate_code = true;
+    // The analyze modes render diagnostics themselves instead of letting
+    // the framework abort on the first error.
+    options.fail_on_analysis_error = !analyze && !analyze_json;
     const scl::core::Framework framework(program, options);
     const scl::core::SynthesisReport report = framework.synthesize();
+
+    if (analyze_json) {
+      std::cout << report.analysis.render_json() << "\n";
+      return report.analysis.has_errors() ? 1 : 0;
+    }
+    if (analyze) {
+      if (report.analysis.empty()) {
+        std::cout << "design verification: no diagnostics\n";
+      } else {
+        std::cout << report.analysis.render_text();
+      }
+      return report.analysis.has_errors() ? 1 : 0;
+    }
     std::cout << report.to_string();
 
     if (report_path.has_value()) {

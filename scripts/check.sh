@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
-# Full verification: configure, build (warnings as errors), test, bench.
+# Full verification: configure, build (warnings as errors), test, analyze
+# every bundled stencil through the design verifier, bench.
 set -euo pipefail
-cd "$(dirname "$0")"
+cd "$(dirname "$0")/.."
 cmake -B build -G Ninja -DSTENCILCL_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# The static design verifier must report zero errors for every bundled
+# example and benchmark (stencil_compiler --analyze exits nonzero on
+# error diagnostics).
+for f in examples/*.stencil; do
+  echo "analyze $f"
+  ./build/examples/stencil_compiler "$f" --analyze
+done
+for b in Jacobi-1D Jacobi-2D Jacobi-3D HotSpot-2D HotSpot-3D FDTD-2D FDTD-3D; do
+  echo "analyze $b"
+  ./build/examples/stencil_compiler "$b" --analyze
+done
+
 for b in build/bench/*; do
   [ -x "$b" ] && "$b"
 done

@@ -1,0 +1,57 @@
+// Interval evaluation of the affine loop-bound expressions emitted by
+// codegen/boundary_gen.
+//
+// The bound language is tiny: integer literals, named runtime variables
+// (r0..r2 region origins, and the pre-substituted fused-iteration distance
+// `pass_h - it`), +, -, * and the OpenCL max()/min() clamps. Every bound
+// the generator emits is a piecewise-affine, monotone expression over
+// those variables, so evaluating it with interval arithmetic — or at the
+// extreme points of each variable's range — bounds the runtime value of
+// the loop bound exactly.
+//
+// The analyzer uses degenerate (point) intervals to evaluate bounds at
+// sampled region origins and iteration distances, and wide intervals for
+// absolute worst-case checks against the grid box.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace scl::analysis {
+
+/// Inclusive integer interval [lo, hi].
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  static Interval point(std::int64_t v) { return {v, v}; }
+
+  bool is_point() const { return lo == hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator*(const Interval& a, const Interval& b);
+Interval interval_max(const Interval& a, const Interval& b);
+Interval interval_min(const Interval& a, const Interval& b);
+
+/// Variable environment: name -> interval of possible runtime values.
+using IntervalEnv = std::map<std::string, Interval, std::less<>>;
+
+/// Parses and evaluates one loop-bound expression over `env`. The grammar:
+///
+///   expr   := term (('+' | '-') term)*
+///   term   := factor ('*' factor)*
+///   factor := INT | IDENT | '-' factor | '(' expr ')'
+///           | ('max' | 'min') '(' expr ',' expr ')'
+///
+/// Throws scl::Error on a syntax error or an identifier missing from
+/// `env` — the analyzer reports that as an SCL209 diagnostic (analysis
+/// incomplete) rather than silently passing the bound.
+Interval eval_bound_expr(std::string_view expr, const IntervalEnv& env);
+
+}  // namespace scl::analysis

@@ -1,115 +1,219 @@
 #include "codegen/validator.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "support/strings.hpp"
 
 namespace scl::codegen {
 
+using support::Diagnostic;
+using support::Severity;
+
 namespace {
 
-void check_balance(const std::string& src, std::vector<ValidationIssue>* out,
+Diagnostic make_error(std::string code, std::string message, int line = -1) {
+  Diagnostic diag;
+  diag.code = std::move(code);
+  diag.severity = Severity::kError;
+  diag.message = std::move(message);
+  diag.location = {"source", "", line};
+  return diag;
+}
+
+void check_balance(const std::string& src, std::vector<Diagnostic>* out,
                    char open, char close, const char* what) {
   std::int64_t depth = 0;
-  std::int64_t line = 1;
+  int line = 1;
   for (const char c : src) {
     if (c == '\n') ++line;
     if (c == open) ++depth;
     if (c == close) {
       --depth;
       if (depth < 0) {
-        out->push_back({str_cat("unbalanced ", what, ": extra '", close,
-                                "' at line ", line)});
+        out->push_back(make_error(
+            "SCL001",
+            str_cat("unbalanced ", what, ": extra '", close, "'"), line));
         return;
       }
     }
   }
   if (depth != 0) {
-    out->push_back({str_cat("unbalanced ", what, ": ", depth, " unclosed '",
-                            open, "'")});
+    out->push_back(make_error(
+        "SCL001",
+        str_cat("unbalanced ", what, ": ", depth, " unclosed '", open, "'")));
   }
 }
 
 void check_placeholders(const std::string& src,
-                        std::vector<ValidationIssue>* out) {
+                        std::vector<Diagnostic>* out) {
   const std::size_t pos = src.find('$');
   if (pos != std::string::npos) {
-    out->push_back({str_cat("unexpanded formula placeholder at offset ", pos)});
+    const int line = 1 + static_cast<int>(
+                             std::count(src.begin(),
+                                        src.begin() + static_cast<std::ptrdiff_t>(pos),
+                                        '\n'));
+    out->push_back(make_error(
+        "SCL002", str_cat("unexpanded formula placeholder at offset ", pos),
+        line));
   }
 }
 
-/// Extracts every identifier following `prefix(`-style usage, e.g.
-/// occurrences of "read_pipe_block(" capture the first argument token.
-std::set<std::string> pipe_arguments(const std::string& src,
-                                     const std::string& call) {
-  std::set<std::string> out;
-  std::size_t pos = 0;
-  while ((pos = src.find(call, pos)) != std::string::npos) {
-    pos += call.size();
-    std::string name;
-    while (pos < src.size() &&
-           (std::isalnum(static_cast<unsigned char>(src[pos])) ||
-            src[pos] == '_')) {
-      name.push_back(src[pos++]);
+std::string identifier_at(const std::string& src, std::size_t pos) {
+  std::string name;
+  while (pos < src.size() &&
+         (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+          src[pos] == '_')) {
+    name.push_back(src[pos++]);
+  }
+  return name;
+}
+
+/// Per-kernel pipe usage: which kernels write and read each pipe. Pipes
+/// used outside any kernel body are attributed to the pseudo-kernel
+/// "<global>".
+struct PipeUsage {
+  std::set<std::string> writers;
+  std::set<std::string> readers;
+};
+
+std::map<std::string, PipeUsage> collect_pipe_usage(const std::string& src) {
+  std::map<std::string, PipeUsage> usage;
+  std::string current = "<global>";
+  // The emitter puts the __kernel attribute line and the `void name(`
+  // line separately, so remember seeing __kernel until the name arrives.
+  bool awaiting_name = false;
+  for (const std::string& raw : split(src, '\n')) {
+    const std::string line = trim(raw);
+    std::size_t void_pos = std::string::npos;
+    const std::size_t kernel_pos = line.find("__kernel");
+    if (kernel_pos != std::string::npos) {
+      awaiting_name = true;
+      void_pos = line.find("void", kernel_pos);
+    } else if (awaiting_name && starts_with(line, "void")) {
+      void_pos = 0;
     }
-    if (!name.empty()) out.insert(name);
+    if (awaiting_name && void_pos != std::string::npos) {
+      std::size_t name_pos = void_pos + 4;
+      while (name_pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[name_pos]))) {
+        ++name_pos;
+      }
+      const std::string name = identifier_at(line, name_pos);
+      if (!name.empty()) {
+        current = name;
+        awaiting_name = false;
+      }
+    }
+    for (const auto& [call, is_write] :
+         {std::pair{std::string("write_pipe_block("), true},
+          std::pair{std::string("read_pipe_block("), false}}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(call, pos)) != std::string::npos) {
+        pos += call.size();
+        const std::string pipe = identifier_at(line, pos);
+        if (pipe.empty()) continue;
+        if (is_write) {
+          usage[pipe].writers.insert(current);
+        } else {
+          usage[pipe].readers.insert(current);
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+std::string join_kernels(const std::set<std::string>& kernels) {
+  std::string out;
+  for (const std::string& k : kernels) {
+    if (!out.empty()) out += ", ";
+    out += k;
   }
   return out;
 }
 
 }  // namespace
 
-std::vector<ValidationIssue> validate_kernel_source(const std::string& src) {
-  std::vector<ValidationIssue> issues;
+std::vector<Diagnostic> validate_kernel_source(const std::string& src) {
+  std::vector<Diagnostic> issues;
   check_balance(src, &issues, '{', '}', "braces");
   check_balance(src, &issues, '(', ')', "parentheses");
   check_balance(src, &issues, '[', ']', "brackets");
   check_placeholders(src, &issues);
 
-  // Every declared pipe must be both written and read exactly once each
-  // way (pipes are point-to-point); every used pipe must be declared.
   std::set<std::string> declared;
   for (const std::string& line : split(src, '\n')) {
     const std::string trimmed = trim(line);
     if (starts_with(trimmed, "pipe float ")) {
-      std::string name;
-      for (std::size_t i = 11; i < trimmed.size(); ++i) {
-        const char c = trimmed[i];
-        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-          name.push_back(c);
-        } else {
-          break;
-        }
-      }
+      const std::string name = identifier_at(trimmed, 11);
       if (!name.empty()) declared.insert(name);
     }
   }
-  const std::set<std::string> written = pipe_arguments(src, "write_pipe_block(");
-  const std::set<std::string> read = pipe_arguments(src, "read_pipe_block(");
+
+  // Pipes are point-to-point channels: exactly one kernel writes each,
+  // exactly one *other* kernel reads each. Usage is attributed per
+  // enclosing kernel, so a same-kernel read/write pair no longer passes
+  // as "used both ways".
+  const std::map<std::string, PipeUsage> usage = collect_pipe_usage(src);
+  auto pipe_diag = [&](std::string code, std::string message,
+                       const std::string& pipe) {
+    Diagnostic diag = make_error(std::move(code), std::move(message));
+    diag.location = {"pipe", pipe, -1};
+    issues.push_back(std::move(diag));
+  };
   for (const std::string& p : declared) {
-    if (!written.count(p)) {
-      issues.push_back({str_cat("pipe '", p, "' declared but never written")});
+    const auto it = usage.find(p);
+    const bool written = it != usage.end() && !it->second.writers.empty();
+    const bool read = it != usage.end() && !it->second.readers.empty();
+    if (!written) {
+      pipe_diag("SCL010", str_cat("pipe '", p, "' declared but never written"),
+                p);
     }
-    if (!read.count(p)) {
-      issues.push_back({str_cat("pipe '", p, "' declared but never read")});
+    if (!read) {
+      pipe_diag("SCL011", str_cat("pipe '", p, "' declared but never read"),
+                p);
+    }
+    if (it == usage.end()) continue;
+    if (it->second.writers.size() > 1) {
+      pipe_diag("SCL014",
+                str_cat("pipe '", p, "' written by multiple kernels: ",
+                        join_kernels(it->second.writers)),
+                p);
+    }
+    if (it->second.readers.size() > 1) {
+      pipe_diag("SCL015",
+                str_cat("pipe '", p, "' read by multiple kernels: ",
+                        join_kernels(it->second.readers)),
+                p);
+    }
+    for (const std::string& k : it->second.writers) {
+      if (it->second.readers.count(k) != 0) {
+        pipe_diag("SCL016",
+                  str_cat("pipe '", p, "' read and written by the same "
+                          "kernel '", k, "'"),
+                  p);
+      }
     }
   }
-  for (const std::string& p : written) {
-    if (!declared.count(p)) {
-      issues.push_back({str_cat("pipe '", p, "' written but not declared")});
+  for (const auto& [p, use] : usage) {
+    if (declared.count(p) != 0) continue;
+    if (!use.writers.empty()) {
+      pipe_diag("SCL012", str_cat("pipe '", p, "' written but not declared"),
+                p);
     }
-  }
-  for (const std::string& p : read) {
-    if (!declared.count(p)) {
-      issues.push_back({str_cat("pipe '", p, "' read but not declared")});
+    if (!use.readers.empty()) {
+      pipe_diag("SCL013", str_cat("pipe '", p, "' read but not declared"), p);
     }
   }
   return issues;
 }
 
-std::vector<ValidationIssue> validate_host_source(const std::string& src) {
-  std::vector<ValidationIssue> issues;
+std::vector<Diagnostic> validate_host_source(const std::string& src) {
+  std::vector<Diagnostic> issues;
   check_balance(src, &issues, '{', '}', "braces");
   check_balance(src, &issues, '(', ')', "parentheses");
   check_placeholders(src, &issues);

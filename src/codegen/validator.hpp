@@ -3,23 +3,31 @@
 // Not a compiler: a fast token-level checker that catches the classes of
 // generator bugs that matter — unbalanced delimiters, unexpanded formula
 // placeholders, pipes that are declared but never used (or used but never
-// declared), and mismatched read/write pipe pairing.
+// declared), and broken point-to-point pipe pairing (a pipe must be
+// written by exactly one kernel and read by exactly one *other* kernel).
+//
+// Problems are reported as support::Diagnostic entries with SCL0xx codes:
+//
+//   SCL001  unbalanced delimiters          SCL002  unexpanded placeholder
+//   SCL010  pipe declared, never written   SCL011  pipe declared, never read
+//   SCL012  pipe written, not declared     SCL013  pipe read, not declared
+//   SCL014  pipe written by >1 kernel      SCL015  pipe read by >1 kernel
+//   SCL016  pipe read and written by the same kernel
 #pragma once
 
 #include <string>
 #include <vector>
 
-namespace scl::codegen {
+#include "support/diagnostics.hpp"
 
-struct ValidationIssue {
-  std::string message;
-};
+namespace scl::codegen {
 
 /// Checks a generated kernel translation unit. Returns the list of
 /// problems found (empty = clean).
-std::vector<ValidationIssue> validate_kernel_source(const std::string& src);
+std::vector<support::Diagnostic> validate_kernel_source(
+    const std::string& src);
 
 /// Checks generated host source (delimiters and placeholders only).
-std::vector<ValidationIssue> validate_host_source(const std::string& src);
+std::vector<support::Diagnostic> validate_host_source(const std::string& src);
 
 }  // namespace scl::codegen

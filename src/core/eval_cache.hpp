@@ -35,6 +35,10 @@ namespace scl::core {
 struct CachedEvaluation {
   model::Prediction prediction;
   DesignResources resources;
+  /// Error diagnostics the static design verifier reported for this
+  /// config; 0 unless the engine runs with analyze_candidates. Pure in
+  /// the config like the rest of the evaluation, hence cacheable.
+  std::int64_t analysis_errors = 0;
 };
 
 class EvalCache {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/analyzer.hpp"
 #include "core/optimizer.hpp"
 
 namespace scl::core {
@@ -29,6 +30,7 @@ DesignPoint to_point(const DesignConfig& config,
   point.config = config;
   point.prediction = eval.prediction;
   point.resources = eval.resources;
+  point.analysis_errors = eval.analysis_errors;
   return point;
 }
 
@@ -36,8 +38,11 @@ DesignPoint to_point(const DesignConfig& config,
 
 EvaluationEngine::EvaluationEngine(
     const scl::stencil::StencilProgram& program,
-    const fpga::DeviceSpec& device, model::ConeMode cone_mode, int threads)
-    : program_(&program) {
+    const fpga::DeviceSpec& device, model::ConeMode cone_mode, int threads,
+    bool analyze_candidates)
+    : program_(&program),
+      device_(device),
+      analyze_candidates_(analyze_candidates) {
   const int resolved = ThreadPool::resolve_threads(threads);
   perf_models_.reserve(static_cast<std::size_t>(resolved));
   resource_models_.reserve(static_cast<std::size_t>(resolved));
@@ -54,6 +59,10 @@ CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
   eval.prediction = perf_models_[slot].predict(config);
   eval.resources =
       estimate_design_resources(*program_, config, resource_models_[slot]);
+  if (analyze_candidates_) {
+    eval.analysis_errors =
+        analysis::analyze_design(*program_, config, device_).error_count();
+  }
   return eval;
 }
 
@@ -89,6 +98,10 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
         for (const DesignConfig& config : chains[s].configs) {
           DesignPoint point = evaluate(config);
           if (!point.resources.total.fits_within(budget)) break;
+          // Verifier-flagged candidates are skipped, not early-exited:
+          // unlike resource use, diagnostics are not monotone in the
+          // fusion depth, so the rest of the chain may still be clean.
+          if (point.analysis_errors > 0) continue;
           feasible.push_back(std::move(point));
         }
       });

@@ -53,10 +53,13 @@ struct DseStats {
 class EvaluationEngine {
  public:
   /// `threads` <= 0 resolves via SCL_THREADS / hardware concurrency
-  /// (ThreadPool::resolve_threads).
+  /// (ThreadPool::resolve_threads). With `analyze_candidates` every
+  /// evaluation also runs the static design verifier (analysis passes 1
+  /// and 2) and records its error count in the DesignPoint; chain
+  /// evaluation then drops flagged candidates from the feasible set.
   EvaluationEngine(const scl::stencil::StencilProgram& program,
                    const fpga::DeviceSpec& device, model::ConeMode cone_mode,
-                   int threads);
+                   int threads, bool analyze_candidates = false);
 
   /// Evaluates one configuration through the cache (always on the calling
   /// thread). Thread-safe.
@@ -90,6 +93,8 @@ class EvaluationEngine {
   void add_wall_seconds(double seconds);
 
   const scl::stencil::StencilProgram* program_;
+  fpga::DeviceSpec device_;
+  bool analyze_candidates_ = false;
   /// One (PerfModel, ResourceModel) pair per worker slot; slot 0 is the
   /// submitting thread.
   std::vector<model::PerfModel> perf_models_;

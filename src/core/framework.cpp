@@ -1,5 +1,7 @@
 #include "core/framework.hpp"
 
+#include "core/verify.hpp"
+#include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -25,6 +27,26 @@ SynthesisReport Framework::synthesize() const {
              << report.heterogeneous.config.summary(program_->dims());
   report.dse = optimizer_.dse_stats();
 
+  if (options_.analyze) {
+    // Verify both selected designs before spending time on simulation;
+    // generated-source diagnostics are appended below once code exists.
+    report.analysis.merge(verify_design(*program_, report.baseline.config,
+                                        report.device,
+                                        report.baseline.resources));
+    report.analysis.merge(verify_design(*program_, report.heterogeneous.config,
+                                        report.device,
+                                        report.heterogeneous.resources));
+    if (options_.fail_on_analysis_error && report.analysis.has_errors()) {
+      throw Error(str_cat("design verification failed with ",
+                          report.analysis.error_count(), " error(s):\n",
+                          report.analysis.render_text()));
+    }
+    if (report.analysis.warning_count() > 0) {
+      SCL_INFO() << "design verification: "
+                 << report.analysis.warning_count() << " warning(s)";
+    }
+  }
+
   if (options_.simulate) {
     const sim::Executor exec(options_.optimizer.device);
     report.baseline_sim = exec.run(*program_, report.baseline.config,
@@ -39,6 +61,16 @@ SynthesisReport Framework::synthesize() const {
   if (options_.generate_code) {
     report.code = codegen::generate_opencl(
         *program_, report.heterogeneous.config, options_.optimizer.device);
+    if (options_.analyze) {
+      support::DiagnosticEngine sources;
+      verify_generated_sources(report.code, &sources);
+      report.analysis.merge(sources);
+      if (options_.fail_on_analysis_error && sources.has_errors()) {
+        throw Error(str_cat("generated-source validation failed with ",
+                            sources.error_count(), " error(s):\n",
+                            sources.render_text()));
+      }
+    }
   }
   return report;
 }

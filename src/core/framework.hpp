@@ -17,6 +17,7 @@
 #include "core/optimizer.hpp"
 #include "sim/executor.hpp"
 #include "stencil/program.hpp"
+#include "support/diagnostics.hpp"
 
 namespace scl::core {
 
@@ -26,6 +27,14 @@ struct FrameworkOptions {
   bool simulate = true;
   /// Emit OpenCL kernel + host sources for the heterogeneous design.
   bool generate_code = true;
+  /// Statically verify the selected designs (pipe graph, halo & bounds,
+  /// resource cross-check) and the generated sources; diagnostics land in
+  /// SynthesisReport::analysis.
+  bool analyze = true;
+  /// Throw scl::Error when verification reports error diagnostics.
+  /// Warnings never fail the flow. Tools that want to render the
+  /// diagnostics themselves (--analyze) turn this off.
+  bool fail_on_analysis_error = true;
 };
 
 struct SynthesisReport {
@@ -45,6 +54,10 @@ struct SynthesisReport {
 
   // Generated sources; valid when options.generate_code.
   codegen::GeneratedCode code;
+
+  /// Design-verification diagnostics over both selected designs and the
+  /// generated sources; populated when options.analyze.
+  support::DiagnosticEngine analysis;
 
   /// Multi-line human-readable summary (Table 3-row style).
   std::string to_string() const;

@@ -64,8 +64,8 @@ Optimizer::Optimizer(const StencilProgram& program, OptimizerOptions options)
     : program_(&program),
       options_(std::move(options)),
       space_(program, options_),
-      engine_(program, options_.device, options_.cone_mode,
-              options_.threads) {
+      engine_(program, options_.device, options_.cone_mode, options_.threads,
+              options_.analyze_candidates) {
   SCL_CHECK(options_.resource_fraction > 0.0 &&
                 options_.resource_fraction <= 1.0,
             "resource fraction must be in (0, 1]");
@@ -139,6 +139,7 @@ DesignPoint Optimizer::optimize_heterogeneous(
   std::vector<DesignPoint> feasible;
   feasible.reserve(points.size());
   for (const DesignPoint& point : points) {
+    if (point.analysis_errors > 0) continue;
     if (point.resources.total.fits_within(cap)) feasible.push_back(point);
   }
   if (feasible.empty()) {

@@ -53,6 +53,12 @@ struct OptimizerOptions {
   /// Worker threads for candidate evaluation. <= 0 resolves via the
   /// SCL_THREADS environment variable, then hardware concurrency.
   int threads = 0;
+  /// Run the static design verifier (pipe graph + halo/bounds passes) on
+  /// every evaluated candidate and drop candidates with error
+  /// diagnostics from the feasible set. Off by default: the shipped
+  /// candidate spaces are verified clean, so the per-candidate cost only
+  /// pays off when exploring hand-extended spaces.
+  bool analyze_candidates = false;
 };
 
 /// One evaluated design: configuration, predicted latency, resources.
@@ -60,6 +66,9 @@ struct DesignPoint {
   sim::DesignConfig config;
   model::Prediction prediction;
   DesignResources resources;
+  /// Error diagnostics from the candidate verifier (0 when verification
+  /// is off or the design is clean).
+  std::int64_t analysis_errors = 0;
 };
 
 /// The total deterministic design ordering: predicted latency, then the

@@ -150,6 +150,19 @@ std::string render_markdown_report(const SynthesisReport& report) {
     out += phase_table(report.heterogeneous_sim);
   }
 
+  if (!report.analysis.empty()) {
+    out += "\n## Design verification\n\n";
+    out += str_cat("- ", report.analysis.error_count(), " error(s), ",
+                   report.analysis.warning_count(), " warning(s), ",
+                   static_cast<std::int64_t>(report.analysis.size()),
+                   " diagnostic(s) total\n\n```\n",
+                   report.analysis.render_text(), "```\n");
+  } else {
+    out += "\n## Design verification\n\nNo diagnostics: pipe graph, halo "
+           "coverage, generated bounds and the resource model all check "
+           "out.\n";
+  }
+
   if (!report.code.kernel_source.empty()) {
     out += str_cat("\n## Generated code\n\n- ", report.code.kernel_count,
                    " OpenCL kernels, ", report.code.pipe_count,

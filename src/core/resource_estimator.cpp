@@ -94,6 +94,7 @@ DesignResources estimate_design_resources(const StencilProgram& program,
         out.total += kernel;
         out.buffer_elements_total += shape.local_buffer_elements;
         out.pipe_count += pipe_faces;
+        out.pipe_fifo_elements_total += pipe_faces * pipe_depth;
         if (kernel.lut > out.worst_kernel.lut) out.worst_kernel = kernel;
       }
     }

@@ -20,6 +20,10 @@ struct DesignResources {
   fpga::ResourceVector worst_kernel;
   std::int64_t buffer_elements_total = 0;
   std::int64_t pipe_count = 0;
+  /// Total FIFO storage charged over all pipes (elements); the design
+  /// verifier cross-checks it against the exchange schedule's in-flight
+  /// boundary-layer volume.
+  std::int64_t pipe_fifo_elements_total = 0;
 };
 
 DesignResources estimate_design_resources(

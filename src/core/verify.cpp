@@ -1,0 +1,48 @@
+#include "core/verify.hpp"
+
+#include "codegen/validator.hpp"
+
+namespace scl::core {
+
+analysis::ChargedResources charged_resources(
+    const DesignResources& resources) {
+  analysis::ChargedResources charged;
+  charged.pipe_count = resources.pipe_count;
+  charged.buffer_elements = resources.buffer_elements_total;
+  charged.pipe_fifo_elements = resources.pipe_fifo_elements_total;
+  charged.total = resources.total;
+  return charged;
+}
+
+support::DiagnosticEngine verify_design(
+    const scl::stencil::StencilProgram& program,
+    const sim::DesignConfig& config, const fpga::DeviceSpec& device,
+    const DesignResources& resources) {
+  const analysis::AnalysisInput input =
+      analysis::make_analysis_input(program, config, device);
+  const analysis::ChargedResources charged = charged_resources(resources);
+  return analysis::analyze(input, &charged);
+}
+
+void verify_generated_sources(const codegen::GeneratedCode& code,
+                              support::DiagnosticEngine* diags) {
+  auto append = [&](std::vector<support::Diagnostic> issues,
+                    const char* file) {
+    for (support::Diagnostic& diag : issues) {
+      if (diag.location.component == "source" &&
+          diag.location.detail.empty()) {
+        diag.location.detail = file;
+      }
+      support::Diagnostic& added =
+          diags->add(std::move(diag.code), diag.severity,
+                     std::move(diag.message));
+      added.location = std::move(diag.location);
+      added.notes = std::move(diag.notes);
+    }
+  };
+  append(codegen::validate_kernel_source(code.kernel_source),
+         "stencil_kernels.cl");
+  append(codegen::validate_host_source(code.host_source), "stencil_host.cpp");
+}
+
+}  // namespace scl::core

@@ -1,0 +1,33 @@
+// Full three-pass design verification (see analysis/analyzer.hpp).
+//
+// The analysis library sits below core/, so it cannot call the resource
+// estimator itself; this wrapper computes what the model charged a design
+// and feeds it to the analyzer's resource cross-check, then (optionally)
+// runs the generated-source validator over emitted code and merges its
+// SCL0xx diagnostics into the same engine.
+#pragma once
+
+#include "analysis/analyzer.hpp"
+#include "codegen/opencl_emitter.hpp"
+#include "core/resource_estimator.hpp"
+#include "support/diagnostics.hpp"
+
+namespace scl::core {
+
+/// The analyzer's view of what the resource model charged `resources`.
+analysis::ChargedResources charged_resources(const DesignResources& resources);
+
+/// Runs all three analysis passes on one design: pipe graph, halo &
+/// bounds, and the resource cross-check against `resources` (as computed
+/// by estimate_design_resources for the same config).
+support::DiagnosticEngine verify_design(
+    const scl::stencil::StencilProgram& program,
+    const sim::DesignConfig& config, const fpga::DeviceSpec& device,
+    const DesignResources& resources);
+
+/// Appends the generated-source validator's SCL0xx diagnostics for
+/// `code` to `diags`.
+void verify_generated_sources(const codegen::GeneratedCode& code,
+                              support::DiagnosticEngine* diags);
+
+}  // namespace scl::core

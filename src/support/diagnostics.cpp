@@ -1,0 +1,134 @@
+#include "support/diagnostics.hpp"
+
+#include "support/strings.hpp"
+
+namespace scl::support {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Diagnostic& DiagnosticEngine::add(std::string code, Severity severity,
+                                  std::string message) {
+  Diagnostic diag;
+  diag.code = std::move(code);
+  diag.severity = severity;
+  diag.message = std::move(message);
+  diagnostics_.push_back(std::move(diag));
+  return diagnostics_.back();
+}
+
+void DiagnosticEngine::merge(const DiagnosticEngine& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+std::int64_t DiagnosticEngine::count(Severity severity) const {
+  std::int64_t n = 0;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticEngine::render_text() const {
+  std::string out;
+  for (const Diagnostic& diag : diagnostics_) {
+    out += str_cat(diag.code, " ", to_string(diag.severity));
+    if (!diag.location.empty()) {
+      out += " [";
+      out += diag.location.component;
+      if (!diag.location.detail.empty()) {
+        if (!diag.location.component.empty()) out += " ";
+        out += diag.location.detail;
+      }
+      if (diag.location.line >= 0) {
+        out += str_cat(":", diag.location.line);
+      }
+      out += "]";
+    }
+    out += str_cat(": ", diag.message, "\n");
+    for (const std::string& note : diag.notes) {
+      out += str_cat("  note: ", note, "\n");
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticEngine::render_json() const {
+  std::string out = "{\"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (!first) out += ", ";
+    first = false;
+    out += str_cat("{\"code\": \"", json_escape(diag.code),
+                   "\", \"severity\": \"", to_string(diag.severity),
+                   "\", \"message\": \"", json_escape(diag.message), "\"");
+    if (!diag.location.empty()) {
+      out += str_cat(", \"location\": {\"component\": \"",
+                     json_escape(diag.location.component),
+                     "\", \"detail\": \"", json_escape(diag.location.detail),
+                     "\"");
+      if (diag.location.line >= 0) {
+        out += str_cat(", \"line\": ", diag.location.line);
+      }
+      out += "}";
+    }
+    if (!diag.notes.empty()) {
+      out += ", \"notes\": [";
+      for (std::size_t i = 0; i < diag.notes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += str_cat("\"", json_escape(diag.notes[i]), "\"");
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += str_cat("], \"errors\": ", error_count(),
+                 ", \"warnings\": ", warning_count(), "}");
+  return out;
+}
+
+}  // namespace scl::support

@@ -1,0 +1,339 @@
+// Tests for the design verifier: the diagnostics engine, the interval
+// evaluator, golden diagnostics on seeded broken designs, and the
+// clean-design guarantee over every bundled benchmark.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/interval.hpp"
+#include "core/resource_estimator.hpp"
+#include "core/verify.hpp"
+#include "fpga/device.hpp"
+#include "stencil/kernels.hpp"
+#include "support/diagnostics.hpp"
+
+namespace scl::analysis {
+namespace {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::support::DiagnosticEngine;
+using scl::support::Severity;
+
+DesignConfig hetero2d(std::int64_t h, int k, std::int64_t tile) {
+  DesignConfig config;
+  config.kind = DesignKind::kHeterogeneous;
+  config.fused_iterations = h;
+  config.parallelism = {k, k, 1};
+  config.tile_size = {tile, tile, 1};
+  return config;
+}
+
+AnalysisInput jacobi2d_input() {
+  static const scl::stencil::StencilProgram program =
+      scl::stencil::make_jacobi2d(256, 256, 64);
+  return make_analysis_input(program, hetero2d(4, 2, 32),
+                             fpga::virtex7_690t());
+}
+
+bool has_code(const DiagnosticEngine& diags, const char* code) {
+  const auto& all = diags.diagnostics();
+  return std::any_of(all.begin(), all.end(), [&](const auto& d) {
+    return d.code == code;
+  });
+}
+
+// --- diagnostics engine -----------------------------------------------------
+
+TEST(DiagnosticsTest, CountsAndSeverities) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(diags.empty());
+  diags.error("SCL101", "missing channel");
+  diags.warning("SCL104", "orphan pipe");
+  EXPECT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags.error_count(), 1);
+  EXPECT_EQ(diags.warning_count(), 1);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DiagnosticsTest, RenderTextIncludesLocationAndNotes) {
+  DiagnosticEngine diags;
+  auto& diag = diags.error("SCL102", "FIFO too small");
+  diag.location = {"pipe", "p_k0_k1", -1};
+  diag.notes.push_back("required 64 elements");
+  const std::string text = diags.render_text();
+  EXPECT_NE(text.find("SCL102"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("p_k0_k1"), std::string::npos);
+  EXPECT_NE(text.find("note: required 64 elements"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderJsonMatchesDocumentedSchema) {
+  DiagnosticEngine diags;
+  auto& diag = diags.error("SCL201", "burst \"escapes\" grid");
+  diag.location = {"kernel", "stencil_k0", 12};
+  diag.notes.push_back("lower bound: r0 - 1");
+  diags.warning("SCL106", "depth not a power of two");
+  const std::string json = diags.render_json();
+  // Top-level keys of the documented schema.
+  EXPECT_NE(json.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  // Per-diagnostic keys.
+  for (const char* key :
+       {"\"code\"", "\"severity\"", "\"message\"", "\"location\"",
+        "\"component\"", "\"detail\"", "\"line\"", "\"notes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Quotes inside messages must be escaped.
+  EXPECT_NE(json.find("burst \\\"escapes\\\" grid"), std::string::npos);
+  EXPECT_EQ(json.find("burst \"escapes\""), std::string::npos);
+}
+
+TEST(DiagnosticsTest, MergePreservesOrder) {
+  DiagnosticEngine a;
+  a.error("SCL101", "first");
+  DiagnosticEngine b;
+  b.warning("SCL104", "second");
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.diagnostics()[0].code, "SCL101");
+  EXPECT_EQ(a.diagnostics()[1].code, "SCL104");
+}
+
+// --- interval evaluator -----------------------------------------------------
+
+TEST(IntervalTest, EvaluatesAffineClampExpressions) {
+  IntervalEnv env;
+  env["r0"] = Interval::point(128);
+  env["dt"] = Interval::point(3);
+  EXPECT_EQ(eval_bound_expr("max(0, r0 - 2 * dt)", env),
+            Interval::point(122));
+  EXPECT_EQ(eval_bound_expr("min(256, (r0 + 32) + 1 * dt)", env),
+            Interval::point(163));
+  EXPECT_EQ(eval_bound_expr("-3 + r0", env), Interval::point(125));
+}
+
+TEST(IntervalTest, WideIntervalsPropagate) {
+  IntervalEnv env;
+  env["x"] = Interval{0, 10};
+  EXPECT_EQ(eval_bound_expr("2 * x + 1", env), (Interval{1, 21}));
+  EXPECT_EQ(eval_bound_expr("max(5, x)", env), (Interval{5, 10}));
+}
+
+TEST(IntervalTest, RejectsUnknownVariableAndSyntaxErrors) {
+  IntervalEnv env;
+  EXPECT_THROW(eval_bound_expr("mystery + 1", env), Error);
+  EXPECT_THROW(eval_bound_expr("max(1,", env), Error);
+  EXPECT_THROW(eval_bound_expr("1 ? 2 : 3", env), Error);
+}
+
+// --- golden diagnostics on seeded broken designs ----------------------------
+
+TEST(AnalyzerTest, UndersizedFifoDepthIsReported) {
+  AnalysisInput input = jacobi2d_input();
+  ASSERT_FALSE(input.pipes.empty());
+  input.pipes[0].depth = 1;  // far below one exchange phase's strip volume
+  DiagnosticEngine diags;
+  analyze_pipe_graph(input, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL102"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, AllFifosUndersizedDeadlocks) {
+  AnalysisInput input = jacobi2d_input();
+  for (auto& pipe : input.pipes) pipe.depth = 1;
+  DiagnosticEngine diags;
+  analyze_pipe_graph(input, &diags);
+  // Symmetric blocked writes between adjacent kernels form a cycle.
+  EXPECT_TRUE(has_code(diags, "SCL102"));
+  EXPECT_TRUE(has_code(diags, "SCL103"));
+}
+
+TEST(AnalyzerTest, MissingHaloChannelIsReported) {
+  AnalysisInput input = jacobi2d_input();
+  ASSERT_FALSE(input.pipes.empty());
+  input.pipes.erase(input.pipes.begin());  // drop one delivering channel
+  DiagnosticEngine diags;
+  analyze_pipe_graph(input, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL101"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, MalformedPipeEndpointsAreReported) {
+  AnalysisInput input = jacobi2d_input();
+  codegen::PipeDecl self;
+  self.from_kernel = 0;
+  self.to_kernel = 0;
+  self.name = "p_k0_k0";
+  self.depth = 512;
+  input.pipes.push_back(self);
+  codegen::PipeDecl diagonal;
+  diagonal.from_kernel = 0;
+  diagonal.to_kernel = 3;  // coords (0,0) and (1,1): not face-adjacent
+  diagonal.name = "p_k0_k3";
+  diagonal.depth = 512;
+  input.pipes.push_back(diagonal);
+  DiagnosticEngine diags;
+  analyze_pipe_graph(input, &diags);
+  std::int64_t malformed = 0;
+  for (const auto& diag : diags.diagnostics()) {
+    if (diag.code == "SCL105") ++malformed;
+  }
+  EXPECT_EQ(malformed, 2);
+}
+
+TEST(AnalyzerTest, NonPowerOfTwoDepthWarns) {
+  AnalysisInput input = jacobi2d_input();
+  ASSERT_FALSE(input.pipes.empty());
+  input.pipes[0].depth = 1000;  // large enough, but not a power of two
+  DiagnosticEngine diags;
+  analyze_pipe_graph(input, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL106"));
+  EXPECT_FALSE(has_code(diags, "SCL102"));
+}
+
+TEST(AnalyzerTest, BurstBoundsOutsideGridAreReported) {
+  const AnalysisInput input = jacobi2d_input();
+  codegen::LoopBounds bounds;
+  bounds.lo = {"r0 - 5", "0", "0"};
+  bounds.hi = {"r0 + 300", "1", "1"};  // grid is 256 wide
+  DiagnosticEngine diags;
+  check_buffer_bounds(input, 0, bounds, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL201"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, UnparsableBoundDowngradesToWarning) {
+  const AnalysisInput input = jacobi2d_input();
+  codegen::LoopBounds bounds;
+  bounds.lo = {"r0 ? 0 : 1", "0", "0"};
+  bounds.hi = {"r0 + 1", "1", "1"};
+  DiagnosticEngine diags;
+  check_buffer_bounds(input, 0, bounds, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL209"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// --- resource cross-check ---------------------------------------------------
+
+class ResourcePassTest : public ::testing::Test {
+ protected:
+  ResourcePassTest()
+      : program_(scl::stencil::make_jacobi2d(256, 256, 64)),
+        config_(hetero2d(4, 2, 32)),
+        device_(fpga::virtex7_690t()),
+        input_(make_analysis_input(program_, config_, device_)) {
+    const fpga::ResourceModel model(device_);
+    charged_ = core::charged_resources(
+        core::estimate_design_resources(program_, config_, model));
+  }
+
+  scl::stencil::StencilProgram program_;
+  DesignConfig config_;
+  fpga::DeviceSpec device_;
+  AnalysisInput input_;
+  ChargedResources charged_;
+};
+
+TEST_F(ResourcePassTest, HonestChargeIsClean) {
+  DiagnosticEngine diags;
+  analyze_resources(input_, charged_, &diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_text();
+}
+
+TEST_F(ResourcePassTest, PipeCountDriftIsReported) {
+  ChargedResources charged = charged_;
+  charged.pipe_count -= 1;
+  DiagnosticEngine diags;
+  analyze_resources(input_, charged, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL301"));
+}
+
+TEST_F(ResourcePassTest, BufferElementDriftIsReported) {
+  ChargedResources charged = charged_;
+  charged.buffer_elements /= 2;
+  DiagnosticEngine diags;
+  analyze_resources(input_, charged, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL302"));
+}
+
+TEST_F(ResourcePassTest, FifoUnderchargeIsReported) {
+  ChargedResources charged = charged_;
+  charged.pipe_fifo_elements = 1;
+  DiagnosticEngine diags;
+  analyze_resources(input_, charged, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL303"));
+}
+
+TEST_F(ResourcePassTest, OverCapacityWarns) {
+  ChargedResources charged = charged_;
+  charged.total.bram18 = device_.capacity.bram18 + 1;
+  DiagnosticEngine diags;
+  analyze_resources(input_, charged, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL310"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// --- clean designs stay clean -----------------------------------------------
+
+TEST(AnalyzerTest, AllBundledBenchmarksVerifyClean) {
+  const fpga::DeviceSpec device = fpga::virtex7_690t();
+  const fpga::ResourceModel model(device);
+  for (const auto& info : scl::stencil::paper_benchmarks()) {
+    std::array<std::int64_t, 3> extents{1, 1, 1};
+    DesignConfig config;
+    config.kind = DesignKind::kHeterogeneous;
+    config.fused_iterations = 4;
+    for (int d = 0; d < info.dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      extents[ds] = 128;
+      config.parallelism[ds] = 2;
+      config.tile_size[ds] = 32;
+    }
+    const scl::stencil::StencilProgram program =
+        info.make_scaled(extents, 64);
+    // These hand-picked tile sizes can overrun the device capacity for
+    // the 3-D benchmarks (a correct SCL310 warning); the semantic passes
+    // must stay silent regardless.
+    auto expect_clean = [&](const DiagnosticEngine& diags,
+                            const char* label) {
+      EXPECT_FALSE(diags.has_errors())
+          << info.name << " " << label << ":\n" << diags.render_text();
+      for (const auto& diag : diags.diagnostics()) {
+        EXPECT_EQ(diag.code, "SCL310")
+            << info.name << " " << label << ": " << diag.message;
+      }
+    };
+    const auto resources =
+        core::estimate_design_resources(program, config, model);
+    expect_clean(core::verify_design(program, config, device, resources),
+                 "heterogeneous");
+
+    // The overlapped baseline (no pipes at all) must verify clean too.
+    DesignConfig baseline = config;
+    baseline.kind = DesignKind::kBaseline;
+    const auto base_resources =
+        core::estimate_design_resources(program, baseline, model);
+    expect_clean(
+        core::verify_design(program, baseline, device, base_resources),
+        "baseline");
+  }
+}
+
+TEST(AnalyzerTest, DeeperFusionAndBalancingStayClean) {
+  const fpga::DeviceSpec device = fpga::virtex7_690t();
+  const auto program = scl::stencil::make_jacobi2d(512, 512, 128);
+  DesignConfig config = hetero2d(16, 4, 32);
+  config.edge_shrink = {4, 4, 0};
+  const fpga::ResourceModel model(device);
+  const auto resources =
+      core::estimate_design_resources(program, config, model);
+  const DiagnosticEngine diags =
+      core::verify_design(program, config, device, resources);
+  EXPECT_TRUE(diags.empty()) << diags.render_text();
+}
+
+}  // namespace
+}  // namespace scl::analysis

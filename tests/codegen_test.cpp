@@ -272,11 +272,52 @@ TEST(ValidatorTest, DetectsOrphanPipes) {
 }
 
 TEST(ValidatorTest, CleanSourcePasses) {
+  // Point-to-point pairing: one kernel writes the pipe, another reads it.
   const std::string src =
       "pipe float p __attribute__((xcl_reqd_pipe_depth(16)));\n"
-      "void f() { float v; write_pipe_block(p, &v); read_pipe_block(p, &v); "
-      "}\n";
+      "__kernel void k0() { float v; write_pipe_block(p, &v); }\n"
+      "__kernel void k1() { float v; read_pipe_block(p, &v); }\n";
   EXPECT_TRUE(validate_kernel_source(src).empty());
+}
+
+TEST(ValidatorTest, DetectsSameKernelReadWrite) {
+  // The pre-fix validator only matched read/write tokens globally, so a
+  // kernel talking to itself through a pipe passed as "used both ways".
+  const std::string src =
+      "pipe float p __attribute__((xcl_reqd_pipe_depth(16)));\n"
+      "__kernel void k0() { float v; write_pipe_block(p, &v); "
+      "read_pipe_block(p, &v); }\n";
+  const auto issues = validate_kernel_source(src);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].code, "SCL016");
+  EXPECT_NE(issues[0].message.find("same"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsMultipleWritersAndReaders) {
+  const std::string src =
+      "pipe float p __attribute__((xcl_reqd_pipe_depth(16)));\n"
+      "__kernel void k0() { float v; write_pipe_block(p, &v); }\n"
+      "__kernel void k1() { float v; write_pipe_block(p, &v); }\n"
+      "__kernel void k2() { float v; read_pipe_block(p, &v); }\n"
+      "__kernel void k3() { float v; read_pipe_block(p, &v); }\n";
+  const auto issues = validate_kernel_source(src);
+  bool writers = false, readers = false;
+  for (const auto& i : issues) {
+    if (i.code == "SCL014") writers = true;
+    if (i.code == "SCL015") readers = true;
+  }
+  EXPECT_TRUE(writers);
+  EXPECT_TRUE(readers);
+}
+
+TEST(ValidatorTest, DiagnosticsCarryStableCodes) {
+  const auto braces = validate_kernel_source("void f() { {");
+  ASSERT_FALSE(braces.empty());
+  EXPECT_EQ(braces[0].code, "SCL001");
+  const auto placeholder = validate_kernel_source("float x = $A(0);");
+  ASSERT_FALSE(placeholder.empty());
+  EXPECT_EQ(placeholder[0].code, "SCL002");
+  EXPECT_EQ(placeholder[0].severity, scl::support::Severity::kError);
 }
 
 }  // namespace
