@@ -1,0 +1,145 @@
+// Batched-service benchmark: cold vs. warm synthesis over the paper's
+// seven-benchmark suite (Table 2).
+//
+// Pass 1 synthesizes every benchmark into a fresh artifact store (cold).
+// Pass 2 replays the identical batch against the same store (warm) and
+// must be served entirely from disk. The run fails unless the warm pass
+// is at least 10x faster than the cold pass.
+//
+// A third pass synthesizes the suite cold into a second, independent
+// store directory and compares the on-disk artifacts byte-for-byte —
+// enforcing the serving layer's determinism contract (same request, same
+// bytes, run after run).
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "stencil/kernels.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<scl::serve::JobRequest> suite_jobs() {
+  std::vector<scl::serve::JobRequest> jobs;
+  for (const auto& info : scl::stencil::paper_benchmarks()) {
+    scl::serve::JobRequest job;
+    job.name = info.name;
+    job.program = std::make_shared<scl::stencil::StencilProgram>(
+        info.make_paper_scale());
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+double run_suite_ms(scl::serve::SynthesisService& service,
+                    const std::vector<scl::serve::JobRequest>& jobs,
+                    bool expect_warm) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<scl::serve::JobResult> results = service.run_batch(jobs);
+  const auto stop = std::chrono::steady_clock::now();
+  for (const auto& result : results) {
+    if (!result.ok) {
+      throw scl::Error("synthesis of " + result.name +
+                       " failed: " + result.error);
+    }
+    if (expect_warm && !result.from_cache) {
+      throw scl::Error("expected a warm hit for " + result.name +
+                       " but it was synthesized cold");
+    }
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Contents of every artifact file under `root`, keyed by file name.
+std::map<std::string, std::string> slurp_store(const fs::path& root) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    files[entry.path().filename().string()] = body.str();
+  }
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path scratch =
+      fs::temp_directory_path() / "scl-bench-service";
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  try {
+    const std::vector<scl::serve::JobRequest> jobs = suite_jobs();
+
+    scl::serve::ServiceOptions options;
+    options.store_dir = (scratch / "store-a").string();
+
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    {
+      scl::serve::SynthesisService service(options);
+      cold_ms = run_suite_ms(service, jobs, /*expect_warm=*/false);
+      warm_ms = run_suite_ms(service, jobs, /*expect_warm=*/true);
+      std::cout << service.stats().to_string() << "\n";
+    }
+
+    // Fresh process-equivalent: a second service over the same directory
+    // must also serve the whole suite warm (persistence, not memory).
+    {
+      scl::serve::SynthesisService service(options);
+      const double reopen_ms =
+          run_suite_ms(service, jobs, /*expect_warm=*/true);
+      std::cout << "reopened store: " << scl::format_fixed(reopen_ms, 1)
+                << " ms, " << service.stats().store_hits << "/"
+                << jobs.size() << " hits\n";
+    }
+
+    // Determinism: a cold run into an independent store must produce
+    // byte-identical artifacts.
+    scl::serve::ServiceOptions options_b = options;
+    options_b.store_dir = (scratch / "store-b").string();
+    {
+      scl::serve::SynthesisService service(options_b);
+      run_suite_ms(service, jobs, /*expect_warm=*/false);
+    }
+    const auto store_a = slurp_store(scratch / "store-a");
+    const auto store_b = slurp_store(scratch / "store-b");
+    if (store_a != store_b) {
+      std::cerr << "FAIL: independent cold runs produced different "
+                   "artifact bytes ("
+                << store_a.size() << " vs " << store_b.size()
+                << " files)\n";
+      return 1;
+    }
+
+    const double ratio = warm_ms > 0.0 ? cold_ms / warm_ms : 1e9;
+    std::cout << "cold: " << scl::format_fixed(cold_ms, 1)
+              << " ms   warm: " << scl::format_fixed(warm_ms, 1)
+              << " ms   speedup: " << scl::format_fixed(ratio, 1) << "x\n";
+    std::cout << "artifacts byte-identical across independent cold runs ("
+              << store_a.size() << " files)\n";
+    if (ratio < 10.0) {
+      std::cerr << "FAIL: warm pass must be >= 10x faster than cold\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    fs::remove_all(scratch, ec);
+    return 1;
+  }
+  fs::remove_all(scratch, ec);
+  return 0;
+}

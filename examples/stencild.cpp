@@ -1,0 +1,253 @@
+// stencild: batched synthesis driver over the serving subsystem.
+//
+//   stencild [--suite | --jobs <manifest.jsonl>] [options]
+//
+//   --suite               enqueue the 7 paper benchmarks (default when no
+//                         --jobs is given)
+//   --jobs <file.jsonl>   JSONL job manifest, one job object per line:
+//                           {"benchmark": "Jacobi-2D"}
+//                           {"stencil": "examples/highorder.stencil"}
+//                           {"benchmark": "Jacobi-1D",
+//                            "grid": [4096], "iterations": 512,
+//                            "priority": 2, "timeout_ms": 60000}
+//   --store <dir>         artifact-store root (default .stencild-store)
+//   --no-store            disable persistence (coalescing still applies)
+//   --capacity-mb <n>     store size bound before LRU eviction
+//   --threads <n>         concurrent synthesis workers (default:
+//                         SCL_THREADS, then hardware concurrency)
+//   --device <name>       target device for every job
+//   --emit <dir>          write each job's generated sources under
+//                         <dir>/<name>/
+//   --stats-json <file>   write service counters as JSON
+//   --require-warm        exit 1 unless every job was served from the
+//                         artifact store (CI uses this to assert a warm
+//                         second pass)
+//   --quiet               suppress per-job lines
+//
+// Every job is content-addressed: identical (program, device, options)
+// requests are served from the on-disk artifact store, and identical
+// concurrent requests coalesce onto one synthesis. Exit status is 0 iff
+// every job succeeded (and, with --require-warm, every job was warm).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "fpga/device.hpp"
+#include "serve/service.hpp"
+#include "stencil/kernels.hpp"
+#include "stencil/parser.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: stencild [--suite | --jobs <manifest.jsonl>] "
+               "[--store <dir>] [--no-store] [--capacity-mb <n>] "
+               "[--threads <n>] [--device <name>] [--emit <dir>] "
+               "[--stats-json <file>] [--require-warm] [--quiet]\n";
+  return 2;
+}
+
+std::vector<scl::serve::JobRequest> suite_jobs() {
+  std::vector<scl::serve::JobRequest> jobs;
+  for (const auto& info : scl::stencil::paper_benchmarks()) {
+    scl::serve::JobRequest job;
+    job.name = info.name;
+    job.program = std::make_shared<scl::stencil::StencilProgram>(
+        info.make_paper_scale());
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+scl::serve::JobRequest manifest_job(const scl::support::JsonValue& entry,
+                                    int line_number) {
+  using scl::Error;
+  if (!entry.is_object()) {
+    throw Error(scl::str_cat("manifest line ", line_number,
+                             ": job must be a JSON object"));
+  }
+  scl::serve::JobRequest job;
+  const std::string benchmark = entry.get_string("benchmark", "");
+  const std::string stencil_path = entry.get_string("stencil", "");
+  if (benchmark.empty() == stencil_path.empty()) {
+    throw Error(scl::str_cat("manifest line ", line_number,
+                             ": need exactly one of \"benchmark\" or "
+                             "\"stencil\""));
+  }
+  if (!benchmark.empty()) {
+    const auto& info = scl::stencil::find_benchmark(benchmark);
+    std::array<std::int64_t, 3> extents = info.input_size;
+    std::int64_t iterations =
+        entry.get_int64("iterations", info.iterations);
+    if (const auto* grid = entry.find("grid")) {
+      if (grid->size() == 0 || grid->size() > 3) {
+        throw Error(scl::str_cat("manifest line ", line_number,
+                                 ": \"grid\" needs 1..3 extents"));
+      }
+      extents = {1, 1, 1};
+      for (std::size_t d = 0; d < grid->size(); ++d) {
+        extents[d] = (*grid)[d].as_int64();
+      }
+    }
+    job.name = benchmark;
+    job.program = std::make_shared<scl::stencil::StencilProgram>(
+        info.make_scaled(extents, iterations));
+  } else {
+    job.name = std::filesystem::path(stencil_path).stem().string();
+    job.program = std::make_shared<scl::stencil::StencilProgram>(
+        scl::stencil::parse_program_file(stencil_path));
+  }
+  job.priority = static_cast<int>(entry.get_int64("priority", 0));
+  job.timeout =
+      std::chrono::milliseconds(entry.get_int64("timeout_ms", 0));
+  return job;
+}
+
+std::vector<scl::serve::JobRequest> manifest_jobs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw scl::Error("cannot open manifest '" + path + "'");
+  std::vector<scl::serve::JobRequest> jobs;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = scl::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    jobs.push_back(
+        manifest_job(scl::support::JsonValue::parse(trimmed), line_number));
+  }
+  if (jobs.empty()) {
+    throw scl::Error("manifest '" + path + "' contains no jobs");
+  }
+  return jobs;
+}
+
+void emit_sources(const std::string& dir,
+                  const scl::serve::JobResult& result) {
+  const std::filesystem::path out_dir =
+      std::filesystem::path(dir) / result.name;
+  std::filesystem::create_directories(out_dir);
+  std::ofstream(out_dir / "stencil_kernels.cl")
+      << result.artifact->code.kernel_source;
+  std::ofstream(out_dir / "stencil_host.cpp")
+      << result.artifact->code.host_source;
+  std::ofstream(out_dir / "build.sh") << result.artifact->code.build_script;
+  std::ofstream(out_dir / "report.md") << result.artifact->markdown_report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  bool suite = false;
+  bool no_store = false;
+  bool require_warm = false;
+  bool quiet = false;
+  std::string store_dir = ".stencild-store";
+  std::string device_name;
+  std::string emit_dir;
+  std::string stats_json_path;
+  std::int64_t capacity_mb = 256;
+  int threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) {
+        std::exit(usage());
+      }
+      return argv[i];
+    };
+    if (arg == "--suite") {
+      suite = true;
+    } else if (arg == "--jobs") {
+      manifest_path = next();
+    } else if (arg == "--store") {
+      store_dir = next();
+    } else if (arg == "--no-store") {
+      no_store = true;
+    } else if (arg == "--capacity-mb") {
+      capacity_mb = std::stoll(next());
+    } else if (arg == "--threads") {
+      threads = std::stoi(next());
+    } else if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--emit") {
+      emit_dir = next();
+    } else if (arg == "--stats-json") {
+      stats_json_path = next();
+    } else if (arg == "--require-warm") {
+      require_warm = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (suite && !manifest_path.empty()) return usage();
+
+  try {
+    scl::serve::ServiceOptions options;
+    options.store_dir = no_store ? "" : store_dir;
+    options.store_capacity_bytes = capacity_mb * 1024 * 1024;
+    options.threads = threads;
+    if (!device_name.empty()) {
+      options.framework.optimizer.device =
+          scl::fpga::find_device(device_name);
+    }
+
+    const std::vector<scl::serve::JobRequest> jobs =
+        manifest_path.empty() ? suite_jobs() : manifest_jobs(manifest_path);
+
+    scl::serve::SynthesisService service(options);
+    const std::vector<scl::serve::JobResult> results =
+        service.run_batch(jobs);
+
+    int failures = 0;
+    int cold = 0;
+    for (const scl::serve::JobResult& result : results) {
+      const char* status = !result.ok          ? "FAIL"
+                           : result.from_cache ? "warm"
+                           : result.coalesced  ? "coal"
+                                               : "cold";
+      if (!result.ok) ++failures;
+      if (result.ok && !result.from_cache) ++cold;
+      if (!quiet) {
+        std::ostringstream line;
+        line << "[" << status << "] " << result.name;
+        if (!result.key.empty()) {
+          line << "  key=" << result.key.substr(0, 12);
+        }
+        if (result.ok) {
+          line << "  speedup " << scl::format_speedup(
+                      result.artifact->speedup)
+               << "  " << scl::format_fixed(result.latency_ms, 1) << " ms";
+        } else {
+          line << "  error: " << result.error;
+        }
+        std::cout << line.str() << "\n";
+      }
+      if (result.ok && !emit_dir.empty()) emit_sources(emit_dir, result);
+    }
+
+    if (!quiet) std::cout << "\n" << service.stats().to_string();
+    if (!stats_json_path.empty()) {
+      std::ofstream(stats_json_path) << service.render_stats_json() << "\n";
+    }
+
+    if (failures > 0) return 1;
+    if (require_warm && cold > 0) {
+      std::cerr << "error: --require-warm, but " << cold
+                << " job(s) missed the artifact store\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

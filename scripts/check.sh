@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: configure, build (warnings as errors), test, analyze
-# every bundled stencil through the design verifier, bench.
+# every bundled stencil through the design verifier, run every bench
+# harness, and exercise the batched synthesis service cold and warm.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja -DSTENCILCL_WERROR=ON
@@ -9,8 +10,16 @@ ctest --test-dir build --output-on-failure
 
 # The static design verifier must report zero errors for every bundled
 # example and benchmark (stencil_compiler --analyze exits nonzero on
-# error diagnostics).
-for f in examples/*.stencil; do
+# error diagnostics). Inputs are enumerated explicitly: a missing file is
+# a loud failure here, not a glob that silently matches nothing.
+STENCIL_FILES=(
+  examples/highorder.stencil
+)
+for f in "${STENCIL_FILES[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "error: expected stencil input '$f' is missing" >&2
+    exit 1
+  fi
   echo "analyze $f"
   ./build/examples/stencil_compiler "$f" --analyze
 done
@@ -19,6 +28,31 @@ for b in Jacobi-1D Jacobi-2D Jacobi-3D HotSpot-2D HotSpot-3D FDTD-2D FDTD-3D; do
   ./build/examples/stencil_compiler "$b" --analyze
 done
 
-for b in build/bench/*; do
-  [ -x "$b" ] && "$b"
+# Table/figure regenerators, enumerated explicitly: a bench binary that
+# failed to build must fail the check, not be skipped.
+BENCHES=(
+  bench_table2 bench_table3 bench_fig1 bench_fig6 bench_fig7
+  bench_ablation bench_devices bench_dse bench_service
+)
+for b in "${BENCHES[@]}"; do
+  bin="build/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "error: bench binary '$bin' is missing or not executable" >&2
+    exit 1
+  fi
+  echo "bench $b"
+  "$bin"
 done
+echo "bench bench_micro"
+./build/bench/bench_micro --benchmark_min_time=0.01
+
+# Batched service smoke: synthesize the paper suite cold into a fresh
+# artifact store, then replay it — the second pass must be served
+# entirely from the store.
+store="$(mktemp -d)"
+trap 'rm -rf "$store"' EXIT
+echo "stencild cold pass"
+./build/examples/stencild --suite --store "$store" --quiet
+echo "stencild warm pass"
+./build/examples/stencild --suite --store "$store" --require-warm --quiet
+echo "check.sh: all green"

@@ -54,7 +54,14 @@ EvaluationEngine::EvaluationEngine(
 }
 
 CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
-  const auto slot = static_cast<std::size_t>(ThreadPool::worker_slot());
+  // worker_slot() is scoped to whichever pool owns the calling thread.
+  // When evaluation is driven from a foreign pool's worker — the batched
+  // synthesis service runs entire syntheses as scheduler jobs — the slot
+  // can exceed this engine's model count, so fold it into range. Both
+  // models are re-entrant (see their class contracts); a collision only
+  // shares a read-only instance.
+  const auto slot = static_cast<std::size_t>(ThreadPool::worker_slot()) %
+                    perf_models_.size();
   CachedEvaluation eval;
   eval.prediction = perf_models_[slot].predict(config);
   eval.resources =

@@ -43,7 +43,8 @@ std::string phase_table(const sim::SimResult& sim) {
 
 }  // namespace
 
-std::string render_markdown_report(const SynthesisReport& report) {
+std::string render_markdown_report(const SynthesisReport& report,
+                                   MarkdownReportOptions options) {
   const int dims = report.features.dims;
   std::string out;
   out += str_cat("# stencilcl synthesis report — ", report.features.name,
@@ -134,12 +135,14 @@ std::string render_markdown_report(const SynthesisReport& report) {
         {"cache hits", str_cat(format_thousands(report.dse.cache_hits), " (",
                                format_fixed(100.0 * report.dse.cache_hit_rate(), 1),
                                "%)")});
-    table.add_row({"worker threads", std::to_string(report.dse.threads)});
-    table.add_row(
-        {"wall-clock", str_cat(format_fixed(report.dse.wall_seconds, 3), " s")});
-    table.add_row({"candidates/sec",
-                   format_thousands(static_cast<std::int64_t>(
-                       report.dse.candidates_per_sec()))});
+    if (options.include_timing) {
+      table.add_row({"worker threads", std::to_string(report.dse.threads)});
+      table.add_row({"wall-clock",
+                     str_cat(format_fixed(report.dse.wall_seconds, 3), " s")});
+      table.add_row({"candidates/sec",
+                     format_thousands(static_cast<std::int64_t>(
+                         report.dse.candidates_per_sec()))});
+    }
     out += table.to_markdown();
   }
 

@@ -13,7 +13,16 @@
 
 namespace scl::core {
 
+struct MarkdownReportOptions {
+  /// Include the timing rows of the DSE section (worker threads,
+  /// wall-clock, candidates/sec). The synthesis artifact store renders
+  /// with false: stored reports must be byte-deterministic across runs,
+  /// machines and thread counts.
+  bool include_timing = true;
+};
+
 /// Renders the report as GitHub-flavored Markdown.
-std::string render_markdown_report(const SynthesisReport& report);
+std::string render_markdown_report(const SynthesisReport& report,
+                                   MarkdownReportOptions options = {});
 
 }  // namespace scl::core

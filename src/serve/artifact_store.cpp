@@ -1,0 +1,258 @@
+#include "serve/artifact_store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "serve/serialize.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace scl::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "SCLA1";
+constexpr const char* kExtension = ".scla";
+
+bool is_hex_key(const std::string& key) {
+  if (key.size() != 32) return false;
+  for (const char c : key) {
+    const bool ok =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string checksum_hex(const std::string& payload) {
+  const std::uint64_t h = fnv1a64(payload);
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(16);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += hex[(h >> shift) & 0xF];
+  }
+  return out;
+}
+
+/// Parses "<magic> <key> <bytes> <checksum>\n<payload>"; returns the
+/// payload or nullopt on any mismatch.
+std::optional<std::string> parse_artifact_file(const std::string& contents,
+                                               const std::string& key) {
+  const std::size_t newline = contents.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  const std::vector<std::string> fields =
+      split(contents.substr(0, newline), ' ');
+  if (fields.size() != 4) return std::nullopt;
+  if (fields[0] != kMagic || fields[1] != key) return std::nullopt;
+  char* end = nullptr;
+  const long long declared = std::strtoll(fields[2].c_str(), &end, 10);
+  if (end == fields[2].c_str() || *end != '\0' || declared < 0) {
+    return std::nullopt;
+  }
+  std::string payload = contents.substr(newline + 1);
+  if (static_cast<long long>(payload.size()) != declared) {
+    return std::nullopt;  // truncated (or padded) on disk
+  }
+  if (checksum_hex(payload) != fields[3]) return std::nullopt;  // bit rot
+  return payload;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(ArtifactStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.root.empty()) {
+    throw Error("ArtifactStore needs a root directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.root, ec);
+  if (ec || !fs::is_directory(options_.root)) {
+    throw Error(str_cat("ArtifactStore: cannot create root '", options_.root,
+                        "': ", ec.message()));
+  }
+  scan_existing();
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_locked();
+}
+
+fs::path ArtifactStore::path_for(const std::string& key) const {
+  return fs::path(options_.root) / key.substr(0, 2) / (key + kExtension);
+}
+
+void ArtifactStore::scan_existing() {
+  // Rebuild the LRU order from file mtimes: oldest first so the logical
+  // clock assigns them the smallest last_use values.
+  struct Found {
+    std::string key;
+    std::int64_t bytes;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  std::error_code ec;
+  for (const auto& shard : fs::directory_iterator(options_.root, ec)) {
+    if (!shard.is_directory()) continue;
+    for (const auto& file : fs::directory_iterator(shard.path(), ec)) {
+      const fs::path& path = file.path();
+      if (path.extension() != kExtension) continue;
+      const std::string key = path.stem().string();
+      if (!is_hex_key(key)) continue;
+      std::error_code stat_ec;
+      const auto size = fs::file_size(path, stat_ec);
+      const auto mtime = fs::last_write_time(path, stat_ec);
+      if (stat_ec) continue;
+      found.push_back({key, static_cast<std::int64_t>(size), mtime});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime : a.key < b.key;
+            });
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Found& f : found) {
+    entries_[f.key] = {f.bytes, ++use_clock_};
+    total_bytes_ += f.bytes;
+  }
+}
+
+std::optional<std::string> ArtifactStore::load(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const fs::path path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    drop_corrupt_locked(key, path);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::optional<std::string> payload =
+      parse_artifact_file(buffer.str(), key);
+  if (!payload.has_value()) {
+    drop_corrupt_locked(key, path);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  it->second.last_use = ++use_clock_;
+  // Refresh the mtime so the next process's startup scan sees this
+  // artifact as recently used.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  ++stats_.hits;
+  return payload;
+}
+
+void ArtifactStore::store(const std::string& key,
+                          const std::string& payload) {
+  if (!is_hex_key(key)) {
+    throw Error(str_cat("ArtifactStore: malformed key '", key, "'"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path path = path_for(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    throw Error(str_cat("ArtifactStore: cannot create shard for '", key,
+                        "': ", ec.message()));
+  }
+  // Atomic publish: write a unique temp file, then rename over the final
+  // name. rename(2) within one filesystem is atomic, so readers see
+  // either the previous artifact or this one in full.
+  const fs::path temp =
+      fs::path(options_.root) /
+      str_cat("tmp-", key.substr(0, 8), "-", ++temp_counter_, ".part");
+  // The index accounts whole-file bytes (header + payload) so the
+  // capacity bound tracks real disk usage and matches what the startup
+  // scan sees after a restart.
+  const std::string header = str_cat(kMagic, " ", key, " ", payload.size(),
+                                     " ", checksum_hex(payload), "\n");
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error(str_cat("ArtifactStore: cannot write '", temp.string(),
+                          "'"));
+    }
+    out << header << payload;
+    out.flush();
+    if (!out) {
+      throw Error(str_cat("ArtifactStore: short write to '", temp.string(),
+                          "'"));
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    throw Error(str_cat("ArtifactStore: cannot publish artifact '", key,
+                        "'"));
+  }
+  const auto bytes = static_cast<std::int64_t>(header.size() + payload.size());
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) total_bytes_ -= it->second.bytes;
+  it->second = {bytes, ++use_clock_};
+  total_bytes_ += bytes;
+  ++stats_.writes;
+  evict_locked();
+}
+
+bool ArtifactStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+std::size_t ArtifactStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::int64_t ArtifactStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ArtifactStore::evict_locked() {
+  if (options_.capacity_bytes <= 0) return;
+  while (total_bytes_ > options_.capacity_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(path_for(victim->first), ec);
+    SCL_INFO() << "artifact store: evicted " << victim->first << " ("
+               << victim->second.bytes << " bytes)";
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ArtifactStore::drop_corrupt_locked(const std::string& key,
+                                        const fs::path& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  ++stats_.corrupt_dropped;
+}
+
+}  // namespace scl::serve

@@ -1,0 +1,211 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+#include "stencil/parser.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace scl::serve {
+
+namespace {
+
+/// Percentile over a copy of `values` (nearest-rank); 0 when empty.
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+std::string ServiceStats::to_string() const {
+  return str_cat(
+      "service: ", requests, " request(s), ", store_hits, " store hit(s), ",
+      store_misses, " miss(es), ", coalesced, " coalesced, ", synthesized,
+      " synthesized, ", failures, " failure(s)\n", "store: ", store_entries,
+      " artifact(s), ", format_thousands(store_bytes), " bytes, ", evictions,
+      " eviction(s), ", corrupt_recovered,
+      " corrupt artifact(s) recovered\n", "latency: p50 ",
+      format_fixed(latency_p50_ms, 2), " ms, p95 ",
+      format_fixed(latency_p95_ms, 2), " ms\n");
+}
+
+SynthesisService::SynthesisService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(ArtifactStoreOptions{
+        options_.store_dir, options_.store_capacity_bytes});
+  }
+  scheduler_ = std::make_unique<
+      Scheduler<std::shared_ptr<const SynthesisArtifact>>>(
+      options_.threads);
+}
+
+SynthesisService::~SynthesisService() = default;
+
+SynthesisService::PendingJob SynthesisService::submit(
+    const JobRequest& request) {
+  if (request.program == nullptr) {
+    throw Error("SynthesisService: request carries no program");
+  }
+  PendingJob job;
+  job.name =
+      request.name.empty() ? request.program->name() : request.name;
+  // Canonicalize for content addressing. Programs built from custom
+  // lambdas have no textual form — they stay uncacheable (empty key:
+  // store bypass, no coalescing) but synthesize normally.
+  try {
+    job.key = request_key(stencil::program_to_text(*request.program),
+                          options_.framework);
+  } catch (const Error&) {
+    job.key.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+  }
+  job.submitted = std::chrono::steady_clock::now();
+  const std::shared_ptr<const stencil::StencilProgram> program =
+      request.program;
+  const std::string key = job.key;
+  auto submission = scheduler_->submit(
+      key, [this, key, program] { return perform(key, program); },
+      request.priority, request.timeout);
+  job.coalesced = submission.coalesced;
+  job.future = std::move(submission.future);
+  return job;
+}
+
+JobResult SynthesisService::wait(const PendingJob& job) {
+  JobResult result;
+  result.name = job.name;
+  result.key = job.key;
+  result.coalesced = job.coalesced;
+  try {
+    result.artifact = job.future.get();
+    result.ok = true;
+    result.from_cache = result.artifact->served_from_store;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - job.submitted;
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  record_latency(result.latency_ms);
+  return result;
+}
+
+std::vector<JobResult> SynthesisService::run_batch(
+    const std::vector<JobRequest>& requests) {
+  std::vector<PendingJob> pending;
+  pending.reserve(requests.size());
+  for (const JobRequest& request : requests) {
+    pending.push_back(submit(request));
+  }
+  std::vector<JobResult> results;
+  results.reserve(pending.size());
+  for (const PendingJob& job : pending) {
+    results.push_back(wait(job));
+  }
+  return results;
+}
+
+void SynthesisService::drain() { scheduler_->drain(); }
+
+std::shared_ptr<const SynthesisArtifact> SynthesisService::perform(
+    const std::string& key,
+    const std::shared_ptr<const stencil::StencilProgram>& program) {
+  if (store_ != nullptr && !key.empty()) {
+    if (std::optional<std::string> payload = store_->load(key)) {
+      try {
+        auto artifact = std::make_shared<SynthesisArtifact>(
+            parse_artifact(*payload));
+        if (artifact->key == key) {
+          artifact->served_from_store = true;
+          return artifact;
+        }
+        SCL_INFO() << "artifact " << key
+                   << ": embedded key mismatch, recomputing";
+      } catch (const Error& e) {
+        // Undecodable payload despite an intact checksum (e.g. written
+        // by a future schema): recompute and overwrite below.
+        SCL_INFO() << "artifact " << key << ": " << e.what()
+                   << ", recomputing";
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++synthesized_;
+  }
+  const core::Framework framework(*program, options_.framework);
+  const core::SynthesisReport report = framework.synthesize();
+  auto artifact =
+      std::make_shared<SynthesisArtifact>(make_artifact(key, report));
+  if (store_ != nullptr && !key.empty()) {
+    store_->store(key, serialize_artifact(*artifact));
+  }
+  return artifact;
+}
+
+void SynthesisService::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_ms_.push_back(ms);
+}
+
+ServiceStats SynthesisService::stats() const {
+  ServiceStats stats;
+  const SchedulerStats sched = scheduler_->stats();
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.requests = requests_;
+    stats.synthesized = synthesized_;
+    stats.failures = failures_;
+    latencies = latencies_ms_;
+  }
+  stats.coalesced = sched.coalesced;
+  if (store_ != nullptr) {
+    const ArtifactStoreStats store = store_->stats();
+    stats.store_hits = store.hits;
+    stats.store_misses = store.misses;
+    stats.evictions = store.evictions;
+    stats.corrupt_recovered = store.corrupt_dropped;
+    stats.store_bytes = store_->total_bytes();
+    stats.store_entries =
+        static_cast<std::int64_t>(store_->entry_count());
+  }
+  stats.latency_p50_ms = percentile(latencies, 0.50);
+  stats.latency_p95_ms = percentile(std::move(latencies), 0.95);
+  return stats;
+}
+
+std::string SynthesisService::render_stats_json() const {
+  const ServiceStats s = stats();
+  support::JsonWriter json(support::JsonStyle::kSpaced);
+  json.begin_object();
+  json.member("requests", s.requests);
+  json.member("store_hits", s.store_hits);
+  json.member("store_misses", s.store_misses);
+  json.member("coalesced", s.coalesced);
+  json.member("synthesized", s.synthesized);
+  json.member("failures", s.failures);
+  json.member("evictions", s.evictions);
+  json.member("corrupt_recovered", s.corrupt_recovered);
+  json.member("store_bytes", s.store_bytes);
+  json.member("store_entries", s.store_entries);
+  json.key("latency_ms").begin_object();
+  json.key("p50").value_fixed(s.latency_p50_ms, 3);
+  json.key("p95").value_fixed(s.latency_p95_ms, 3);
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace scl::serve

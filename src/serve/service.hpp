@@ -1,0 +1,147 @@
+// SynthesisService: the batched synthesis facade.
+//
+// Wires the full serving path for one stencil job:
+//
+//   canonicalize program  ->  content address (serve/serialize.hpp)
+//     -> coalescing scheduler (serve/scheduler.hpp)
+//       -> artifact-store lookup (serve/artifact_store.hpp)
+//         -> hit:  parse artifact, respond warm
+//         -> miss: Framework::synthesize + verify, persist, respond cold
+//
+// Programs without a canonical `.stencil` round-trip (hand-written
+// lambdas) get an empty key: they bypass the store and never coalesce,
+// but still flow through the scheduler like every other job.
+//
+// Synthesis inside a service worker runs its DSE serially (the nested-
+// parallelism guard in support::ThreadPool degrades inner parallel_for
+// to a loop) — the service scales across concurrent *jobs* instead, which
+// is the right shape for batch traffic. ServiceOptions therefore defaults
+// the per-job optimizer to one thread so Frameworks do not spawn workers
+// that would sit idle.
+//
+// The service exports counters: store hits/misses, coalesced requests,
+// evictions, synthesis failures, and request-turnaround p50/p95 — both as
+// a human-readable block and as JSON (render_stats_json) for dashboards.
+// All public methods are thread-safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "serve/artifact_store.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serialize.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::serve {
+
+struct ServiceOptions {
+  /// Artifact-store root; empty disables persistence (every job is a
+  /// cold synthesis, coalescing still applies).
+  std::string store_dir;
+  std::int64_t store_capacity_bytes = 256ll * 1024 * 1024;
+  /// Concurrent synthesis workers; <= 0 resolves via SCL_THREADS /
+  /// hardware concurrency.
+  int threads = 0;
+  /// Per-job synthesis configuration (device, DSE candidates, flags).
+  core::FrameworkOptions framework;
+
+  ServiceOptions() {
+    // Parallelism lives across jobs here; see the header comment.
+    framework.optimizer.threads = 1;
+  }
+};
+
+struct JobRequest {
+  std::string name;  ///< display name (defaults to the program's)
+  std::shared_ptr<const stencil::StencilProgram> program;
+  int priority = 0;  ///< higher dispatches first
+  std::chrono::milliseconds timeout{0};  ///< queue-time bound; 0 = none
+};
+
+struct JobResult {
+  std::string name;
+  std::string key;  ///< empty for uncacheable programs
+  bool ok = false;
+  bool from_cache = false;  ///< served from the artifact store
+  bool coalesced = false;   ///< rode an identical in-flight request
+  std::string error;        ///< set when !ok
+  std::shared_ptr<const SynthesisArtifact> artifact;  ///< set when ok
+  double latency_ms = 0.0;  ///< submit-to-completion turnaround
+};
+
+struct ServiceStats {
+  std::int64_t requests = 0;
+  std::int64_t store_hits = 0;
+  std::int64_t store_misses = 0;
+  std::int64_t coalesced = 0;
+  std::int64_t synthesized = 0;  ///< cold Framework::synthesize runs
+  std::int64_t failures = 0;
+  std::int64_t evictions = 0;
+  std::int64_t corrupt_recovered = 0;
+  std::int64_t store_bytes = 0;
+  std::int64_t store_entries = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+
+  std::string to_string() const;
+};
+
+class SynthesisService {
+ public:
+  explicit SynthesisService(ServiceOptions options);
+  ~SynthesisService();
+
+  /// An accepted, in-flight job. Move-only value handle; pass to wait().
+  struct PendingJob {
+    std::string name;
+    std::string key;
+    bool coalesced = false;
+    std::chrono::steady_clock::time_point submitted{};
+    std::shared_future<std::shared_ptr<const SynthesisArtifact>> future;
+  };
+
+  /// Schedules one job. Throws scl::Error when the request carries no
+  /// program or the service is shutting down.
+  PendingJob submit(const JobRequest& request);
+
+  /// Blocks until `job` finishes; failures surface as !result.ok.
+  JobResult wait(const PendingJob& job);
+
+  /// Submits every request, then waits in input order. The result vector
+  /// lines up with `requests`.
+  std::vector<JobResult> run_batch(const std::vector<JobRequest>& requests);
+
+  /// Blocks until every accepted job completed.
+  void drain();
+
+  ServiceStats stats() const;
+  std::string render_stats_json() const;
+
+  /// The backing store; nullptr when persistence is disabled.
+  const ArtifactStore* store() const { return store_.get(); }
+
+ private:
+  std::shared_ptr<const SynthesisArtifact> perform(
+      const std::string& key,
+      const std::shared_ptr<const stencil::StencilProgram>& program);
+  void record_latency(double ms);
+
+  ServiceOptions options_;
+  std::unique_ptr<ArtifactStore> store_;
+  std::unique_ptr<Scheduler<std::shared_ptr<const SynthesisArtifact>>>
+      scheduler_;
+
+  mutable std::mutex mutex_;
+  std::int64_t requests_ = 0;
+  std::int64_t synthesized_ = 0;
+  std::int64_t failures_ = 0;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace scl::serve

@@ -1,23 +1,29 @@
 #include "sim/trace.hpp"
 
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace scl::sim {
 
 std::string RegionTrace::to_chrome_json() const {
-  std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
+  support::JsonWriter json(support::JsonStyle::kCompact);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
   for (const TraceEvent& e : events) {
-    if (!first) out += ",\n";
-    first = false;
-    out += str_cat("{\"name\":\"", e.phase, "\",\"cat\":\"kernel\",",
-                   "\"ph\":\"X\",\"ts\":", e.begin,
-                   ",\"dur\":", e.end - e.begin, ",\"pid\":1,\"tid\":\"",
-                   e.kernel, "\"}");
+    json.begin_object();
+    json.member("name", e.phase);
+    json.member("cat", "kernel");
+    json.member("ph", "X");
+    json.member("ts", e.begin);
+    json.member("dur", e.end - e.begin);
+    json.member("pid", 1);
+    json.member("tid", e.kernel);
+    json.end_object();
   }
-  out += "\n]}\n";
-  return out;
+  json.end_array();
+  json.end_object();
+  return json.take();
 }
 
 std::string RegionTrace::to_csv() const {

@@ -1,5 +1,6 @@
 #include "support/diagnostics.hpp"
 
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace scl::support {
@@ -63,72 +64,34 @@ std::string DiagnosticEngine::render_text() const {
   return out;
 }
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xF];
-          out += hex[c & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string DiagnosticEngine::render_json() const {
-  std::string out = "{\"diagnostics\": [";
-  bool first = true;
+  JsonWriter json(JsonStyle::kSpaced);
+  json.begin_object();
+  json.key("diagnostics").begin_array();
   for (const Diagnostic& diag : diagnostics_) {
-    if (!first) out += ", ";
-    first = false;
-    out += str_cat("{\"code\": \"", json_escape(diag.code),
-                   "\", \"severity\": \"", to_string(diag.severity),
-                   "\", \"message\": \"", json_escape(diag.message), "\"");
+    json.begin_object();
+    json.member("code", diag.code);
+    json.member("severity", to_string(diag.severity));
+    json.member("message", diag.message);
     if (!diag.location.empty()) {
-      out += str_cat(", \"location\": {\"component\": \"",
-                     json_escape(diag.location.component),
-                     "\", \"detail\": \"", json_escape(diag.location.detail),
-                     "\"");
-      if (diag.location.line >= 0) {
-        out += str_cat(", \"line\": ", diag.location.line);
-      }
-      out += "}";
+      json.key("location").begin_object();
+      json.member("component", diag.location.component);
+      json.member("detail", diag.location.detail);
+      if (diag.location.line >= 0) json.member("line", diag.location.line);
+      json.end_object();
     }
     if (!diag.notes.empty()) {
-      out += ", \"notes\": [";
-      for (std::size_t i = 0; i < diag.notes.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += str_cat("\"", json_escape(diag.notes[i]), "\"");
-      }
-      out += "]";
+      json.key("notes").begin_array();
+      for (const std::string& note : diag.notes) json.value(note);
+      json.end_array();
     }
-    out += "}";
+    json.end_object();
   }
-  out += str_cat("], \"errors\": ", error_count(),
-                 ", \"warnings\": ", warning_count(), "}");
-  return out;
+  json.end_array();
+  json.member("errors", error_count());
+  json.member("warnings", warning_count());
+  json.end_object();
+  return json.take();
 }
 
 }  // namespace scl::support

@@ -88,7 +88,4 @@ class DiagnosticEngine {
   std::vector<Diagnostic> diagnostics_;
 };
 
-/// Escapes `text` for inclusion inside a JSON string literal.
-std::string json_escape(const std::string& text);
-
 }  // namespace scl::support

@@ -1,0 +1,493 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::support {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- writer ------------------------------------------------------------------
+
+JsonWriter::JsonWriter(JsonStyle style) : style_(style) {}
+
+void JsonWriter::begin_value(bool is_key) {
+  SCL_CHECK(!root_done_, "JsonWriter: value after the root value closed");
+  if (stack_.empty()) return;
+  Scope& top = stack_.back();
+  if (top.kind == '{') {
+    if (is_key) {
+      SCL_CHECK(!top.after_key, "JsonWriter: key directly after key");
+      if (top.count > 0) {
+        out_ += style_ == JsonStyle::kSpaced ? ", " : ",";
+      }
+    } else {
+      SCL_CHECK(top.after_key,
+                "JsonWriter: object member value without a key");
+      top.after_key = false;
+    }
+  } else {
+    SCL_CHECK(!is_key, "JsonWriter: key inside an array");
+    if (top.count > 0) {
+      out_ += style_ == JsonStyle::kSpaced ? ", " : ",";
+    }
+  }
+  if (is_key || top.kind == '[') ++top.count;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_.push_back({'{'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SCL_CHECK(!stack_.empty() && stack_.back().kind == '{',
+            "JsonWriter: end_object without matching begin_object");
+  SCL_CHECK(!stack_.back().after_key,
+            "JsonWriter: end_object after a dangling key");
+  stack_.pop_back();
+  out_ += '}';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_.push_back({'['});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SCL_CHECK(!stack_.empty() && stack_.back().kind == '[',
+            "JsonWriter: end_array without matching begin_array");
+  stack_.pop_back();
+  out_ += ']';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  SCL_CHECK(!stack_.empty() && stack_.back().kind == '{',
+            "JsonWriter: key outside an object");
+  begin_value(/*is_key=*/true);
+  out_ += '"';
+  out_ += json_escape(std::string(name));
+  out_ += style_ == JsonStyle::kSpaced ? "\": " : "\":";
+  stack_.back().after_key = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(std::string(v));
+  out_ += '"';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double v, int digits) {
+  begin_value();
+  out_ += format_fixed(v, digits);
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  begin_value();
+  out_ += "null";
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  begin_value();
+  out_ += json;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  SCL_CHECK(stack_.empty(), "JsonWriter: take() with open containers");
+  root_done_ = false;
+  return std::move(out_);
+}
+
+// --- reader ------------------------------------------------------------------
+
+struct JsonValue::Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error(str_cat("JSON parse error at offset ", pos, ": ", what));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c) {
+      fail(str_cat("expected '", c, "'"));
+    }
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  void append_utf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          append_utf8(&out, code);
+          break;
+        }
+        default:
+          fail(str_cat("unknown escape '\\", esc, "'"));
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-')) {
+      ++pos;
+    }
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = std::string(text.substr(start, pos - start));
+    // Validate eagerly so load-time errors carry an offset.
+    char* end = nullptr;
+    std::strtod(v.scalar_.c_str(), &end);
+    if (end == v.scalar_.c_str() || *end != '\0') fail("malformed number");
+    // strtod is laxer than JSON: reject leading zeros ("01") like a
+    // strict parser would.
+    const std::string_view digits =
+        v.scalar_[0] == '-' ? std::string_view(v.scalar_).substr(1)
+                            : std::string_view(v.scalar_);
+    if (digits.size() > 1 && digits[0] == '0' && digits[1] >= '0' &&
+        digits[1] <= '9') {
+      fail("leading zero in number");
+    }
+    return v;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 128) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos;
+      v.kind_ = Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string name = parse_string();
+        skip_ws();
+        expect(':');
+        v.members_.emplace_back(std::move(name), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind_ = Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        v.items_.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind_ = Kind::kString;
+      v.scalar_ = parse_string();
+      return v;
+    }
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      v.kind_ = Kind::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      v.kind_ = Kind::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      v.kind_ = Kind::kNull;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail(str_cat("unexpected character '", c, "'"));
+  }
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  Parser parser{text};
+  JsonValue v = parser.parse_value(0);
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing garbage");
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw Error("JSON value is not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (kind_ != Kind::kNumber) throw Error("JSON value is not a number");
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() && *end == '\0') return v;
+  // Fractional or exponent spelling: round through double.
+  return static_cast<std::int64_t>(std::strtod(scalar_.c_str(), nullptr));
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) throw Error("JSON value is not a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw Error("JSON value is not a string");
+  return scalar_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  throw Error("JSON value is not a container");
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  if (kind_ != Kind::kArray) throw Error("JSON value is not an array");
+  if (i >= items_.size()) throw Error("JSON array index out of range");
+  return items_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw Error("JSON value is not an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (kind_ != Kind::kObject) throw Error("JSON value is not an object");
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw Error(str_cat("JSON object has no member \"", key, "\""));
+  }
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) throw Error("JSON value is not an object");
+  return members_;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+std::int64_t JsonValue::get_int64(std::string_view key,
+                                  std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int64() : fallback;
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+}  // namespace scl::support

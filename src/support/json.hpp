@@ -1,0 +1,150 @@
+// Shared JSON writing and (minimal) reading.
+//
+// Every JSON document the framework emits — diagnostics (--analyze-json),
+// Chrome-tracing exports, synthesis artifacts, service statistics — goes
+// through JsonWriter, so string escaping and structural bookkeeping live in
+// exactly one place. The writer is a forward-only streaming builder with a
+// container stack; it throws scl::ContractError on structural misuse
+// (value without key inside an object, unbalanced end_*, ...), which turns
+// malformed-emitter bugs into loud test failures instead of corrupt files.
+//
+// Two surface styles:
+//   * kSpaced  — ", " between elements, ": " after keys. The diagnostics
+//                schema (docs/ARCHITECTURE.md §8) is rendered this way.
+//   * kCompact — no whitespace at all; used for trace exports and
+//                artifacts where bytes matter.
+//
+// JsonValue is the matching reader: a small recursive-descent parser for
+// the subset of JSON the framework itself produces (plus standard escapes
+// and \uXXXX for the Basic Multilingual Plane). It keeps numbers as raw
+// text so integer payloads round-trip exactly; callers pick as_int64() or
+// as_double(). It is the loader for stencild job manifests and stored
+// synthesis artifacts — both of which are machine-written, so the parser
+// favors strictness over leniency (trailing garbage is an error).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scl::support {
+
+/// Escapes `text` for inclusion inside a JSON string literal.
+std::string json_escape(const std::string& text);
+
+enum class JsonStyle { kCompact, kSpaced };
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(JsonStyle style = JsonStyle::kSpaced);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts the next member of the enclosing object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  /// Shortest-round-trip formatting ("%.17g"): deserializing reproduces
+  /// the bit pattern, which the artifact determinism contract relies on.
+  JsonWriter& value(double v);
+  /// Fixed-point formatting for human-facing statistics documents.
+  JsonWriter& value_fixed(double v, int digits);
+  JsonWriter& null_value();
+
+  /// Splices a pre-serialized JSON fragment as the next value. The
+  /// fragment is trusted verbatim.
+  JsonWriter& raw(std::string_view json);
+
+  /// Convenience: key(name) + value(v).
+  template <typename V>
+  JsonWriter& member(std::string_view name, const V& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finishes the document; throws if containers are still open.
+  std::string take();
+
+ private:
+  void begin_value(bool is_key = false);
+
+  struct Scope {
+    char kind;  ///< '{' or '['
+    bool after_key = false;
+    std::int64_t count = 0;
+  };
+
+  JsonStyle style_;
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool root_done_ = false;
+};
+
+/// Parsed JSON document node. Numbers keep their raw spelling; strings are
+/// unescaped. Accessors throw scl::Error on kind mismatches so artifact /
+/// manifest loaders fail with a message instead of reading garbage.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Throws scl::Error with an offset on
+  /// malformed input.
+  static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool as_bool() const;
+  std::int64_t as_int64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Array accessors.
+  std::size_t size() const;
+  const JsonValue& operator[](std::size_t i) const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object accessors. `find` returns nullptr when absent; `at` throws.
+  const JsonValue* find(std::string_view key) const;
+  const JsonValue& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Defaulted lookups for optional object members.
+  std::string get_string(std::string_view key, std::string fallback) const;
+  std::int64_t get_int64(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  struct Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< raw number text or unescaped string
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace scl::support

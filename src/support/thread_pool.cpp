@@ -73,7 +73,15 @@ struct ThreadPool::Impl {
         job = std::move(queue.front());
         queue.pop_front();
       }
-      job();
+      // Jobs are fire-and-forget at this layer: parallel_for helpers
+      // report exceptions through LoopState, submit() jobs own their
+      // error channel (serve::Scheduler completes a promise). An escaping
+      // exception would std::terminate the process, so swallow
+      // defensively.
+      try {
+        job();
+      } catch (...) {
+      }
     }
   }
 };
@@ -87,13 +95,19 @@ ThreadPool::ThreadPool(int threads) : impl_(new Impl), threads_(threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown();
+  delete impl_;
+}
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
-  for (std::thread& worker : impl_->workers) worker.join();
-  delete impl_;
+  for (std::thread& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 int ThreadPool::resolve_threads(int requested) {
@@ -114,6 +128,28 @@ int ThreadPool::resolve_threads(int requested) {
 
 bool ThreadPool::in_worker() { return tls_in_worker; }
 
+void ThreadPool::submit(std::function<void()> job) {
+  SCL_CHECK(job != nullptr, "submit needs a callable job");
+  if (threads_ <= 1) {
+    throw Error(
+        "ThreadPool::submit needs at least one worker thread "
+        "(thread_count() >= 2); a 1-thread pool only supports "
+        "parallel_for");
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // The enqueue-during-shutdown race: once `stop` is set the workers
+    // finish the jobs already queued and exit. A job slipped in behind
+    // them would sit in the queue forever and its completion signal
+    // (promise, latch, ...) would never fire — so fail loudly instead.
+    if (impl_->stop) {
+      throw Error("ThreadPool::submit after shutdown began");
+    }
+    impl_->queue.emplace_back(std::move(job));
+  }
+  impl_->work_cv.notify_one();
+}
+
 int ThreadPool::worker_slot() { return tls_worker_slot; }
 
 void ThreadPool::parallel_for(std::int64_t n,
@@ -132,15 +168,23 @@ void ThreadPool::parallel_for(std::int64_t n,
   const int helpers =
       static_cast<int>(std::min<std::int64_t>(threads_ - 1, n - 1));
   state.helpers_pending = helpers;
+  bool pool_down = false;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    for (int h = 0; h < helpers; ++h) {
+    pool_down = impl_->stop;
+    for (int h = 0; !pool_down && h < helpers; ++h) {
       impl_->queue.emplace_back([&state] {
         state.drain();
         std::lock_guard<std::mutex> state_lock(state.mutex);
         if (--state.helpers_pending == 0) state.done_cv.notify_one();
       });
     }
+  }
+  if (pool_down) {
+    // shutdown() already ran: no worker would ever pick the helper jobs
+    // up, so fall back to the serial loop.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
   }
   impl_->work_cv.notify_all();
 

@@ -56,6 +56,23 @@ class ThreadPool {
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn);
 
+  /// Enqueues one independent fire-and-forget job for the worker threads
+  /// (the serve::Scheduler's request pumps run this way). Unlike
+  /// parallel_for the submitting thread does not participate, so the pool
+  /// must own at least one worker: throws scl::Error when
+  /// thread_count() == 1. Jobs still queued when the pool is destroyed
+  /// are drained — every submitted job runs exactly once — but submitting
+  /// *during or after* shutdown throws scl::Error instead of silently
+  /// enqueueing work no worker will ever pick up (the
+  /// enqueue-during-shutdown race; see thread_pool_test.cpp).
+  void submit(std::function<void()> job);
+
+  /// Stops accepting submit() work, lets the workers drain the queue,
+  /// then joins them. Idempotent; the destructor calls it. Safe to race
+  /// against concurrent submit() calls on a live pool — that is exactly
+  /// the enqueue-during-shutdown window submit() guards (losers throw).
+  void shutdown();
+
   /// Maps `fn` over `items`, returning results in input order. `fn` must
   /// be pure for cross-thread-count determinism; the result type must be
   /// default-constructible.

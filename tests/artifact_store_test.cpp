@@ -1,0 +1,257 @@
+// Tests for the content-addressed artifact store (serve/artifact_store.hpp).
+#include "serve/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/serialize.hpp"
+#include "support/error.hpp"
+
+namespace scl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArtifactStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("scl-store-test-" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "-" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  ArtifactStore make_store(std::int64_t capacity = 0) {
+    return ArtifactStore(
+        ArtifactStoreOptions{root_.string(), capacity});
+  }
+
+  /// A deterministic, valid-looking 32-hex-char key.
+  static std::string key_of(int i) {
+    std::ostringstream key;
+    key << std::hex << i;
+    std::string tail = key.str();
+    return std::string(32 - tail.size(), '0') + tail;
+  }
+
+  /// Path of the artifact file holding `key` (mirrors the sharded layout).
+  fs::path file_of(const std::string& key) const {
+    return root_ / key.substr(0, 2) / (key + ".scla");
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ArtifactStoreTest, MissThenStoreThenHit) {
+  ArtifactStore store = make_store();
+  const std::string key = key_of(1);
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_FALSE(store.contains(key));
+
+  store.store(key, "payload-1");
+  EXPECT_TRUE(store.contains(key));
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload-1");
+
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.writes, 1);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST_F(ArtifactStoreTest, OverwriteReplacesPayload) {
+  ArtifactStore store = make_store();
+  const std::string key = key_of(2);
+  store.store(key, "old");
+  store.store(key, "replacement");
+  EXPECT_EQ(store.load(key).value(), "replacement");
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, RoundTripsArbitraryBytes) {
+  ArtifactStore store = make_store();
+  std::string payload;
+  for (int i = 0; i < 256; ++i) {
+    payload += static_cast<char>(i);  // includes NUL and newlines
+  }
+  store.store(key_of(3), payload);
+  EXPECT_EQ(store.load(key_of(3)).value(), payload);
+}
+
+TEST_F(ArtifactStoreTest, SecondInstanceSeesPersistedArtifactsByteIdentical) {
+  const std::string key = key_of(4);
+  const std::string payload(10'000, 'x');
+  std::string file_bytes_first;
+  std::int64_t total_bytes_first = 0;
+  {
+    ArtifactStore store = make_store();
+    store.store(key, payload);
+    total_bytes_first = store.total_bytes();
+    std::ifstream in(file_of(key), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    file_bytes_first = body.str();
+  }
+  // A fresh instance (a second process, as far as the store can tell)
+  // scans the directory and serves the identical bytes, and its byte
+  // accounting matches what the writing instance reported.
+  {
+    ArtifactStore store = make_store();
+    EXPECT_EQ(store.entry_count(), 1u);
+    EXPECT_EQ(store.total_bytes(), total_bytes_first);
+    EXPECT_EQ(store.load(key).value(), payload);
+
+    std::ifstream in(file_of(key), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    EXPECT_EQ(body.str(), file_bytes_first);
+  }
+}
+
+TEST_F(ArtifactStoreTest, TruncatedFileIsDroppedAndMisses) {
+  const std::string key = key_of(5);
+  {
+    ArtifactStore store = make_store();
+    store.store(key, "a payload long enough to truncate meaningfully");
+  }
+  // Chop the tail off the artifact file.
+  const fs::path file = file_of(key);
+  const auto size = fs::file_size(file);
+  fs::resize_file(file, size - 10);
+
+  ArtifactStore store = make_store();
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_FALSE(fs::exists(file)) << "corrupt file must be deleted";
+  EXPECT_EQ(store.stats().corrupt_dropped, 1);
+
+  // The slot is reusable afterwards.
+  store.store(key, "recomputed");
+  EXPECT_EQ(store.load(key).value(), "recomputed");
+}
+
+TEST_F(ArtifactStoreTest, BitRotIsDetectedByChecksum) {
+  const std::string key = key_of(6);
+  {
+    ArtifactStore store = make_store();
+    store.store(key, "checksummed payload");
+  }
+  // Flip one payload byte without changing the length.
+  const fs::path file = file_of(key);
+  std::fstream io(file,
+                  std::ios::in | std::ios::out | std::ios::binary);
+  io.seekp(-1, std::ios::end);
+  io.put('X');
+  io.close();
+
+  ArtifactStore store = make_store();
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.stats().corrupt_dropped, 1);
+}
+
+TEST_F(ArtifactStoreTest, GarbageHeaderIsDropped) {
+  const std::string key = key_of(7);
+  {
+    ArtifactStore store = make_store();
+    store.store(key, "fine");
+  }
+  std::ofstream(file_of(key), std::ios::binary) << "not an artifact";
+
+  ArtifactStore store = make_store();
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.stats().corrupt_dropped, 1);
+}
+
+TEST_F(ArtifactStoreTest, CrossKeyRenameIsRejected) {
+  const std::string key_a = key_of(8);
+  const std::string key_b = "00" + key_a.substr(2, 29) + "f";
+  {
+    ArtifactStore store = make_store();
+    store.store(key_a, "payload of a");
+  }
+  // Simulate an operator copying an artifact file onto another key.
+  fs::create_directories(file_of(key_b).parent_path());
+  fs::copy_file(file_of(key_a), file_of(key_b));
+
+  ArtifactStore store = make_store();
+  // The embedded key does not match the file name: corrupt, dropped.
+  EXPECT_FALSE(store.load(key_b).has_value());
+  EXPECT_EQ(store.load(key_a).value(), "payload of a");
+}
+
+TEST_F(ArtifactStoreTest, LruEvictionBoundsTotalBytes) {
+  // Payloads of 1000 bytes, capacity for roughly three of them.
+  ArtifactStore store = make_store(/*capacity=*/3'500);
+  const std::string payload(1'000, 'p');
+  for (int i = 0; i < 5; ++i) {
+    store.store(key_of(100 + i), payload);
+  }
+  EXPECT_LE(store.total_bytes(), 3'500);
+  EXPECT_EQ(store.entry_count(), 3u);
+  EXPECT_GE(store.stats().evictions, 2);
+  // Oldest keys went first.
+  EXPECT_FALSE(store.contains(key_of(100)));
+  EXPECT_FALSE(store.contains(key_of(101)));
+  EXPECT_TRUE(store.contains(key_of(104)));
+}
+
+TEST_F(ArtifactStoreTest, LoadRefreshesRecency) {
+  ArtifactStore store = make_store(/*capacity=*/2'500);
+  const std::string payload(1'000, 'p');
+  store.store(key_of(200), payload);
+  store.store(key_of(201), payload);
+  // Touch 200 so 201 becomes the LRU victim.
+  EXPECT_TRUE(store.load(key_of(200)).has_value());
+  store.store(key_of(202), payload);
+  EXPECT_TRUE(store.contains(key_of(200)));
+  EXPECT_FALSE(store.contains(key_of(201)));
+}
+
+TEST_F(ArtifactStoreTest, UnboundedCapacityNeverEvicts) {
+  ArtifactStore store = make_store(/*capacity=*/0);
+  const std::string payload(1'000, 'p');
+  for (int i = 0; i < 16; ++i) store.store(key_of(300 + i), payload);
+  EXPECT_EQ(store.entry_count(), 16u);
+  EXPECT_EQ(store.stats().evictions, 0);
+}
+
+TEST_F(ArtifactStoreTest, RejectsMalformedKeys) {
+  ArtifactStore store = make_store();
+  EXPECT_THROW(store.store("short", "x"), Error);
+  EXPECT_THROW(store.store("../../../../etc/passwd-0000000000000", "x"),
+               Error);
+  EXPECT_THROW(
+      store.store("ABCDEF00112233445566778899aabbcc", "x"),  // uppercase
+      Error);
+}
+
+TEST_F(ArtifactStoreTest, ScanIgnoresForeignFiles) {
+  fs::create_directories(root_);
+  std::ofstream(root_ / "README.txt") << "not an artifact";
+  fs::create_directories(root_ / "zz");
+  std::ofstream(root_ / "zz" / "junk.tmp") << "temp debris";
+  ArtifactStore store = make_store();
+  EXPECT_EQ(store.entry_count(), 0u);
+  store.store(key_of(9), "fine");
+  EXPECT_EQ(store.load(key_of(9)).value(), "fine");
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace scl::serve

@@ -1,0 +1,201 @@
+// Tests for the shared JSON writer/reader (support/json.hpp).
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace scl::support {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, CompactObject) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_object();
+  json.member("name", "jacobi");
+  json.member("dims", 2);
+  json.member("ok", true);
+  json.key("ratio").value(1.5);
+  json.end_object();
+  EXPECT_EQ(json.take(),
+            R"({"name":"jacobi","dims":2,"ok":true,"ratio":1.5})");
+}
+
+TEST(JsonWriter, SpacedStyleMatchesDiagnosticsFormat) {
+  JsonWriter json(JsonStyle::kSpaced);
+  json.begin_object();
+  json.key("diagnostics").begin_array();
+  json.value(1);
+  json.value(2);
+  json.end_array();
+  json.member("errors", 0);
+  json.end_object();
+  EXPECT_EQ(json.take(), R"({"diagnostics": [1, 2], "errors": 0})");
+}
+
+TEST(JsonWriter, NestedContainersAndNull) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_array();
+  json.begin_object();
+  json.key("inner").begin_array().value(false).end_array();
+  json.key("nothing").null_value();
+  json.end_object();
+  json.end_array();
+  EXPECT_EQ(json.take(), R"([{"inner":[false],"nothing":null}])");
+}
+
+TEST(JsonWriter, RawSplicesFragmentVerbatim) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_object();
+  json.key("spliced").raw(R"([1,{"x":2}])");
+  json.end_object();
+  EXPECT_EQ(json.take(), R"({"spliced":[1,{"x":2}]})");
+}
+
+TEST(JsonWriter, DoubleRoundTripsAtFullPrecision) {
+  const double value = 0.1 + 0.2;  // classic non-representable sum
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_array().value(value).end_array();
+  const JsonValue parsed = JsonValue::parse(json.take());
+  EXPECT_EQ(parsed[0].as_double(), value);
+}
+
+TEST(JsonWriter, FixedFormatsWithRequestedDigits) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_array().value_fixed(1.23456, 2).end_array();
+  EXPECT_EQ(json.take(), "[1.23]");
+}
+
+TEST(JsonWriter, Int64ExtremesPrintCanonically) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_array();
+  json.value(std::numeric_limits<std::int64_t>::min());
+  json.value(std::numeric_limits<std::int64_t>::max());
+  json.end_array();
+  EXPECT_EQ(json.take(),
+            "[-9223372036854775808,9223372036854775807]");
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), Error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), Error);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.take(), Error);  // unterminated container
+  }
+}
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("-42").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(JsonValue::parse(R"("text")").as_string(), "text");
+}
+
+TEST(JsonValue, KeepsIntegersExact) {
+  // A double would lose the low bits of this int64.
+  const JsonValue v = JsonValue::parse("9223372036854775807");
+  EXPECT_EQ(v.as_int64(), 9223372036854775807ll);
+}
+
+TEST(JsonValue, UnescapesStandardEscapes) {
+  const JsonValue v = JsonValue::parse(R"("a\"b\\c\nd\te\/f")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te/f");
+}
+
+TEST(JsonValue, UnescapesUnicodeEscapesToUtf8) {
+  // U+0041 (1 UTF-8 byte), U+00E9 (2 bytes), U+20AC (3 bytes).
+  const JsonValue v = JsonValue::parse(R"("\u0041\u00e9\u20ac")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonValue, ObjectAndArrayAccessors) {
+  const JsonValue v = JsonValue::parse(
+      R"({"name": "fdtd", "grid": [8, 16], "nested": {"deep": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").as_string(), "fdtd");
+  ASSERT_EQ(v.at("grid").size(), 2u);
+  EXPECT_EQ(v.at("grid")[1].as_int64(), 16);
+  EXPECT_TRUE(v.at("nested").at("deep").as_bool());
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), Error);
+}
+
+TEST(JsonValue, DefaultedLookups) {
+  const JsonValue v = JsonValue::parse(R"({"n": 3, "s": "x"})");
+  EXPECT_EQ(v.get_int64("n", -1), 3);
+  EXPECT_EQ(v.get_int64("missing", -1), -1);
+  EXPECT_EQ(v.get_string("s", "fb"), "x");
+  EXPECT_EQ(v.get_string("missing", "fb"), "fb");
+  EXPECT_EQ(v.get_bool("missing", true), true);
+  EXPECT_DOUBLE_EQ(v.get_double("missing", 0.5), 0.5);
+}
+
+TEST(JsonValue, KindMismatchThrows) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.at("k"), Error);
+  EXPECT_THROW(JsonValue::parse("\"s\"").as_int64(), Error);
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(JsonValue::parse("01"), Error);
+  EXPECT_THROW(JsonValue::parse("nul"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse("1 trailing"), Error);
+}
+
+TEST(JsonValue, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_THROW(JsonValue::parse(deep), Error);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBackIdentically) {
+  JsonWriter json(JsonStyle::kSpaced);
+  json.begin_object();
+  json.key("values").begin_array();
+  json.value(1);
+  json.value("two\n");
+  json.value(3.25);
+  json.end_array();
+  json.member("flag", false);
+  json.end_object();
+  const JsonValue v = JsonValue::parse(json.take());
+  EXPECT_EQ(v.at("values")[0].as_int64(), 1);
+  EXPECT_EQ(v.at("values")[1].as_string(), "two\n");
+  EXPECT_DOUBLE_EQ(v.at("values")[2].as_double(), 3.25);
+  EXPECT_FALSE(v.at("flag").as_bool());
+}
+
+}  // namespace
+}  // namespace scl::support

@@ -1,0 +1,220 @@
+// Tests for the coalescing async scheduler (serve/scheduler.hpp).
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scl::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SchedulerTest, RunsSubmittedWork) {
+  Scheduler<int> scheduler(2);
+  auto submission = scheduler.submit("", [] { return 41 + 1; });
+  EXPECT_FALSE(submission.coalesced);
+  EXPECT_EQ(submission.future.get(), 42);
+}
+
+TEST(SchedulerTest, PropagatesExceptionsThroughTheFuture) {
+  Scheduler<int> scheduler(2);
+  auto submission =
+      scheduler.submit("", []() -> int { throw Error("boom"); });
+  EXPECT_THROW(submission.future.get(), Error);
+  scheduler.drain();
+  EXPECT_EQ(scheduler.stats().failed, 1);
+}
+
+TEST(SchedulerTest, CoalescesIdenticalConcurrentRequests) {
+  Scheduler<int> scheduler(4);
+  std::atomic<int> executions{0};
+  std::atomic<bool> release{false};
+
+  // First request under the key parks in a pump until released, so the
+  // next N requests are guaranteed to find it in flight.
+  auto first = scheduler.submit("stencil-key", [&] {
+    ++executions;
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return 7;
+  });
+  EXPECT_FALSE(first.coalesced);
+
+  constexpr int kTwins = 16;
+  std::vector<Scheduler<int>::Submission> twins;
+  for (int i = 0; i < kTwins; ++i) {
+    twins.push_back(scheduler.submit("stencil-key", [&] {
+      ++executions;
+      return -1;  // must never run
+    }));
+  }
+  release = true;
+
+  for (auto& twin : twins) {
+    EXPECT_TRUE(twin.coalesced);
+    EXPECT_EQ(twin.future.get(), 7);
+  }
+  EXPECT_EQ(first.future.get(), 7);
+  EXPECT_EQ(executions.load(), 1) << "N identical requests, 1 execution";
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, kTwins + 1);
+  EXPECT_EQ(stats.coalesced, kTwins);
+  EXPECT_EQ(stats.executed, 1);
+}
+
+TEST(SchedulerTest, EmptyKeyNeverCoalesces) {
+  Scheduler<int> scheduler(2);
+  std::atomic<int> executions{0};
+  std::vector<Scheduler<int>::Submission> submissions;
+  for (int i = 0; i < 8; ++i) {
+    submissions.push_back(scheduler.submit("", [&] {
+      return ++executions;
+    }));
+  }
+  for (auto& submission : submissions) {
+    EXPECT_FALSE(submission.coalesced);
+    submission.future.get();
+  }
+  EXPECT_EQ(executions.load(), 8);
+}
+
+TEST(SchedulerTest, DistinctKeysDoNotCoalesce) {
+  Scheduler<int> scheduler(2);
+  auto a = scheduler.submit("key-a", [] { return 1; });
+  auto b = scheduler.submit("key-b", [] { return 2; });
+  EXPECT_FALSE(b.coalesced);
+  EXPECT_EQ(a.future.get(), 1);
+  EXPECT_EQ(b.future.get(), 2);
+}
+
+TEST(SchedulerTest, CompletedKeyRunsAgain) {
+  // Coalescing spans the in-flight window only; a key resubmitted after
+  // completion is fresh work (the artifact store handles caching).
+  Scheduler<int> scheduler(2);
+  std::atomic<int> executions{0};
+  EXPECT_EQ(scheduler.submit("key", [&] { return ++executions; })
+                .future.get(),
+            1);
+  scheduler.drain();
+  EXPECT_EQ(scheduler.submit("key", [&] { return ++executions; })
+                .future.get(),
+            2);
+}
+
+TEST(SchedulerTest, HigherPriorityDispatchesFirst) {
+  // One pump, blocked; everything else queues behind it so dispatch
+  // order is fully observable.
+  Scheduler<int> scheduler(1);
+  std::atomic<bool> release{false};
+  std::mutex order_mutex;
+  std::vector<int> order;
+  auto note = [&](int id) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(id);
+    return id;
+  };
+
+  auto gate = scheduler.submit("", [&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return 0;
+  });
+  auto low1 = scheduler.submit("", [&] { return note(1); }, /*priority=*/0);
+  auto high = scheduler.submit("", [&] { return note(2); }, /*priority=*/5);
+  auto low2 = scheduler.submit("", [&] { return note(3); }, /*priority=*/0);
+  release = true;
+  gate.future.get();
+  low1.future.get();
+  high.future.get();
+  low2.future.get();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2) << "priority 5 before priority 0";
+  EXPECT_EQ(order[1], 1) << "FIFO within a priority";
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(SchedulerTest, QueueTimeoutExpiresRequests) {
+  Scheduler<int> scheduler(1);
+  std::atomic<bool> release{false};
+  auto gate = scheduler.submit("", [&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return 0;
+  });
+  // 1ms deadline, stuck behind the gate for ~50ms: must expire.
+  auto doomed = scheduler.submit(
+      "doomed", [] { return 1; }, /*priority=*/0, /*timeout=*/1ms);
+  std::this_thread::sleep_for(50ms);
+  release = true;
+  gate.future.get();
+  EXPECT_THROW(doomed.future.get(), Error);
+  scheduler.drain();
+  EXPECT_EQ(scheduler.stats().timed_out, 1);
+}
+
+TEST(SchedulerTest, DrainWaitsForAllWork) {
+  Scheduler<int> scheduler(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    scheduler.submit("", [&] {
+      std::this_thread::sleep_for(1ms);
+      return ++done;
+    });
+  }
+  scheduler.drain();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(SchedulerTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  std::vector<std::shared_future<int>> futures;
+  {
+    Scheduler<int> scheduler(2);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(scheduler.submit("", [&] { return ++done; }).future);
+    }
+    // Destructor shuts down gracefully: queued work still runs.
+  }
+  EXPECT_EQ(done.load(), 16);
+  for (auto& future : futures) EXPECT_GT(future.get(), 0);
+}
+
+TEST(SchedulerTest, SubmitAfterShutdownThrows) {
+  Scheduler<int> scheduler(2);
+  scheduler.shutdown();
+  EXPECT_THROW(scheduler.submit("", [] { return 1; }), Error);
+}
+
+TEST(SchedulerTest, ShutdownIsIdempotent) {
+  Scheduler<int> scheduler(2);
+  scheduler.shutdown();
+  scheduler.shutdown();  // second call is a no-op
+}
+
+TEST(SchedulerTest, StressManyKeysManyTwins) {
+  Scheduler<int> scheduler(8);
+  std::atomic<int> executions{0};
+  std::vector<Scheduler<int>::Submission> submissions;
+  for (int round = 0; round < 50; ++round) {
+    const std::string key = "key-" + std::to_string(round % 10);
+    submissions.push_back(scheduler.submit(key, [&] {
+      return ++executions;
+    }));
+  }
+  for (auto& submission : submissions) {
+    EXPECT_GT(submission.future.get(), 0);
+  }
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.executed + stats.coalesced, 50);
+  EXPECT_EQ(executions.load(), stats.executed);
+}
+
+}  // namespace
+}  // namespace scl::serve

@@ -1,9 +1,14 @@
 #include "support/thread_pool.hpp"
 
+#include "support/error.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -136,6 +141,118 @@ TEST(ThreadPoolTest, ResolveThreadsReadsEnvironment) {
   EXPECT_EQ(ThreadPool::resolve_threads(100000), 256);
   ::unsetenv("SCL_THREADS");
   EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsJobsOnWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::promise<void> all;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == 32) all.set_value();
+    });
+  }
+  all.get_future().wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitRequiresAWorkerThread) {
+  ThreadPool pool(1);  // no workers: submitted jobs could never run
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedJobs) {
+  // The enqueue-during-shutdown contract, half one: every job accepted
+  // before shutdown begins runs to completion, even when the destructor
+  // races the enqueue closely. TSan runs this in CI.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    constexpr int kJobs = 64;
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < kJobs; ++i) {
+        pool.submit([&done] { done.fetch_add(1); });
+      }
+      // Destructor runs immediately: stop flag + drain + join.
+    }
+    EXPECT_EQ(done.load(), kJobs);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), Error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownThrowsInsteadOfLosingJobs) {
+  // The enqueue-during-shutdown contract, half two: a submit that loses
+  // the race against shutdown() must fail loudly, not enqueue a job
+  // nobody will ever run (its completion signal would never fire). TSan
+  // runs this in CI.
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> go{false};
+    ThreadPool pool(4);
+    std::thread submitter([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 1000; ++i) {
+        try {
+          pool.submit([&ran] { ran.fetch_add(1); });
+          accepted.fetch_add(1);
+        } catch (const Error&) {
+          break;  // shutdown began; everything later would throw too
+        }
+      }
+    });
+    go = true;
+    pool.shutdown();  // races the live submitter
+    submitter.join();
+    // shutdown() has joined the workers and the submitter is done, so
+    // the counters are final: every accepted job ran, none vanished.
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsSerially) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 100ll * 99 / 2);
+}
+
+TEST(ThreadPoolTest, SubmittedJobExceptionsDoNotKillWorkers) {
+  ThreadPool pool(2);
+  std::promise<void> threw;
+  pool.submit([&] {
+    threw.set_value();
+    throw std::runtime_error("escaping");
+  });
+  threw.get_future().wait();
+  // The worker survives and still runs new jobs.
+  std::promise<void> after;
+  pool.submit([&] { after.set_value(); });
+  after.get_future().wait();
+}
+
+TEST(ThreadPoolTest, SubmitAndParallelForInterleave) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted_done{0};
+  std::promise<void> all;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      if (submitted_done.fetch_add(1) + 1 == 8) all.set_value();
+    });
+  }
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(1000, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000ll * 999 / 2);
+  all.get_future().wait();
+  EXPECT_EQ(submitted_done.load(), 8);
 }
 
 TEST(ThreadPoolTest, ManyIterationsStress) {
