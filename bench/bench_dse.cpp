@@ -12,6 +12,12 @@
 // Output: a human-readable table on stdout plus one JSON row per
 // (kernel, thread count) appended to BENCH_dse.json in the working
 // directory, for the benchmark trajectory.
+//
+//   --json <file>      write rows there instead, truncating first (the
+//                      perf-gate baselines want a fresh file per run)
+//   --threads <list>   comma-separated thread counts (default: 1,2,4,8
+//                      clamped to the hardware); the serial run always
+//                      happens first as the determinism/speedup base
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -57,18 +63,43 @@ std::string json_row(const std::string& kernel, const DseRun& run,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<int> requested_threads;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      for (const std::string& tok : scl::split(argv[++i], ',')) {
+        const int t = std::stoi(tok);
+        if (t < 1) {
+          std::cerr << "--threads wants counts >= 1\n";
+          return 2;
+        }
+        requested_threads.push_back(t);
+      }
+    } else {
+      std::cerr << "usage: bench_dse [--json <file>] [--threads <list>]\n";
+      return 2;
+    }
+  }
+
   std::cout << "==== DSE throughput: parallel candidate evaluation ====\n\n";
   const int max_threads = scl::ThreadPool::resolve_threads(0);
-  std::vector<int> thread_counts{1};
-  for (const int t : {2, 4, 8}) {
-    if (t <= max_threads) thread_counts.push_back(t);
+  std::vector<int> thread_counts = requested_threads;
+  if (thread_counts.empty()) {
+    thread_counts.push_back(1);
+    for (const int t : {2, 4, 8}) {
+      if (t <= max_threads) thread_counts.push_back(t);
+    }
   }
   std::cout << "hardware threads available: " << max_threads << "\n\n";
 
   scl::TableWriter table({"Benchmark", "Threads", "Candidates", "Cache hits",
                           "Wall (s)", "Cand./s", "Speedup"});
-  std::ofstream json("BENCH_dse.json", std::ios::app);
+  std::ofstream json(json_path.empty() ? "BENCH_dse.json" : json_path,
+                     json_path.empty() ? std::ios::app : std::ios::trunc);
   bool deterministic = true;
 
   for (const scl::stencil::BenchmarkInfo& info :

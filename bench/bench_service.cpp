@@ -10,6 +10,12 @@
 // store directory and compares the on-disk artifacts byte-for-byte —
 // enforcing the serving layer's determinism contract (same request, same
 // bytes, run after run).
+//
+//   --json <file>   write one JSON result row (cold/warm wall time and
+//                   the warm speedup) for the perf-gate baselines
+//   --threads <n>   synthesis worker count (default: SCL_THREADS, then
+//                   hardware concurrency)
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -24,6 +30,7 @@
 #include "stencil/kernels.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fs = std::filesystem;
 
@@ -75,7 +82,21 @@ std::map<std::string, std::string> slurp_store(const fs::path& root) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_service [--json <file>] [--threads <n>]\n";
+      return 2;
+    }
+  }
+
   const fs::path scratch =
       fs::temp_directory_path() / "scl-bench-service";
   std::error_code ec;
@@ -86,13 +107,21 @@ int main() {
 
     scl::serve::ServiceOptions options;
     options.store_dir = (scratch / "store-a").string();
+    options.threads = threads;
 
     double cold_ms = 0.0;
     double warm_ms = 0.0;
     {
       scl::serve::SynthesisService service(options);
       cold_ms = run_suite_ms(service, jobs, /*expect_warm=*/false);
+      // A single warm replay is a ~millisecond measurement dominated by
+      // scheduler wakeup jitter; take the best of several so the perf
+      // gate compares steady-state serving cost, not noise.
       warm_ms = run_suite_ms(service, jobs, /*expect_warm=*/true);
+      for (int rep = 1; rep < 5; ++rep) {
+        warm_ms = std::min(warm_ms, run_suite_ms(service, jobs,
+                                                 /*expect_warm=*/true));
+      }
       std::cout << service.stats().to_string() << "\n";
     }
 
@@ -113,7 +142,9 @@ int main() {
     options_b.store_dir = (scratch / "store-b").string();
     {
       scl::serve::SynthesisService service(options_b);
-      run_suite_ms(service, jobs, /*expect_warm=*/false);
+      const double cold_b_ms =
+          run_suite_ms(service, jobs, /*expect_warm=*/false);
+      cold_ms = std::min(cold_ms, cold_b_ms);
     }
     const auto store_a = slurp_store(scratch / "store-a");
     const auto store_b = slurp_store(scratch / "store-b");
@@ -131,6 +162,17 @@ int main() {
               << " ms   speedup: " << scl::format_fixed(ratio, 1) << "x\n";
     std::cout << "artifacts byte-identical across independent cold runs ("
               << store_a.size() << " files)\n";
+    if (!json_path.empty()) {
+      std::ofstream(json_path)
+          << scl::str_cat(
+                 "{\"bench\":\"service\",\"threads\":",
+                 scl::ThreadPool::resolve_threads(threads),
+                 ",\"jobs\":", jobs.size(),
+                 ",\"cold_ms\":", scl::format_fixed(cold_ms, 3),
+                 ",\"warm_ms\":", scl::format_fixed(warm_ms, 3),
+                 ",\"warm_speedup\":", scl::format_fixed(ratio, 3), "}")
+          << "\n";
+    }
     if (ratio < 10.0) {
       std::cerr << "FAIL: warm pass must be >= 10x faster than cold\n";
       return 1;

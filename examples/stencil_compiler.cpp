@@ -16,6 +16,10 @@
 //                         docs/ARCHITECTURE.md §8 for the schema)
 //   --dump-stencil        print the program in .stencil form and exit
 //   --list                list built-in benchmarks and devices, exit
+//   --trace-out <file>    enable observability; write a Chrome trace_event
+//                         JSON of the run (load in Perfetto / about:tracing)
+//   --metrics-out <file>  enable observability; write a Prometheus-style
+//                         text exposition of the process metrics
 //
 // Reads a stencil program from a `.stencil` file, imports a naive NDRange
 // OpenCL kernel from a `.cl` file (the paper's input format), or takes a
@@ -33,6 +37,7 @@
 #include "core/report.hpp"
 #include "stencil/kernels.hpp"
 #include "stencil/parser.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -41,8 +46,25 @@ int usage() {
   std::cerr
       << "usage: stencil_compiler <input.stencil | benchmark-name> "
          "[--device <name>] [--emit <dir>] [--no-sim] [--analyze] "
-         "[--analyze-json] [--dump-stencil] [--list]\n";
+         "[--analyze-json] [--dump-stencil] [--list] "
+         "[--trace-out <file>] [--metrics-out <file>]\n";
   return 2;
+}
+
+/// Matches "--name <value>" or "--name=<value>"; fills `*out` (empty on a
+/// missing value, which the caller treats as a usage error).
+bool flag_with_value(const std::string& arg, const std::string& name,
+                     int argc, char** argv, int& i, std::string* out) {
+  if (arg == name) {
+    *out = i + 1 < argc ? argv[++i] : "";
+    return true;
+  }
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
 }
 
 void list_builtins() {
@@ -87,9 +109,7 @@ scl::stencil::StencilProgram load_program(
   return scl::stencil::find_benchmark(input).make_paper_scale();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct ToolConfig {
   std::string input;
   std::string device_name = "xc7vx690t";
   std::optional<std::string> emit_dir;
@@ -99,115 +119,160 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool analyze_json = false;
   scl::frontend::OpenClImportOptions ocl_options;
+};
+
+/// The whole compile flow; split out of main() so observability files can
+/// be written after *every* exit path (--dump-stencil, the analyze modes
+/// and errors all return early).
+int run_tool(const ToolConfig& cfg) {
+  const auto run_span =
+      scl::support::obs::tracer().span("compiler/run", "cli");
+  const scl::stencil::StencilProgram program = [&] {
+    const auto span =
+        scl::support::obs::tracer().span("compiler/parse", "frontend");
+    return load_program(cfg.input, cfg.ocl_options);
+  }();
+  if (cfg.dump) {
+    std::cout << scl::stencil::program_to_text(program);
+    return 0;
+  }
+
+  scl::core::FrameworkOptions options;
+  options.optimizer.device = scl::fpga::find_device(cfg.device_name);
+  options.simulate = cfg.simulate && !cfg.analyze && !cfg.analyze_json;
+  options.generate_code = true;
+  // The analyze modes render diagnostics themselves instead of letting
+  // the framework abort on the first error.
+  options.fail_on_analysis_error = !cfg.analyze && !cfg.analyze_json;
+  const scl::core::Framework framework(program, options);
+  const scl::core::SynthesisReport report = framework.synthesize();
+
+  if (cfg.analyze_json) {
+    std::cout << report.analysis.render_json() << "\n";
+    return report.analysis.has_errors() ? 1 : 0;
+  }
+  if (cfg.analyze) {
+    if (report.analysis.empty()) {
+      std::cout << "design verification: no diagnostics\n";
+    } else {
+      std::cout << report.analysis.render_text();
+    }
+    return report.analysis.has_errors() ? 1 : 0;
+  }
+  std::cout << report.to_string();
+
+  if (cfg.report_path.has_value()) {
+    std::ofstream(*cfg.report_path)
+        << scl::core::render_markdown_report(report);
+    std::cout << "wrote report " << *cfg.report_path << "\n";
+  }
+
+  if (cfg.emit_dir.has_value()) {
+    std::filesystem::create_directories(*cfg.emit_dir);
+    const auto kernel_path =
+        std::filesystem::path(*cfg.emit_dir) / "stencil_kernels.cl";
+    const auto host_path =
+        std::filesystem::path(*cfg.emit_dir) / "stencil_host.cpp";
+    const auto script_path =
+        std::filesystem::path(*cfg.emit_dir) / "build.sh";
+    std::ofstream(kernel_path) << report.code.kernel_source;
+    std::ofstream(host_path) << report.code.host_source;
+    std::ofstream(script_path) << report.code.build_script;
+    std::filesystem::permissions(script_path,
+                                 std::filesystem::perms::owner_exec,
+                                 std::filesystem::perm_options::add);
+    std::cout << "emitted " << kernel_path.string() << ", "
+              << host_path.string() << " and " << script_path.string()
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolConfig cfg;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
     if (arg == "--list") {
       list_builtins();
       return 0;
     }
     if (arg == "--no-sim") {
-      simulate = false;
+      cfg.simulate = false;
     } else if (arg == "--analyze") {
-      analyze = true;
+      cfg.analyze = true;
     } else if (arg == "--analyze-json") {
-      analyze_json = true;
+      cfg.analyze_json = true;
     } else if (arg == "--dump-stencil") {
-      dump = true;
+      cfg.dump = true;
+    } else if (flag_with_value(arg, "--trace-out", argc, argv, i, &value)) {
+      if (value.empty()) return usage();
+      trace_out = value;
+    } else if (flag_with_value(arg, "--metrics-out", argc, argv, i,
+                               &value)) {
+      if (value.empty()) return usage();
+      metrics_out = value;
     } else if (arg == "--device") {
       if (++i >= argc) return usage();
-      device_name = argv[i];
+      cfg.device_name = argv[i];
     } else if (arg == "--emit") {
       if (++i >= argc) return usage();
-      emit_dir = argv[i];
+      cfg.emit_dir = argv[i];
     } else if (arg == "--report") {
       if (++i >= argc) return usage();
-      report_path = argv[i];
+      cfg.report_path = argv[i];
     } else if (arg == "--grid") {
       if (++i >= argc) return usage();
       const auto parts = scl::split(argv[i], ',');
       if (parts.empty() || parts.size() > 3) return usage();
-      ocl_options.dims = static_cast<int>(parts.size());
+      cfg.ocl_options.dims = static_cast<int>(parts.size());
       for (std::size_t d = 0; d < parts.size(); ++d) {
-        ocl_options.extents[d] = std::stoll(parts[d]);
+        cfg.ocl_options.extents[d] = std::stoll(parts[d]);
       }
     } else if (arg == "--iterations") {
       if (++i >= argc) return usage();
-      ocl_options.iterations = std::stoll(argv[i]);
+      cfg.ocl_options.iterations = std::stoll(argv[i]);
     } else if (arg == "--init") {
       if (++i >= argc) return usage();
       const std::string spec = argv[i];
       const std::size_t eq = spec.find('=');
       if (eq == std::string::npos) return usage();
-      ocl_options.init_specs[spec.substr(0, eq)] = spec.substr(eq + 1);
+      cfg.ocl_options.init_specs[spec.substr(0, eq)] = spec.substr(eq + 1);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option '" << arg << "'\n";
       return usage();
-    } else if (input.empty()) {
-      input = arg;
+    } else if (cfg.input.empty()) {
+      cfg.input = arg;
     } else {
       return usage();
     }
   }
-  if (input.empty()) return usage();
+  if (cfg.input.empty()) return usage();
 
+  const bool observe = !trace_out.empty() || !metrics_out.empty();
+  if (observe) scl::support::obs::set_enabled(true);
+
+  int rc = 0;
   try {
-    const scl::stencil::StencilProgram program =
-        load_program(input, ocl_options);
-    if (dump) {
-      std::cout << scl::stencil::program_to_text(program);
-      return 0;
-    }
-
-    scl::core::FrameworkOptions options;
-    options.optimizer.device = scl::fpga::find_device(device_name);
-    options.simulate = simulate && !analyze && !analyze_json;
-    options.generate_code = true;
-    // The analyze modes render diagnostics themselves instead of letting
-    // the framework abort on the first error.
-    options.fail_on_analysis_error = !analyze && !analyze_json;
-    const scl::core::Framework framework(program, options);
-    const scl::core::SynthesisReport report = framework.synthesize();
-
-    if (analyze_json) {
-      std::cout << report.analysis.render_json() << "\n";
-      return report.analysis.has_errors() ? 1 : 0;
-    }
-    if (analyze) {
-      if (report.analysis.empty()) {
-        std::cout << "design verification: no diagnostics\n";
-      } else {
-        std::cout << report.analysis.render_text();
-      }
-      return report.analysis.has_errors() ? 1 : 0;
-    }
-    std::cout << report.to_string();
-
-    if (report_path.has_value()) {
-      std::ofstream(*report_path) << scl::core::render_markdown_report(report);
-      std::cout << "wrote report " << *report_path << "\n";
-    }
-
-    if (emit_dir.has_value()) {
-      std::filesystem::create_directories(*emit_dir);
-      const auto kernel_path =
-          std::filesystem::path(*emit_dir) / "stencil_kernels.cl";
-      const auto host_path =
-          std::filesystem::path(*emit_dir) / "stencil_host.cpp";
-      const auto script_path = std::filesystem::path(*emit_dir) / "build.sh";
-      std::ofstream(kernel_path) << report.code.kernel_source;
-      std::ofstream(host_path) << report.code.host_source;
-      std::ofstream(script_path) << report.code.build_script;
-      std::filesystem::permissions(script_path,
-                                   std::filesystem::perms::owner_exec,
-                                   std::filesystem::perm_options::add);
-      std::cout << "emitted " << kernel_path.string() << ", "
-                << host_path.string() << " and " << script_path.string()
-                << "\n";
-    }
-    return 0;
+    rc = run_tool(cfg);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
+  if (!trace_out.empty()) {
+    std::ofstream(trace_out)
+        << scl::support::obs::tracer().render_chrome_json() << "\n";
+    std::cerr << "wrote trace " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream(metrics_out)
+        << scl::support::obs::metrics().render_exposition();
+    std::cerr << "wrote metrics " << metrics_out << "\n";
+  }
+  return rc;
 }

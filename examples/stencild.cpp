@@ -19,6 +19,9 @@
 //   --emit <dir>          write each job's generated sources under
 //                         <dir>/<name>/
 //   --stats-json <file>   write service counters as JSON
+//   --metrics-out <file>  enable observability; write the service's
+//                         Prometheus-style exposition followed by the
+//                         process-global pipeline metrics
 //   --require-warm        exit 1 unless every job was served from the
 //                         artifact store (CI uses this to assert a warm
 //                         second pass)
@@ -38,6 +41,7 @@
 #include "stencil/kernels.hpp"
 #include "stencil/parser.hpp"
 #include "support/json.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -46,7 +50,8 @@ int usage() {
   std::cerr << "usage: stencild [--suite | --jobs <manifest.jsonl>] "
                "[--store <dir>] [--no-store] [--capacity-mb <n>] "
                "[--threads <n>] [--device <name>] [--emit <dir>] "
-               "[--stats-json <file>] [--require-warm] [--quiet]\n";
+               "[--stats-json <file>] [--metrics-out <file>] "
+               "[--require-warm] [--quiet]\n";
   return 2;
 }
 
@@ -150,6 +155,7 @@ int main(int argc, char** argv) {
   std::string device_name;
   std::string emit_dir;
   std::string stats_json_path;
+  std::string metrics_out;
   std::int64_t capacity_mb = 256;
   int threads = 0;
 
@@ -179,6 +185,11 @@ int main(int argc, char** argv) {
       emit_dir = next();
     } else if (arg == "--stats-json") {
       stats_json_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+      if (metrics_out.empty()) return usage();
     } else if (arg == "--require-warm") {
       require_warm = true;
     } else if (arg == "--quiet") {
@@ -189,6 +200,7 @@ int main(int argc, char** argv) {
     }
   }
   if (suite && !manifest_path.empty()) return usage();
+  if (!metrics_out.empty()) scl::support::obs::set_enabled(true);
 
   try {
     scl::serve::ServiceOptions options;
@@ -237,6 +249,14 @@ int main(int argc, char** argv) {
     if (!quiet) std::cout << "\n" << service.stats().to_string();
     if (!stats_json_path.empty()) {
       std::ofstream(stats_json_path) << service.render_stats_json() << "\n";
+    }
+    if (!metrics_out.empty()) {
+      // Service-local registry first, then the process-global pipeline
+      // metrics (populated because observability was switched on above).
+      std::ofstream out(metrics_out);
+      out << service.render_metrics_exposition();
+      out << scl::support::obs::metrics().render_exposition();
+      std::cerr << "wrote metrics " << metrics_out << "\n";
     }
 
     if (failures > 0) return 1;

@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
 # Full verification: configure, build (warnings as errors), test, analyze
-# every bundled stencil through the design verifier, run every bench
-# harness, and exercise the batched synthesis service cold and warm.
+# every bundled stencil through the design verifier, smoke the
+# observability outputs, run every bench harness, and exercise the
+# batched synthesis service cold and warm.
+#
+#   --quick   configure + build + ctest + analyzer + observability smoke
+#             only (skips the bench harnesses and the stencild cold/warm
+#             passes); what CI runs as a required step on every build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja -DSTENCILCL_WERROR=ON
-cmake --build build
-ctest --test-dir build --output-on-failure
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+# Reuse an existing build tree's generator; otherwise prefer Ninja when
+# available (CI may have configured with Make — forcing -G Ninja onto an
+# existing cache is a hard CMake error).
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build -DSTENCILCL_WERROR=ON
+elif command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja -DSTENCILCL_WERROR=ON
+else
+  cmake -B build -DSTENCILCL_WERROR=ON
+fi
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure --timeout 300 -j "$(nproc)"
 
 # The static design verifier must report zero errors for every bundled
 # example and benchmark (stencil_compiler --analyze exits nonzero on
@@ -27,6 +50,45 @@ for b in Jacobi-1D Jacobi-2D Jacobi-3D HotSpot-2D HotSpot-3D FDTD-2D FDTD-3D; do
   echo "analyze $b"
   ./build/examples/stencil_compiler "$b" --analyze
 done
+
+# Observability smoke: --trace-out must emit valid Chrome trace JSON with
+# spans from every pipeline layer, and --metrics-out a parseable
+# Prometheus-style exposition.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+echo "observability smoke (trace + metrics)"
+./build/examples/stencil_compiler Jacobi-2D --no-sim \
+  --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.txt" \
+  > /dev/null
+python3 - "$obs_dir/trace.json" "$obs_dir/metrics.txt" <<'PY'
+import json, sys
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+trace = json.load(open(trace_path))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+names = {event["name"] for event in events}
+for needed in ("compiler/parse", "dse/baseline", "codegen/emit",
+               "analysis/verify_design"):
+    assert needed in names, f"trace lacks span {needed}: {sorted(names)}"
+assert any(event["args"]["depth"] > 0 for event in events), "no nesting"
+families = set()
+for line in open(metrics_path):
+    line = line.strip()
+    if line.startswith("# TYPE "):
+        name, kind = line.split()[2:4]
+        assert kind in ("counter", "gauge", "histogram"), line
+        families.add(name)
+    elif line and not line.startswith("#"):
+        float(line.split()[-1])  # every sample line ends in a number
+assert "scl_dse_candidates_total" in families, sorted(families)
+print(f"observability smoke ok: {len(events)} span(s), "
+      f"{len(families)} metric families")
+PY
+
+if [ "$QUICK" -eq 1 ]; then
+  echo "check.sh --quick: all green"
+  exit 0
+fi
 
 # Table/figure regenerators, enumerated explicitly: a bench binary that
 # failed to build must fail the check, not be skipped.
@@ -50,9 +112,14 @@ echo "bench bench_micro"
 # artifact store, then replay it — the second pass must be served
 # entirely from the store.
 store="$(mktemp -d)"
-trap 'rm -rf "$store"' EXIT
+trap 'rm -rf "$store" "$obs_dir"' EXIT
 echo "stencild cold pass"
 ./build/examples/stencild --suite --store "$store" --quiet
 echo "stencild warm pass"
-./build/examples/stencild --suite --store "$store" --require-warm --quiet
+./build/examples/stencild --suite --store "$store" --require-warm --quiet \
+  --metrics-out "$store/metrics.txt"
+grep -q "^scl_serve_store_hits 7$" "$store/metrics.txt" || {
+  echo "error: warm pass exposition does not report 7 store hits" >&2
+  exit 1
+}
 echo "check.sh: all green"

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI performance-regression gate over the BENCH_*.json baselines.
+
+Compares the JSONL rows a fresh bench run produced against the committed
+baseline rows and fails when a tracked metric regressed by more than the
+threshold (default 25%). Tracked metrics:
+
+  bench=dse      key (kernel, threads)   metric candidates_per_sec
+  bench=service  key (threads)           metric warm_speedup (cold/warm)
+
+Both metrics are higher-is-better; a row counts as a regression when
+
+  current < baseline * (1 - threshold)
+
+Rows are JSONL (one object per line, '#' comments and blank lines
+ignored); when a key appears more than once the LAST occurrence wins,
+matching the append-mode trajectory files bench_dse writes by default.
+A key present in the baseline but missing from the current run fails the
+gate (a silently-skipped benchmark must not pass); keys only present in
+the current run are reported but never fail.
+
+Usage:
+  perf_gate.py [--threshold 0.25] --pair <baseline.json> <current.json> ...
+
+The delta table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, to
+the job summary as well. Exit status: 0 pass, 1 regression/missing key,
+2 usage or unreadable input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def read_rows(path):
+    """Parses a JSONL file into a list of row dicts."""
+    rows = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise SystemExit(
+                        f"error: {path}:{number}: bad JSON row: {error}")
+                if isinstance(row, dict):
+                    rows.append(row)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    return rows
+
+
+def keyed_metrics(rows):
+    """Maps (display key) -> metric value; last occurrence wins."""
+    metrics = {}
+    for row in rows:
+        bench = row.get("bench")
+        if bench == "dse":
+            key = f"dse/{row.get('kernel')}/t{row.get('threads')}"
+            value = row.get("candidates_per_sec")
+            name = "candidates_per_sec"
+        elif bench == "service":
+            key = f"service/t{row.get('threads')}"
+            value = row.get("warm_speedup")
+            name = "warm_speedup"
+        else:
+            continue
+        if value is None:
+            continue
+        metrics[key] = (name, float(value))
+    return metrics
+
+
+def format_value(value):
+    return f"{value:,.1f}" if value >= 100 else f"{value:.3f}"
+
+
+def gate(pairs, threshold):
+    lines = [
+        "| benchmark | metric | baseline | current | delta | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    failures = []
+    for baseline_path, current_path in pairs:
+        baseline = keyed_metrics(read_rows(baseline_path))
+        current = keyed_metrics(read_rows(current_path))
+        if not baseline:
+            raise SystemExit(
+                f"error: {baseline_path} holds no gated bench rows")
+        for key in sorted(baseline):
+            metric, base_value = baseline[key]
+            if key not in current:
+                failures.append(f"{key}: missing from {current_path}")
+                lines.append(
+                    f"| {key} | {metric} | {format_value(base_value)} "
+                    f"| *missing* | — | FAIL |")
+                continue
+            _, cur_value = current[key]
+            delta = ((cur_value - base_value) / base_value
+                     if base_value != 0 else 0.0)
+            regressed = cur_value < base_value * (1.0 - threshold)
+            status = "FAIL" if regressed else "ok"
+            if regressed:
+                failures.append(
+                    f"{key}: {metric} {format_value(cur_value)} vs baseline "
+                    f"{format_value(base_value)} ({delta:+.1%})")
+            lines.append(
+                f"| {key} | {metric} | {format_value(base_value)} "
+                f"| {format_value(cur_value)} | {delta:+.1%} | {status} |")
+        for key in sorted(set(current) - set(baseline)):
+            metric, cur_value = current[key]
+            lines.append(
+                f"| {key} | {metric} | *new* "
+                f"| {format_value(cur_value)} | — | ok |")
+    return lines, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail CI when bench metrics regress past the threshold")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)")
+    parser.add_argument(
+        "--pair", nargs=2, action="append", required=True,
+        metavar=("BASELINE", "CURRENT"),
+        help="baseline JSONL and the fresh run to compare against it")
+    args = parser.parse_args()
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    lines, failures = gate(args.pair, args.threshold)
+
+    title = (f"## Performance gate "
+             f"(threshold {args.threshold:.0%} regression)")
+    report = "\n".join([title, ""] + lines) + "\n"
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write(report)
+
+    if failures:
+        print("performance gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("performance gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

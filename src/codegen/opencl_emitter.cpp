@@ -3,6 +3,7 @@
 #include "codegen/boundary_gen.hpp"
 #include "codegen/fused_op_gen.hpp"
 #include "codegen/pipe_gen.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace scl::codegen {
@@ -319,6 +320,8 @@ int main() {
 GeneratedCode generate_opencl(const StencilProgram& program,
                               const sim::DesignConfig& config,
                               const fpga::DeviceSpec& device) {
+  const auto span =
+      scl::support::obs::tracer().span("codegen/emit", "codegen");
   const GenContext ctx = GenContext::create(program, config, device);
   const std::vector<PipeDecl> pipes = enumerate_pipes(ctx);
 
@@ -359,6 +362,16 @@ GeneratedCode generate_opencl(const StencilProgram& program,
       "  -o stencil.xclbin stencil_kernels.cl\n\n"
       "g++ -std=c++17 -O2 stencil_host.cpp -lOpenCL -o stencil_host\n";
   out.build_script = std::move(script);
+  if (scl::support::obs::enabled()) {
+    static auto& emits = scl::support::obs::metrics().counter(
+        "scl_codegen_emits_total", "generated OpenCL source bundles");
+    static auto& bytes = scl::support::obs::metrics().counter(
+        "scl_codegen_source_bytes_total",
+        "bytes of generated kernel + host source");
+    emits.increment();
+    bytes.add(static_cast<std::int64_t>(out.kernel_source.size() +
+                                        out.host_source.size()));
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "core/eval_cache.hpp"
 
 #include "support/error.hpp"
+#include "support/observability/observability.hpp"
 
 namespace scl::core {
 
@@ -10,6 +11,18 @@ std::size_t round_up_pow2(std::size_t v) {
   std::size_t p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+support::obs::Counter& cache_hits_counter() {
+  static auto& counter = support::obs::metrics().counter(
+      "scl_dse_cache_hits_total", "eval-cache lookups served memoized");
+  return counter;
+}
+
+support::obs::Counter& cache_misses_counter() {
+  static auto& counter = support::obs::metrics().counter(
+      "scl_dse_cache_misses_total", "eval-cache lookups that computed");
+  return counter;
 }
 
 }  // namespace
@@ -36,9 +49,11 @@ bool EvalCache::lookup(const sim::DesignKey& key, CachedEvaluation* out) {
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (support::obs::enabled()) cache_misses_counter().increment();
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (support::obs::enabled()) cache_hits_counter().increment();
   *out = it->second;
   return true;
 }

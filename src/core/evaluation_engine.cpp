@@ -1,9 +1,11 @@
 #include "core/evaluation_engine.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "analysis/analyzer.hpp"
 #include "core/optimizer.hpp"
+#include "support/observability/observability.hpp"
 
 namespace scl::core {
 
@@ -23,6 +25,49 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+support::obs::Counter& candidates_counter() {
+  static auto& counter = support::obs::metrics().counter(
+      "scl_dse_candidates_total",
+      "design candidates evaluated (cache hits included)");
+  return counter;
+}
+
+support::obs::Histogram& batch_histogram() {
+  static auto& histogram = support::obs::metrics().histogram(
+      "scl_dse_batch_ms", support::obs::default_latency_ms_buckets(),
+      "wall time of one evaluate_batch/evaluate_chains call");
+  return histogram;
+}
+
+/// Test-only brake for the CI perf gate: when the
+/// SCL_DSE_SYNTHETIC_SLOWDOWN_NS environment variable is set, every
+/// uncached evaluation busy-waits that many nanoseconds. Results are
+/// unchanged (evaluation stays pure); only throughput drops, which is
+/// exactly what scripts/perf_gate.py must detect.
+std::int64_t synthetic_slowdown_ns() {
+  static const std::int64_t ns = [] {
+    const char* env = std::getenv("SCL_DSE_SYNTHETIC_SLOWDOWN_NS");
+    if (env == nullptr) return std::int64_t{0};
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    return (end != env && *end == '\0' && parsed > 0)
+               ? static_cast<std::int64_t>(parsed)
+               : std::int64_t{0};
+  }();
+  return ns;
+}
+
+void apply_synthetic_slowdown() {
+  const std::int64_t ns = synthetic_slowdown_ns();
+  if (ns <= 0) return;
+  // Busy-wait: sleep granularity is far coarser than the ~µs-scale
+  // per-candidate cost this knob needs to inflate.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
 
 DesignPoint to_point(const DesignConfig& config,
                      const CachedEvaluation& eval) {
@@ -62,6 +107,7 @@ CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
   // shares a read-only instance.
   const auto slot = static_cast<std::size_t>(ThreadPool::worker_slot()) %
                     perf_models_.size();
+  apply_synthetic_slowdown();
   CachedEvaluation eval;
   eval.prediction = perf_models_[slot].predict(config);
   eval.resources =
@@ -75,6 +121,7 @@ CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
 
 DesignPoint EvaluationEngine::evaluate(const DesignConfig& config) {
   evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (support::obs::enabled()) candidates_counter().increment();
   const CachedEvaluation eval = cache_.find_or_compute(
       config.key(), [&] { return compute(config); });
   return to_point(config, eval);
@@ -82,6 +129,8 @@ DesignPoint EvaluationEngine::evaluate(const DesignConfig& config) {
 
 std::vector<DesignPoint> EvaluationEngine::evaluate_batch(
     const std::vector<DesignConfig>& configs) {
+  const auto span =
+      support::obs::tracer().span("dse/evaluate_batch", "dse");
   const WallTimer timer;
   std::vector<DesignPoint> out(configs.size());
   pool_->parallel_for(static_cast<std::int64_t>(configs.size()),
@@ -89,13 +138,19 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_batch(
                         const auto s = static_cast<std::size_t>(i);
                         out[s] = evaluate(configs[s]);
                       });
-  add_wall_seconds(timer.seconds());
+  const double seconds = timer.seconds();
+  if (support::obs::enabled()) {
+    batch_histogram().observe(seconds * 1e3);
+  }
+  add_wall_seconds(seconds);
   return out;
 }
 
 std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
     const std::vector<CandidateChain>& chains,
     const fpga::ResourceVector& budget) {
+  const auto span =
+      support::obs::tracer().span("dse/evaluate_chains", "dse");
   const WallTimer timer;
   std::vector<std::vector<DesignPoint>> per_chain(chains.size());
   pool_->parallel_for(
@@ -117,7 +172,11 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
     out.insert(out.end(), std::make_move_iterator(feasible.begin()),
                std::make_move_iterator(feasible.end()));
   }
-  add_wall_seconds(timer.seconds());
+  const double seconds = timer.seconds();
+  if (support::obs::enabled()) {
+    batch_histogram().observe(seconds * 1e3);
+  }
+  add_wall_seconds(seconds);
   return out;
 }
 

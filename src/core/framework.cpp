@@ -3,6 +3,7 @@
 #include "core/verify.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace scl::core {
@@ -14,15 +15,24 @@ Framework::Framework(const scl::stencil::StencilProgram& program,
       optimizer_(program, options_.optimizer) {}
 
 SynthesisReport Framework::synthesize() const {
+  const auto synth_span =
+      support::obs::tracer().span("core/synthesize", "core");
   SynthesisReport report;
   report.features = extract_features(*program_);
   report.device = options_.optimizer.device;
   SCL_INFO() << "features: " << report.features.to_string();
 
-  report.baseline = optimizer_.optimize_baseline();
+  {
+    const auto span = support::obs::tracer().span("dse/baseline", "dse");
+    report.baseline = optimizer_.optimize_baseline();
+  }
   SCL_INFO() << "baseline: "
              << report.baseline.config.summary(program_->dims());
-  report.heterogeneous = optimizer_.optimize_heterogeneous(report.baseline);
+  {
+    const auto span =
+        support::obs::tracer().span("dse/heterogeneous", "dse");
+    report.heterogeneous = optimizer_.optimize_heterogeneous(report.baseline);
+  }
   SCL_INFO() << "heterogeneous: "
              << report.heterogeneous.config.summary(program_->dims());
   report.dse = optimizer_.dse_stats();
@@ -48,6 +58,7 @@ SynthesisReport Framework::synthesize() const {
   }
 
   if (options_.simulate) {
+    const auto span = support::obs::tracer().span("sim/simulate", "sim");
     const sim::Executor exec(options_.optimizer.device);
     report.baseline_sim = exec.run(*program_, report.baseline.config,
                                    sim::SimMode::kTimingOnly);

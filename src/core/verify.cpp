@@ -1,8 +1,20 @@
 #include "core/verify.hpp"
 
 #include "codegen/validator.hpp"
+#include "support/observability/observability.hpp"
 
 namespace scl::core {
+
+namespace {
+
+support::obs::Counter& diagnostics_counter() {
+  static auto& counter = support::obs::metrics().counter(
+      "scl_analysis_diagnostics_total",
+      "diagnostics reported by the design/source verifier passes");
+  return counter;
+}
+
+}  // namespace
 
 analysis::ChargedResources charged_resources(
     const DesignResources& resources) {
@@ -18,14 +30,23 @@ support::DiagnosticEngine verify_design(
     const scl::stencil::StencilProgram& program,
     const sim::DesignConfig& config, const fpga::DeviceSpec& device,
     const DesignResources& resources) {
+  const auto span =
+      support::obs::tracer().span("analysis/verify_design", "analysis");
   const analysis::AnalysisInput input =
       analysis::make_analysis_input(program, config, device);
   const analysis::ChargedResources charged = charged_resources(resources);
-  return analysis::analyze(input, &charged);
+  support::DiagnosticEngine diags = analysis::analyze(input, &charged);
+  if (support::obs::enabled()) {
+    diagnostics_counter().add(
+        static_cast<std::int64_t>(diags.diagnostics().size()));
+  }
+  return diags;
 }
 
 void verify_generated_sources(const codegen::GeneratedCode& code,
                               support::DiagnosticEngine* diags) {
+  const auto span =
+      support::obs::tracer().span("analysis/verify_sources", "analysis");
   auto append = [&](std::vector<support::Diagnostic> issues,
                     const char* file) {
     for (support::Diagnostic& diag : issues) {

@@ -11,6 +11,7 @@
 #include "stencil/formula.hpp"
 #include "stencil/parser.hpp"
 #include "support/error.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace scl::frontend {
@@ -515,6 +516,13 @@ void collect_reads(const Expr& e, const KernelDef& kernel,
 
 StencilProgram import_opencl(const std::string& source,
                              const OpenClImportOptions& options) {
+  const auto span =
+      support::obs::tracer().span("frontend/import_opencl", "frontend");
+  if (support::obs::enabled()) {
+    static auto& imports = support::obs::metrics().counter(
+        "scl_ocl_imports_total", "naive OpenCL kernels imported");
+    imports.increment();
+  }
   const std::vector<Token> tokens = tokenize(source);
   Parser parser(tokens);
   const std::vector<KernelDef> kernels = parser.parse_translation_unit();

@@ -36,6 +36,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/observability/observability.hpp"
 #include "support/thread_pool.hpp"
 
 namespace scl::serve {
@@ -187,6 +188,8 @@ class Scheduler {
       std::exception_ptr error;
       if (!expired) {
         try {
+          const auto span =
+              support::obs::tracer().span("serve/execute", "serve");
           request->result = request->work();
           completed = true;
         } catch (...) {

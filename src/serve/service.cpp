@@ -1,25 +1,10 @@
 #include "serve/service.hpp"
 
-#include <algorithm>
-
 #include "stencil/parser.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace scl::serve {
-
-namespace {
-
-/// Percentile over a copy of `values` (nearest-rank); 0 when empty.
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(rank, values.size() - 1)];
-}
-
-}  // namespace
 
 std::string ServiceStats::to_string() const {
   return str_cat(
@@ -42,6 +27,15 @@ SynthesisService::SynthesisService(ServiceOptions options)
   scheduler_ = std::make_unique<
       Scheduler<std::shared_ptr<const SynthesisArtifact>>>(
       options_.threads);
+  requests_ = &metrics_.counter("scl_serve_requests_total",
+                                "jobs accepted by submit()");
+  synthesized_ = &metrics_.counter("scl_serve_synthesized_total",
+                                   "cold Framework::synthesize runs");
+  failures_ = &metrics_.counter("scl_serve_failures_total",
+                                "jobs that completed with an error");
+  latency_ms_ = &metrics_.histogram(
+      "scl_serve_latency_ms", support::obs::default_latency_ms_buckets(),
+      "submit-to-completion turnaround");
 }
 
 SynthesisService::~SynthesisService() = default;
@@ -63,10 +57,7 @@ SynthesisService::PendingJob SynthesisService::submit(
   } catch (const Error&) {
     job.key.clear();
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++requests_;
-  }
+  requests_->increment();
   job.submitted = std::chrono::steady_clock::now();
   const std::shared_ptr<const stencil::StencilProgram> program =
       request.program;
@@ -91,13 +82,12 @@ JobResult SynthesisService::wait(const PendingJob& job) {
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++failures_;
+    failures_->increment();
   }
   const auto elapsed = std::chrono::steady_clock::now() - job.submitted;
   result.latency_ms =
       std::chrono::duration<double, std::milli>(elapsed).count();
-  record_latency(result.latency_ms);
+  latency_ms_->observe(result.latency_ms);
   return result;
 }
 
@@ -140,10 +130,7 @@ std::shared_ptr<const SynthesisArtifact> SynthesisService::perform(
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++synthesized_;
-  }
+  synthesized_->increment();
   const core::Framework framework(*program, options_.framework);
   const core::SynthesisReport report = framework.synthesize();
   auto artifact =
@@ -154,22 +141,12 @@ std::shared_ptr<const SynthesisArtifact> SynthesisService::perform(
   return artifact;
 }
 
-void SynthesisService::record_latency(double ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_ms_.push_back(ms);
-}
-
 ServiceStats SynthesisService::stats() const {
   ServiceStats stats;
   const SchedulerStats sched = scheduler_->stats();
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats.requests = requests_;
-    stats.synthesized = synthesized_;
-    stats.failures = failures_;
-    latencies = latencies_ms_;
-  }
+  stats.requests = requests_->value();
+  stats.synthesized = synthesized_->value();
+  stats.failures = failures_->value();
   stats.coalesced = sched.coalesced;
   if (store_ != nullptr) {
     const ArtifactStoreStats store = store_->stats();
@@ -181,9 +158,41 @@ ServiceStats SynthesisService::stats() const {
     stats.store_entries =
         static_cast<std::int64_t>(store_->entry_count());
   }
-  stats.latency_p50_ms = percentile(latencies, 0.50);
-  stats.latency_p95_ms = percentile(std::move(latencies), 0.95);
+  const auto latency = latency_ms_->snapshot();
+  stats.latency_p50_ms = latency.percentile(0.50);
+  stats.latency_p95_ms = latency.percentile(0.95);
   return stats;
+}
+
+std::string SynthesisService::render_metrics_exposition() const {
+  // The store and scheduler keep their own ground-truth counters (they
+  // also serve callers that never touch this facade); mirror them into
+  // gauges at scrape time so one exposition covers the whole service.
+  const SchedulerStats sched = scheduler_->stats();
+  auto mirror = [&](std::string_view name, std::string_view help,
+                    double value) {
+    metrics_.gauge(name, help).set(value);
+  };
+  mirror("scl_serve_coalesced", "requests served by an in-flight twin",
+         static_cast<double>(sched.coalesced));
+  mirror("scl_serve_queue_depth_max", "high-water mark of the request queue",
+         static_cast<double>(sched.max_queue_depth));
+  mirror("scl_serve_timed_out", "requests expired while queued",
+         static_cast<double>(sched.timed_out));
+  if (store_ != nullptr) {
+    const ArtifactStoreStats store = store_->stats();
+    mirror("scl_serve_store_hits", "artifact store lookup hits",
+           static_cast<double>(store.hits));
+    mirror("scl_serve_store_misses", "artifact store lookup misses",
+           static_cast<double>(store.misses));
+    mirror("scl_serve_store_evictions", "artifacts evicted by the LRU cap",
+           static_cast<double>(store.evictions));
+    mirror("scl_serve_store_bytes", "bytes resident in the artifact store",
+           static_cast<double>(store_->total_bytes()));
+    mirror("scl_serve_store_entries", "artifacts resident in the store",
+           static_cast<double>(store_->entry_count()));
+  }
+  return metrics_.render_exposition();
 }
 
 std::string SynthesisService::render_stats_json() const {

@@ -20,15 +20,19 @@
 // that would sit idle.
 //
 // The service exports counters: store hits/misses, coalesced requests,
-// evictions, synthesis failures, and request-turnaround p50/p95 — both as
-// a human-readable block and as JSON (render_stats_json) for dashboards.
-// All public methods are thread-safe.
+// evictions, synthesis failures, and request-turnaround p50/p95 — as a
+// human-readable block, as JSON (render_stats_json) for dashboards, and
+// as a Prometheus-style text exposition (render_metrics_exposition).
+// Request/synthesis/failure counts and the latency distribution live on
+// a per-instance obs::MetricsRegistry (always on — the global
+// observability switch only gates the pipeline-wide registry), so two
+// services in one process never share counters. All public methods are
+// thread-safe.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,7 @@
 #include "serve/scheduler.hpp"
 #include "serve/serialize.hpp"
 #include "stencil/program.hpp"
+#include "support/observability/metrics.hpp"
 
 namespace scl::serve {
 
@@ -123,6 +128,14 @@ class SynthesisService {
   ServiceStats stats() const;
   std::string render_stats_json() const;
 
+  /// Prometheus-style text exposition of this service's registry, with
+  /// store/scheduler ground-truth stats mirrored into gauges at scrape
+  /// time.
+  std::string render_metrics_exposition() const;
+
+  /// This instance's metric registry (always enabled).
+  support::obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// The backing store; nullptr when persistence is disabled.
   const ArtifactStore* store() const { return store_.get(); }
 
@@ -130,18 +143,20 @@ class SynthesisService {
   std::shared_ptr<const SynthesisArtifact> perform(
       const std::string& key,
       const std::shared_ptr<const stencil::StencilProgram>& program);
-  void record_latency(double ms);
 
   ServiceOptions options_;
   std::unique_ptr<ArtifactStore> store_;
   std::unique_ptr<Scheduler<std::shared_ptr<const SynthesisArtifact>>>
       scheduler_;
 
-  mutable std::mutex mutex_;
-  std::int64_t requests_ = 0;
-  std::int64_t synthesized_ = 0;
-  std::int64_t failures_ = 0;
-  std::vector<double> latencies_ms_;
+  /// Mutable because scraping (a logically-const read) mirrors store/
+  /// scheduler stats into gauges. Handles below point into the registry
+  /// and share its lifetime.
+  mutable support::obs::MetricsRegistry metrics_;
+  support::obs::Counter* requests_ = nullptr;
+  support::obs::Counter* synthesized_ = nullptr;
+  support::obs::Counter* failures_ = nullptr;
+  support::obs::Histogram* latency_ms_ = nullptr;
 };
 
 }  // namespace scl::serve

@@ -6,6 +6,7 @@
 
 #include "stencil/formula.hpp"
 #include "support/error.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace scl::stencil {
@@ -100,6 +101,13 @@ Field make_field(std::string name, const std::string& init_spec) {
 }
 
 StencilProgram parse_program(const std::string& text) {
+  const auto span =
+      support::obs::tracer().span("frontend/parse_stencil", "frontend");
+  if (support::obs::enabled()) {
+    static auto& parses = support::obs::metrics().counter(
+        "scl_parse_total", "stencil programs parsed from .stencil text");
+    parses.increment();
+  }
   std::string name;
   int dims = 0;
   std::array<std::int64_t, 3> extents{1, 1, 1};

@@ -1,0 +1,26 @@
+#include "support/observability/observability.hpp"
+
+namespace scl::support::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  tracer().set_enabled(on);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+SpanTracer& tracer() {
+  static SpanTracer* span_tracer = new SpanTracer();
+  return *span_tracer;
+}
+
+}  // namespace scl::support::obs

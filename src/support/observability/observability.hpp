@@ -1,0 +1,46 @@
+// Process-global observability: one MetricsRegistry and one SpanTracer
+// shared by every layer of the pipeline, behind a single enabled flag.
+//
+// Observability is OFF by default. Instrumentation sites guard their
+// work with enabled() — one relaxed atomic load — so a binary that never
+// opts in pays no clock reads, no metric lookups and no allocations:
+//
+//   auto span = support::obs::tracer().span("codegen/emit", "codegen");
+//   if (support::obs::enabled()) {
+//     static auto& emits = support::obs::metrics().counter(
+//         "scl_codegen_emits_total", "generated OpenCL source bundles");
+//     emits.increment();
+//   }
+//
+// (span() checks the flag internally and returns an inert scope when
+// tracing is off; the function-local static caches the registry lookup.)
+//
+// The CLI tools flip the flag on under --trace-out/--metrics-out and
+// render the global tracer/registry to files on exit. The singletons are
+// intentionally leaked so instrumented worker threads can still touch
+// them during static destruction.
+//
+// Components that need always-on, isolated counters (the serve
+// SynthesisService) own a private MetricsRegistry instance instead of
+// the global one; the global flag does not gate registry *use*, only the
+// pipeline instrumentation around it.
+#pragma once
+
+#include "support/observability/metrics.hpp"
+#include "support/observability/span_tracer.hpp"
+
+namespace scl::support::obs {
+
+/// True when pipeline instrumentation should record. One relaxed load.
+bool enabled();
+
+/// Turns global instrumentation (metrics guards + span tracing) on/off.
+void set_enabled(bool on);
+
+/// The process-global registry; created on first use, never destroyed.
+MetricsRegistry& metrics();
+
+/// The process-global tracer; created on first use, never destroyed.
+SpanTracer& tracer();
+
+}  // namespace scl::support::obs

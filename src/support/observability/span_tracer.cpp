@@ -1,0 +1,182 @@
+#include "support/observability/span_tracer.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/observability/metrics.hpp"
+
+namespace scl::support::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread stack of open spans, shared by every tracer (entries carry
+/// the owning tracer so independent tracers nest independently).
+struct OpenSpan {
+  const void* tracer;
+  std::uint64_t id;
+};
+
+thread_local std::vector<OpenSpan> tls_open_spans;
+
+}  // namespace
+
+SpanTracer::SpanTracer(std::size_t capacity)
+    : capacity_(capacity), epoch_ns_(steady_ns()) {
+  SCL_CHECK(capacity >= 1, "span tracer needs a nonzero ring capacity");
+  ring_.reserve(capacity);
+}
+
+std::int64_t SpanTracer::now_ns() const {
+  std::int64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = epoch_ns_;
+  }
+  return steady_ns() - epoch;
+}
+
+SpanTracer::Scope::Scope(SpanTracer* tracer, std::string_view name,
+                         std::string_view category)
+    : tracer_(tracer), name_(name), category_(category) {
+  begin_ns_ = tracer_->now_ns();
+  id_ = tracer_->next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+       ++it) {
+    if (it->tracer != tracer_) continue;
+    parent_id_ = it->id;
+    break;
+  }
+  for (const OpenSpan& open : tls_open_spans) {
+    if (open.tracer == tracer_) ++depth_;
+  }
+  tls_open_spans.push_back({tracer_, id_});
+}
+
+SpanTracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      begin_ns_(other.begin_ns_),
+      id_(other.id_),
+      parent_id_(other.parent_id_),
+      depth_(other.depth_) {
+  other.tracer_ = nullptr;
+}
+
+SpanTracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  // Scopes are stack objects, so this span is the innermost open entry
+  // for its tracer; search from the back to unwind out-of-order moves
+  // defensively.
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+       ++it) {
+    if (it->tracer == tracer_ && it->id == id_) {
+      tls_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  SpanRecord span_record;
+  span_record.name = std::move(name_);
+  span_record.category = std::move(category_);
+  span_record.begin_ns = begin_ns_;
+  span_record.end_ns = tracer_->now_ns();
+  span_record.id = id_;
+  span_record.parent_id = parent_id_;
+  span_record.depth = depth_;
+  span_record.thread_index = thread_index();
+  tracer_->record(std::move(span_record));
+}
+
+SpanTracer::Scope SpanTracer::span(std::string_view name,
+                                   std::string_view category) {
+  if (!enabled()) return Scope();
+  return Scope(this, name, category);
+}
+
+void SpanTracer::record(SpanRecord span_record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  push_locked(std::move(span_record));
+}
+
+void SpanTracer::push_locked(SpanRecord&& span_record) {
+  ++total_recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span_record));
+    return;
+  }
+  ring_[next_slot_] = std::move(span_record);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_slot_ points at the oldest record.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_slot_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::int64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_ - static_cast<std::int64_t>(ring_.size());
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_slot_ = 0;
+  total_recorded_ = 0;
+  epoch_ns_ = steady_ns();
+  next_id_.store(0, std::memory_order_relaxed);
+}
+
+std::string SpanTracer::render_chrome_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const SpanRecord& span_record : spans) {
+    json.begin_object();
+    json.member("name", span_record.name);
+    json.member("cat", span_record.category.empty()
+                           ? std::string_view("scl")
+                           : std::string_view(span_record.category));
+    json.member("ph", "X");
+    json.key("ts").value_fixed(
+        static_cast<double>(span_record.begin_ns) / 1000.0, 3);
+    json.key("dur").value_fixed(
+        static_cast<double>(span_record.end_ns - span_record.begin_ns) /
+            1000.0,
+        3);
+    json.member("pid", 1);
+    json.member("tid", span_record.thread_index);
+    json.key("args").begin_object();
+    json.member("id", static_cast<std::int64_t>(span_record.id));
+    json.member("parent", static_cast<std::int64_t>(span_record.parent_id));
+    json.member("depth", span_record.depth);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.member("displayTimeUnit", "ms");
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace scl::support::obs

@@ -1,0 +1,119 @@
+// Wall-clock span tracing with RAII scopes and a bounded ring buffer.
+//
+// A span is one timed interval of work ("parse", "dse/baseline",
+// "codegen/emit"). Scopes nest: each thread keeps a stack of its open
+// spans, so a span started while another is open records that span as its
+// parent, and the depth of the nesting — the structure Chrome's trace
+// viewer (about://tracing, https://ui.perfetto.dev) draws as stacked
+// bars per thread.
+//
+// Recording is bounded: completed spans land in a fixed-capacity ring
+// buffer under a mutex (spans close at millisecond-ish cadence, so the
+// lock is uncontended in practice); when the ring wraps, the oldest
+// records are overwritten and dropped() counts what was lost. A disabled
+// tracer hands out inert scopes whose constructor and destructor do no
+// clock reads and take no locks — the zero-cost-when-off contract the
+// CLI relies on (tracing only turns on under --trace-out).
+//
+// record() bypasses the clock entirely and appends a caller-built record;
+// golden-output tests use it to render deterministic traces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scl::support::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::int64_t begin_ns = 0;  ///< since the tracer's epoch
+  std::int64_t end_ns = 0;
+  std::uint64_t id = 0;        ///< unique per tracer, 1-based
+  std::uint64_t parent_id = 0; ///< 0 = root span
+  int depth = 0;               ///< open ancestors on the same thread
+  int thread_index = 0;        ///< obs::thread_index() of the recorder
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::size_t capacity = 1 << 16);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// RAII handle for one span: opens on construction, records on
+  /// destruction. Inert (no clock, no lock) when the tracer is disabled.
+  class Scope {
+   public:
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept;
+    ~Scope();
+
+   private:
+    friend class SpanTracer;
+    Scope() = default;
+    Scope(SpanTracer* tracer, std::string_view name,
+          std::string_view category);
+
+    SpanTracer* tracer_ = nullptr;  ///< null = inert
+    std::string name_;
+    std::string category_;
+    std::int64_t begin_ns_ = 0;
+    std::uint64_t id_ = 0;
+    std::uint64_t parent_id_ = 0;
+    int depth_ = 0;
+  };
+
+  /// Opens a span; the returned scope records it when destroyed.
+  Scope span(std::string_view name, std::string_view category);
+
+  /// Appends a caller-built record verbatim (no clock, no nesting stack).
+  /// Works on disabled tracers; tests use it for deterministic output.
+  void record(SpanRecord span_record);
+
+  /// Completed spans in recording order (oldest surviving first).
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Records overwritten because the ring wrapped.
+  std::int64_t dropped() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drops all records and resets the epoch and id counter.
+  void clear();
+
+  /// Chrome trace_event JSON: an object with a "traceEvents" array of
+  /// complete ("X") events, timestamps in microseconds (span nanoseconds
+  /// rendered with 3 decimals). Span id/parent/depth ride in "args".
+  std::string render_chrome_json() const;
+
+  /// Nanoseconds since the tracer's epoch (construction or last clear()).
+  std::int64_t now_ns() const;
+
+ private:
+  void push_locked(SpanRecord&& span_record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::int64_t epoch_ns_ = 0;  ///< steady_clock origin of span times
+  std::vector<SpanRecord> ring_;
+  std::size_t next_slot_ = 0;        ///< overwrite cursor once full
+  std::int64_t total_recorded_ = 0;  ///< includes overwritten records
+};
+
+}  // namespace scl::support::obs

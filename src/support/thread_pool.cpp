@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/observability/observability.hpp"
 
 namespace scl {
 
@@ -19,6 +21,40 @@ namespace {
 
 thread_local bool tls_in_worker = false;
 thread_local int tls_worker_slot = 0;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+support::obs::Gauge& queue_depth_gauge() {
+  static auto& gauge = support::obs::metrics().gauge(
+      "scl_pool_queue_depth", "fire-and-forget jobs waiting in the pool");
+  return gauge;
+}
+
+support::obs::Histogram& task_wait_histogram() {
+  static auto& histogram = support::obs::metrics().histogram(
+      "scl_pool_task_wait_ms", support::obs::default_latency_ms_buckets(),
+      "submit-to-start latency of fire-and-forget pool jobs");
+  return histogram;
+}
+
+support::obs::Histogram& task_run_histogram() {
+  static auto& histogram = support::obs::metrics().histogram(
+      "scl_pool_task_run_ms", support::obs::default_latency_ms_buckets(),
+      "execution time of fire-and-forget pool jobs");
+  return histogram;
+}
+
+support::obs::Histogram& parallel_for_histogram() {
+  static auto& histogram = support::obs::metrics().histogram(
+      "scl_pool_parallel_for_ms",
+      support::obs::default_latency_ms_buckets(),
+      "wall time of top-level parallel_for calls (queue wait included)");
+  return histogram;
+}
 
 /// Shared state of one parallel_for: the index cursor, the helper
 /// completion count, and the lowest-index exception.
@@ -72,6 +108,9 @@ struct ThreadPool::Impl {
         }
         job = std::move(queue.front());
         queue.pop_front();
+        if (support::obs::enabled()) {
+          queue_depth_gauge().set(static_cast<double>(queue.size()));
+        }
       }
       // Jobs are fire-and-forget at this layer: parallel_for helpers
       // report exceptions through LoopState, submit() jobs own their
@@ -136,6 +175,17 @@ void ThreadPool::submit(std::function<void()> job) {
         "(thread_count() >= 2); a 1-thread pool only supports "
         "parallel_for");
   }
+  if (support::obs::enabled()) {
+    // Queue-time and run-time land in the global histograms; the gauge
+    // tracks instantaneous depth (refreshed again on dequeue).
+    job = [inner = std::move(job),
+           enqueued = std::chrono::steady_clock::now()] {
+      task_wait_histogram().observe(ms_since(enqueued));
+      const auto started = std::chrono::steady_clock::now();
+      inner();
+      task_run_histogram().observe(ms_since(started));
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     // The enqueue-during-shutdown race: once `stop` is set the workers
@@ -146,6 +196,9 @@ void ThreadPool::submit(std::function<void()> job) {
       throw Error("ThreadPool::submit after shutdown began");
     }
     impl_->queue.emplace_back(std::move(job));
+    if (support::obs::enabled()) {
+      queue_depth_gauge().set(static_cast<double>(impl_->queue.size()));
+    }
   }
   impl_->work_cv.notify_one();
 }
@@ -161,6 +214,10 @@ void ThreadPool::parallel_for(std::int64_t n,
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  const bool observe = support::obs::enabled();
+  const auto loop_start = observe ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
 
   LoopState state;
   state.n = n;
@@ -195,6 +252,7 @@ void ThreadPool::parallel_for(std::int64_t n,
 
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done_cv.wait(lock, [&] { return state.helpers_pending == 0; });
+  if (observe) parallel_for_histogram().observe(ms_since(loop_start));
   if (state.error) std::rethrow_exception(state.error);
 }
 

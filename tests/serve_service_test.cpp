@@ -17,6 +17,7 @@
 #include "stencil/parser.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/observability/observability.hpp"
 
 namespace scl::serve {
 namespace {
@@ -255,6 +256,86 @@ TEST_F(ServiceTest, StatsJsonIsWellFormed) {
   EXPECT_GT(stats.at("store_bytes").as_int64(), 0);
   EXPECT_GE(stats.at("latency_ms").at("p95").as_double(),
             stats.at("latency_ms").at("p50").as_double() * 0.999);
+}
+
+TEST_F(ServiceTest, JsonStatsMatchStructAndRegistryAfterMigration) {
+  // The JSON stats now read from the service's metric registry; the
+  // struct, the JSON and the exposition must agree on a known workload:
+  // 3 requests for one key = 1 miss (cold), 2 hits (warm).
+  SynthesisService service(options_with_store());
+  JobRequest request;
+  request.program = small_program();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.wait(service.submit(request)).ok);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.synthesized, 1);
+  EXPECT_EQ(stats.store_hits, 2);
+  EXPECT_EQ(stats.store_misses, 1);
+  EXPECT_EQ(stats.failures, 0);
+
+  const support::JsonValue json =
+      support::JsonValue::parse(service.render_stats_json());
+  EXPECT_EQ(json.at("requests").as_int64(), stats.requests);
+  EXPECT_EQ(json.at("store_hits").as_int64(), stats.store_hits);
+  EXPECT_EQ(json.at("store_misses").as_int64(), stats.store_misses);
+  EXPECT_EQ(json.at("coalesced").as_int64(), stats.coalesced);
+  EXPECT_EQ(json.at("synthesized").as_int64(), stats.synthesized);
+  EXPECT_EQ(json.at("failures").as_int64(), stats.failures);
+  EXPECT_EQ(json.at("store_bytes").as_int64(), stats.store_bytes);
+  EXPECT_EQ(json.at("store_entries").as_int64(), stats.store_entries);
+  EXPECT_DOUBLE_EQ(json.at("latency_ms").at("p50").as_double(),
+                   stats.latency_p50_ms);
+  EXPECT_DOUBLE_EQ(json.at("latency_ms").at("p95").as_double(),
+                   stats.latency_p95_ms);
+
+  const std::string exposition = service.render_metrics_exposition();
+  EXPECT_NE(exposition.find("scl_serve_requests_total 3"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("scl_serve_synthesized_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("scl_serve_store_hits 2"), std::string::npos);
+  EXPECT_NE(exposition.find("scl_serve_store_misses 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("scl_serve_latency_ms_count 3"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, TwoServicesKeepIsolatedRegistries) {
+  SynthesisService first(options_with_store());
+  ServiceOptions storeless;
+  SynthesisService second(storeless);
+  JobRequest request;
+  request.program = small_program();
+  ASSERT_TRUE(first.wait(first.submit(request)).ok);
+  EXPECT_EQ(first.stats().requests, 1);
+  EXPECT_EQ(second.stats().requests, 0)
+      << "per-instance registries must not share counters";
+}
+
+TEST_F(ServiceTest, ArtifactsAreByteIdenticalWithObservabilityEnabled) {
+  // The determinism contract: observability is observation-only, so
+  // flipping the global switch cannot change a single artifact byte.
+  const bool was_enabled = support::obs::enabled();
+  auto run_into = [&](const std::string& dir, bool observe) {
+    support::obs::set_enabled(observe);
+    ServiceOptions options;
+    options.store_dir = (root_ / dir).string();
+    SynthesisService service(options);
+    JobRequest request;
+    request.program = small_program();
+    ASSERT_TRUE(service.wait(service.submit(request)).ok);
+  };
+  run_into("store-plain", false);
+  run_into("store-observed", true);
+  support::obs::set_enabled(was_enabled);
+  const auto plain = slurp_dir(root_ / "store-plain");
+  const auto observed = slurp_dir(root_ / "store-observed");
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, observed)
+      << "observability must not perturb artifact bytes";
 }
 
 TEST_F(ServiceTest, SubmitWithoutProgramThrows) {
