@@ -3,15 +3,22 @@
 //
 // For every benchmark of Table 2 at the paper's input scale, runs the
 // full DSE (baseline search + heterogeneous search under the baseline's
-// budget) serially and at increasing thread counts, with a cold eval
-// cache per run, and reports wall-clock, candidates/sec and the speedup
-// over one thread. The chosen designs are asserted bit-identical across
-// thread counts — the determinism contract — before any timing is
-// trusted.
+// budget) serially and at increasing thread counts. Each thread count
+// gets two rows:
+//
+//   cold — a fresh optimizer (empty eval cache): the real search cost.
+//   warm — the same searches replayed on the same optimizer, so every
+//          candidate is served from the eval cache. This is the
+//          memoization ceiling, and the row whose cache_hit_rate
+//          actually exercises the hit path (a cold run is ~all misses).
+//
+// Before any timing is trusted, the chosen designs are asserted
+// bit-identical across thread counts AND with branch-and-bound pruning
+// disabled — the two halves of the determinism contract.
 //
 // Output: a human-readable table on stdout plus one JSON row per
-// (kernel, thread count) appended to BENCH_dse.json in the working
-// directory, for the benchmark trajectory.
+// (kernel, thread count, mode) appended to BENCH_dse.json in the
+// working directory, for the benchmark trajectory.
 //
 //   --json <file>      write rows there instead, truncating first (the
 //                      perf-gate baselines want a fresh file per run)
@@ -37,23 +44,45 @@ struct DseRun {
   scl::core::DseStats stats;
 };
 
-DseRun run_dse(const scl::stencil::StencilProgram& program, int threads) {
-  scl::core::OptimizerOptions options;
-  options.threads = threads;
-  const scl::core::Optimizer optimizer(program, options);
+scl::core::DseStats diff(const scl::core::DseStats& after,
+                         const scl::core::DseStats& before) {
+  scl::core::DseStats d = after;
+  d.candidates_evaluated -= before.candidates_evaluated;
+  d.candidates_pruned -= before.candidates_pruned;
+  d.cache_hits -= before.cache_hits;
+  d.cache_misses -= before.cache_misses;
+  d.wall_seconds -= before.wall_seconds;
+  return d;
+}
+
+/// One full DSE on `optimizer`, reporting only this run's stat deltas —
+/// the counters (and the cache) accumulate across runs, which is exactly
+/// what the warm-replay row wants.
+DseRun run_searches(const scl::core::Optimizer& optimizer) {
+  const scl::core::DseStats before = optimizer.dse_stats();
   DseRun run;
   run.baseline = optimizer.optimize_baseline();
   run.heterogeneous = optimizer.optimize_heterogeneous(run.baseline);
-  run.stats = optimizer.dse_stats();
+  run.stats = diff(optimizer.dse_stats(), before);
   return run;
 }
 
-std::string json_row(const std::string& kernel, const DseRun& run,
-                     double speedup) {
+bool same_designs(const DseRun& a, const DseRun& b) {
+  return a.baseline.config == b.baseline.config &&
+         a.heterogeneous.config == b.heterogeneous.config &&
+         a.baseline.prediction.total_cycles ==
+             b.baseline.prediction.total_cycles &&
+         a.heterogeneous.prediction.total_cycles ==
+             b.heterogeneous.prediction.total_cycles;
+}
+
+std::string json_row(const std::string& kernel, const char* mode,
+                     const DseRun& run, double speedup) {
   return scl::str_cat(
-      "{\"bench\":\"dse\",\"kernel\":\"", kernel,
+      "{\"bench\":\"dse\",\"kernel\":\"", kernel, "\",\"mode\":\"", mode,
       "\",\"threads\":", run.stats.threads,
       ",\"candidates\":", run.stats.candidates_evaluated,
+      ",\"pruned\":", run.stats.candidates_pruned,
       ",\"cache_hit_rate\":", scl::format_fixed(run.stats.cache_hit_rate(), 4),
       ",\"wall_seconds\":", scl::format_fixed(run.stats.wall_seconds, 4),
       ",\"candidates_per_sec\":",
@@ -96,8 +125,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "hardware threads available: " << max_threads << "\n\n";
 
-  scl::TableWriter table({"Benchmark", "Threads", "Candidates", "Cache hits",
-                          "Wall (s)", "Cand./s", "Speedup"});
+  scl::TableWriter table({"Benchmark", "Threads", "Mode", "Candidates",
+                          "Pruned", "Cache hits", "Wall (s)", "Cand./s",
+                          "Speedup"});
   std::ofstream json(json_path.empty() ? "BENCH_dse.json" : json_path,
                      json_path.empty() ? std::ios::app : std::ios::trunc);
   bool deterministic = true;
@@ -105,45 +135,94 @@ int main(int argc, char** argv) {
   for (const scl::stencil::BenchmarkInfo& info :
        scl::stencil::paper_benchmarks()) {
     const scl::stencil::StencilProgram program = info.make_paper_scale();
-    DseRun serial;
+
+    scl::core::OptimizerOptions serial_options;
+    serial_options.threads = 1;
+    const scl::core::Optimizer serial_optimizer(program, serial_options);
+    DseRun serial_cold;
     try {
-      serial = run_dse(program, 1);
+      serial_cold = run_searches(serial_optimizer);
     } catch (const scl::Error& e) {
       std::cout << info.name << ": FAILED (" << e.what() << ")\n";
       continue;
     }
+    const DseRun serial_warm = run_searches(serial_optimizer);
+
+    // Determinism half 2: branch-and-bound may only skip candidates that
+    // provably cannot win, so the exhaustive search must choose the
+    // byte-identical designs.
+    scl::core::OptimizerOptions exhaustive_options = serial_options;
+    exhaustive_options.prune = false;
+    const scl::core::Optimizer exhaustive(program, exhaustive_options);
+    if (!same_designs(run_searches(exhaustive), serial_cold)) {
+      std::cout << info.name
+                << ": NONDETERMINISTIC — pruning changed the optimum\n";
+      deterministic = false;
+    }
+
     for (const int threads : thread_counts) {
-      const DseRun run = threads == 1 ? serial : run_dse(program, threads);
-      if (run.baseline.config != serial.baseline.config ||
-          run.heterogeneous.config != serial.heterogeneous.config) {
-        std::cout << info.name << ": NONDETERMINISTIC at " << threads
-                  << " threads\n";
-        deterministic = false;
+      DseRun cold;
+      DseRun warm;
+      if (threads == 1) {
+        cold = serial_cold;
+        warm = serial_warm;
+      } else {
+        scl::core::OptimizerOptions options;
+        options.threads = threads;
+        const scl::core::Optimizer optimizer(program, options);
+        cold = run_searches(optimizer);
+        warm = run_searches(optimizer);
+        if (!same_designs(cold, serial_cold)) {
+          std::cout << info.name << ": NONDETERMINISTIC at " << threads
+                    << " threads\n";
+          deterministic = false;
+        }
       }
-      const double speedup =
-          run.stats.wall_seconds > 0.0
-              ? serial.stats.wall_seconds / run.stats.wall_seconds
-              : 0.0;
-      table.add_row(
-          {info.name, std::to_string(threads),
-           std::to_string(run.stats.candidates_evaluated),
-           scl::str_cat(scl::format_fixed(100.0 * run.stats.cache_hit_rate(), 1),
-                        "%"),
-           scl::format_fixed(run.stats.wall_seconds, 3),
-           scl::format_thousands(static_cast<long long>(
-               run.stats.candidates_per_sec())),
-           scl::format_speedup(speedup)});
-      if (json) json << json_row(info.name, run, speedup) << "\n";
+      // Speedups compare like with like: cold vs serial cold, warm vs
+      // serial warm.
+      auto speedup_vs = [](const DseRun& run, const DseRun& base) {
+        return run.stats.wall_seconds > 0.0
+                   ? base.stats.wall_seconds / run.stats.wall_seconds
+                   : 0.0;
+      };
+      const struct {
+        const char* mode;
+        const DseRun* run;
+        double speedup;
+      } rows[] = {
+          {"cold", &cold, speedup_vs(cold, serial_cold)},
+          {"warm", &warm, speedup_vs(warm, serial_warm)},
+      };
+      for (const auto& row : rows) {
+        const scl::core::DseStats& stats = row.run->stats;
+        table.add_row(
+            {info.name, std::to_string(threads), row.mode,
+             std::to_string(stats.candidates_evaluated),
+             std::to_string(stats.candidates_pruned),
+             scl::str_cat(scl::format_fixed(100.0 * stats.cache_hit_rate(), 1),
+                          "%"),
+             scl::format_fixed(stats.wall_seconds, 3),
+             scl::format_thousands(
+                 static_cast<long long>(stats.candidates_per_sec())),
+             scl::format_speedup(row.speedup)});
+        if (json) {
+          json << json_row(info.name, row.mode, *row.run, row.speedup)
+               << "\n";
+        }
+      }
     }
   }
 
   std::cout << table.to_text() << "\n";
   std::cout << (deterministic
-                    ? "determinism: all thread counts chose identical designs\n"
+                    ? "determinism: all thread counts (and pruning on/off) "
+                      "chose identical designs\n"
                     : "determinism: FAILED — see rows above\n")
-            << "\nNotes: each run starts with a cold eval cache; the serial\n"
-               "row is the pre-refactor single-threaded cost. Speedup is\n"
-               "bounded by the machine's core count (see 'hardware threads\n"
-               "available' above).\n";
+            << "\nNotes: cold rows start from an empty eval cache (the real\n"
+               "search cost); warm rows replay the same searches against the\n"
+               "populated cache (the memoization ceiling). Speedup compares\n"
+               "against the serial row of the same mode and is bounded by\n"
+               "the machine's core count (see 'hardware threads available'\n"
+               "above).\n";
   return deterministic ? 0 : 1;
 }

@@ -12,8 +12,12 @@
 //   --analyze             print design-verifier diagnostics (pipe graph,
 //                         halo & bounds, resource cross-check, generated
 //                         sources); exit 1 when errors are reported
-//   --analyze-json        like --analyze but machine-readable JSON (see
-//                         docs/ARCHITECTURE.md §8 for the schema)
+//   --analyze-json        like --analyze but machine-readable JSON: an
+//                         object with the verifier diagnostics under
+//                         "analysis" (docs/ARCHITECTURE.md §8 schema) and
+//                         the DSE summary — candidates evaluated/pruned
+//                         and the retained latency/BRAM Pareto front —
+//                         under "dse"
 //   --dump-stencil        print the program in .stencil form and exit
 //   --list                list built-in benchmarks and devices, exit
 //   --trace-out <file>    enable observability; write a Chrome trace_event
@@ -37,6 +41,7 @@
 #include "core/report.hpp"
 #include "stencil/kernels.hpp"
 #include "stencil/parser.hpp"
+#include "support/json.hpp"
 #include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
@@ -148,7 +153,26 @@ int run_tool(const ToolConfig& cfg) {
   const scl::core::SynthesisReport report = framework.synthesize();
 
   if (cfg.analyze_json) {
-    std::cout << report.analysis.render_json() << "\n";
+    scl::support::JsonWriter json;
+    json.begin_object();
+    json.key("analysis").raw(report.analysis.render_json());
+    json.key("dse").begin_object();
+    json.member("candidates_evaluated", report.dse.candidates_evaluated);
+    json.member("candidates_pruned", report.dse.candidates_pruned);
+    json.member("cache_hits", report.dse.cache_hits);
+    json.member("cache_misses", report.dse.cache_misses);
+    json.key("frontier").begin_array();
+    for (const scl::core::DesignPoint& point : report.frontier) {
+      json.begin_object();
+      json.member("config", point.config.summary(program.dims()));
+      json.member("predicted_cycles", point.prediction.total_cycles);
+      json.member("bram18", point.resources.total.bram18);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.end_object();
+    std::cout << json.take() << "\n";
     return report.analysis.has_errors() ? 1 : 0;
   }
   if (cfg.analyze) {

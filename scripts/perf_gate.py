@@ -5,22 +5,35 @@ Compares the JSONL rows a fresh bench run produced against the committed
 baseline rows and fails when a tracked metric regressed by more than the
 threshold (default 25%). Tracked metrics:
 
-  bench=dse      key (kernel, threads)   metric candidates_per_sec
-  bench=service  key (threads)           metric warm_speedup (cold/warm)
+  bench=dse      key (kernel, threads, mode)  metric candidates_per_sec
+                 plus, for rows with threads > 1, a second gated metric
+                 speedup_vs_serial under the same key + "/speedup" — a
+                 multi-thread run that silently collapses to serial-level
+                 throughput fails even if absolute candidates/sec still
+                 clears the ratchet
+  bench=service  key (threads)                metric warm_speedup
 
-Both metrics are higher-is-better; a row counts as a regression when
+The mode suffix ("", "/warm") distinguishes bench_dse's cold rows (fresh
+eval cache) from warm replays (fully cached); rows without a mode field
+are treated as cold, so pre-refactor baselines keep their keys.
+
+All metrics are higher-is-better; a row counts as a regression when
 
   current < baseline * (1 - threshold)
 
-Rows are JSONL (one object per line, '#' comments and blank lines
-ignored); when a key appears more than once the LAST occurrence wins,
-matching the append-mode trajectory files bench_dse writes by default.
-A key present in the baseline but missing from the current run fails the
-gate (a silently-skipped benchmark must not pass); keys only present in
+Rows whose wall_seconds (on either side) falls below --min-wall (default
+0.02 s) are reported but never gated: at sub-floor wall times the metric
+is timer noise, not throughput. Rows are JSONL (one object per line, '#'
+comments and blank lines ignored); when a key appears more than once the
+LAST occurrence wins, matching the append-mode trajectory files
+bench_dse writes by default. A key present in the baseline but missing
+from the current run fails the gate (a silently-skipped benchmark must
+not pass) unless its baseline wall was sub-floor; keys only present in
 the current run are reported but never fail.
 
 Usage:
-  perf_gate.py [--threshold 0.25] --pair <baseline.json> <current.json> ...
+  perf_gate.py [--threshold 0.25] [--min-wall 0.02] \\
+      --pair <baseline.json> <current.json> ...
 
 The delta table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, to
 the job summary as well. Exit status: 0 pass, 1 regression/missing key,
@@ -55,23 +68,35 @@ def read_rows(path):
 
 
 def keyed_metrics(rows):
-    """Maps (display key) -> metric value; last occurrence wins."""
+    """Maps (display key) -> (metric name, value, wall_seconds or None);
+    last occurrence wins."""
     metrics = {}
     for row in rows:
         bench = row.get("bench")
+        wall = row.get("wall_seconds")
+        wall = float(wall) if wall is not None else None
         if bench == "dse":
             key = f"dse/{row.get('kernel')}/t{row.get('threads')}"
+            # Rows without a mode predate the cold/warm split and were
+            # always cold; keeping their key unsuffixed lets old
+            # baselines gate new runs.
+            mode = row.get("mode", "cold")
+            if mode != "cold":
+                key = f"{key}/{mode}"
             value = row.get("candidates_per_sec")
-            name = "candidates_per_sec"
+            if value is not None:
+                metrics[key] = ("candidates_per_sec", float(value), wall)
+            speedup = row.get("speedup_vs_serial")
+            threads = row.get("threads")
+            if (speedup is not None and isinstance(threads, int)
+                    and threads > 1):
+                metrics[f"{key}/speedup"] = (
+                    "speedup_vs_serial", float(speedup), wall)
         elif bench == "service":
             key = f"service/t{row.get('threads')}"
             value = row.get("warm_speedup")
-            name = "warm_speedup"
-        else:
-            continue
-        if value is None:
-            continue
-        metrics[key] = (name, float(value))
+            if value is not None:
+                metrics[key] = ("warm_speedup", float(value), wall)
     return metrics
 
 
@@ -79,7 +104,7 @@ def format_value(value):
     return f"{value:,.1f}" if value >= 100 else f"{value:.3f}"
 
 
-def gate(pairs, threshold):
+def gate(pairs, threshold, min_wall):
     lines = [
         "| benchmark | metric | baseline | current | delta | status |",
         "|---|---|---:|---:|---:|---|",
@@ -92,16 +117,29 @@ def gate(pairs, threshold):
             raise SystemExit(
                 f"error: {baseline_path} holds no gated bench rows")
         for key in sorted(baseline):
-            metric, base_value = baseline[key]
+            metric, base_value, base_wall = baseline[key]
+            base_subfloor = base_wall is not None and base_wall < min_wall
             if key not in current:
+                if base_subfloor:
+                    lines.append(
+                        f"| {key} | {metric} | {format_value(base_value)} "
+                        f"| *missing* | — | skip (wall < floor) |")
+                    continue
                 failures.append(f"{key}: missing from {current_path}")
                 lines.append(
                     f"| {key} | {metric} | {format_value(base_value)} "
                     f"| *missing* | — | FAIL |")
                 continue
-            _, cur_value = current[key]
+            _, cur_value, cur_wall = current[key]
             delta = ((cur_value - base_value) / base_value
                      if base_value != 0 else 0.0)
+            if (base_subfloor
+                    or (cur_wall is not None and cur_wall < min_wall)):
+                lines.append(
+                    f"| {key} | {metric} | {format_value(base_value)} "
+                    f"| {format_value(cur_value)} | {delta:+.1%} "
+                    f"| skip (wall < floor) |")
+                continue
             regressed = cur_value < base_value * (1.0 - threshold)
             status = "FAIL" if regressed else "ok"
             if regressed:
@@ -112,7 +150,7 @@ def gate(pairs, threshold):
                 f"| {key} | {metric} | {format_value(base_value)} "
                 f"| {format_value(cur_value)} | {delta:+.1%} | {status} |")
         for key in sorted(set(current) - set(baseline)):
-            metric, cur_value = current[key]
+            metric, cur_value, _ = current[key]
             lines.append(
                 f"| {key} | {metric} | *new* "
                 f"| {format_value(cur_value)} | — | ok |")
@@ -126,14 +164,20 @@ def main():
         "--threshold", type=float, default=0.25,
         help="allowed fractional regression (default 0.25 = 25%%)")
     parser.add_argument(
+        "--min-wall", type=float, default=0.02,
+        help="wall-seconds floor below which a row is timer noise and "
+             "is reported but not gated (default 0.02 s)")
+    parser.add_argument(
         "--pair", nargs=2, action="append", required=True,
         metavar=("BASELINE", "CURRENT"),
         help="baseline JSONL and the fresh run to compare against it")
     args = parser.parse_args()
     if not 0.0 <= args.threshold < 1.0:
         parser.error("--threshold must be in [0, 1)")
+    if args.min_wall < 0.0:
+        parser.error("--min-wall must be >= 0")
 
-    lines, failures = gate(args.pair, args.threshold)
+    lines, failures = gate(args.pair, args.threshold, args.min_wall)
 
     title = (f"## Performance gate "
              f"(threshold {args.threshold:.0%} regression)")

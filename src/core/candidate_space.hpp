@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/design.hpp"
@@ -65,6 +66,18 @@ class CandidateSpace {
 
   /// Total configs across chains(kind) — the upper bound on evaluations.
   std::int64_t chain_config_count(sim::DesignKind kind) const;
+
+  /// Half-open chain index range [first, second) forming one evaluation
+  /// block.
+  using ChainBlock = std::pair<std::size_t, std::size_t>;
+
+  /// Partitions `chains` into contiguous blocks holding at least
+  /// `grain_configs` candidates each (the last block may be smaller, and
+  /// a single oversized chain forms its own block). Pure function of the
+  /// inputs, so the engine's chunked chain walk keeps the contract
+  /// enumeration order per block.
+  static std::vector<ChainBlock> blocks(
+      const std::vector<CandidateChain>& chains, std::int64_t grain_configs);
 
  private:
   const scl::stencil::StencilProgram* program_;

@@ -8,16 +8,31 @@
 // baseline's fusion column, and fused-depth sweeps (bench_fig7) re-touch
 // DSE points — and from repeated evaluate() calls in user sweeps.
 //
-// Thread safety: the table is sharded by key hash, each shard behind its
-// own mutex, so pool workers probe concurrently with little contention.
+// Thread safety: the hot read path is lock-free. Entries live in an
+// open-addressed slot table; each slot carries an atomic state word
+// `(epoch << 2) | phase` with phase ∈ {empty, busy, ready}. A writer
+// CAS-claims an empty (or stale-epoch) slot to `busy`, fills the full
+// 96-byte key plus the value, then release-stores `ready`; a reader
+// acquire-loads the state word and only touches the (immutable once
+// ready) key/value bytes after observing `ready` in the current epoch,
+// so no lock and no data race is involved in a hit. Readers treat a
+// `busy` slot as a miss — the duplicate compute is benign because values
+// are pure — while writers spin (with yield) on `busy` so insert() can
+// dedupe exactly and size() stays precise. When a bounded linear probe
+// window fills up, entries spill to a small sharded-mutex overflow map;
+// correctness is unaffected, only that (rare) path takes a lock.
+//
+// clear() bumps the epoch, which logically empties every slot in O(1);
+// it requires external quiescence (no concurrent cache calls), matching
+// how the engine uses it (reset between runs, never mid-search).
+//
 // Memoization cannot perturb results (values are pure); when two workers
-// race to fill the same key, the first insert wins and both observe the
+// race to fill the same key, the first writer wins and both observe the
 // identical value.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -43,45 +58,81 @@ struct CachedEvaluation {
 
 class EvalCache {
  public:
-  /// `shard_count` is rounded up to a power of two; defaults suit up to
-  /// ~64 worker threads.
-  explicit EvalCache(std::size_t shard_count = 64);
+  /// `capacity` is the slot-table size, rounded up to a power of two.
+  /// The default holds a full suite-kernel sweep without spilling to the
+  /// locked overflow map.
+  explicit EvalCache(std::size_t capacity = std::size_t{1} << 16);
 
   /// Returns the cached evaluation for `key`, or runs `compute`, stores
   /// its result, and returns it. `compute` may run concurrently for the
   /// same key under a race; both callers get the same (pure) value.
-  CachedEvaluation find_or_compute(
-      const sim::DesignKey& key,
-      const std::function<CachedEvaluation()>& compute);
+  /// Templated so the hot path pays no std::function type erasure.
+  template <typename Fn>
+  CachedEvaluation find_or_compute(const sim::DesignKey& key, Fn&& compute) {
+    CachedEvaluation cached;
+    if (lookup(key, &cached)) return cached;
+    cached = compute();
+    insert(key, cached);
+    return cached;
+  }
 
   /// True plus the value when `key` is resident (counts as a hit or miss).
+  /// Lock-free: probes atomic slot states; a slot mid-insert reads as a
+  /// miss.
   bool lookup(const sim::DesignKey& key, CachedEvaluation* out);
 
   /// Inserts (first writer wins); returns false when already resident.
   bool insert(const sim::DesignKey& key, const CachedEvaluation& value);
 
-  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::int64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
-  std::int64_t size() const;
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t size() const { return size_.load(std::memory_order_relaxed); }
   double hit_rate() const;
 
+  /// Logically empties the cache (O(1) epoch bump) and zeroes counters.
+  /// Requires quiescence: no concurrent cache calls.
   void clear();
 
  private:
-  struct Shard {
+  // Slot phases, packed into the low 2 bits of the state word; the
+  // remaining bits carry the epoch the slot was filled in.
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kBusy = 1;
+  static constexpr std::uint64_t kReady = 2;
+  /// Linear-probe window before spilling to the overflow map.
+  static constexpr std::size_t kMaxProbe = 32;
+  static constexpr std::size_t kStatShards = 16;
+  static constexpr std::size_t kOverflowShards = 16;
+
+  struct Slot {
+    std::atomic<std::uint64_t> state{0};
+    sim::DesignKey key{};
+    CachedEvaluation value{};
+  };
+
+  // Hit/miss tallies are sharded by worker slot and cache-line padded so
+  // the hot path never bounces one shared counter between cores.
+  struct alignas(64) StatShard {
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+  };
+
+  struct OverflowShard {
     std::mutex mutex;
     std::unordered_map<sim::DesignKey, CachedEvaluation, sim::DesignKeyHash>
         map;
   };
 
-  Shard& shard_for(const sim::DesignKey& key);
+  void count_hit();
+  void count_miss();
+  OverflowShard& overflow_for(std::size_t hash);
 
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::size_t shard_mask_ = 0;
-  std::atomic<std::int64_t> hits_{0};
-  std::atomic<std::int64_t> misses_{0};
+  std::vector<Slot> slots_;
+  std::size_t slot_mask_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::vector<std::unique_ptr<OverflowShard>> overflow_;
+  std::atomic<std::int64_t> size_{0};
+  StatShard stats_[kStatShards];
 };
 
 }  // namespace scl::core

@@ -33,6 +33,13 @@ support::obs::Counter& candidates_counter() {
   return counter;
 }
 
+support::obs::Counter& pruned_counter() {
+  static auto& counter = support::obs::metrics().counter(
+      "scl_dse_pruned_total",
+      "design candidates skipped by branch-and-bound lower bounds");
+  return counter;
+}
+
 support::obs::Histogram& batch_histogram() {
   static auto& histogram = support::obs::metrics().histogram(
       "scl_dse_batch_ms", support::obs::default_latency_ms_buckets(),
@@ -119,12 +126,16 @@ CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
   return eval;
 }
 
-DesignPoint EvaluationEngine::evaluate(const DesignConfig& config) {
-  evaluated_.fetch_add(1, std::memory_order_relaxed);
-  if (support::obs::enabled()) candidates_counter().increment();
+DesignPoint EvaluationEngine::evaluate_one(const DesignConfig& config) {
   const CachedEvaluation eval = cache_.find_or_compute(
       config.key(), [&] { return compute(config); });
   return to_point(config, eval);
+}
+
+DesignPoint EvaluationEngine::evaluate(const DesignConfig& config) {
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (support::obs::enabled()) candidates_counter().increment();
+  return evaluate_one(config);
 }
 
 std::vector<DesignPoint> EvaluationEngine::evaluate_batch(
@@ -133,11 +144,17 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_batch(
       support::obs::tracer().span("dse/evaluate_batch", "dse");
   const WallTimer timer;
   std::vector<DesignPoint> out(configs.size());
-  pool_->parallel_for(static_cast<std::int64_t>(configs.size()),
-                      [&](std::int64_t i) {
-                        const auto s = static_cast<std::size_t>(i);
-                        out[s] = evaluate(configs[s]);
-                      });
+  pool_->parallel_for_chunked(
+      static_cast<std::int64_t>(configs.size()), kBatchGrain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto s = static_cast<std::size_t>(i);
+          out[s] = evaluate_one(configs[s]);
+        }
+        // One counter flush per block, not per candidate.
+        evaluated_.fetch_add(end - begin, std::memory_order_relaxed);
+        if (support::obs::enabled()) candidates_counter().add(end - begin);
+      });
   const double seconds = timer.seconds();
   if (support::obs::enabled()) {
     batch_histogram().observe(seconds * 1e3);
@@ -152,20 +169,36 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
   const auto span =
       support::obs::tracer().span("dse/evaluate_chains", "dse");
   const WallTimer timer;
+  // Blocks of whole chains sized to ~kChainGrainConfigs candidates: one
+  // cursor claim per block keeps dispatch overhead amortized even though
+  // chains themselves are short (one per fusion column).
+  const std::vector<CandidateSpace::ChainBlock> blocks =
+      CandidateSpace::blocks(chains, kChainGrainConfigs);
   std::vector<std::vector<DesignPoint>> per_chain(chains.size());
-  pool_->parallel_for(
-      static_cast<std::int64_t>(chains.size()), [&](std::int64_t i) {
-        const auto s = static_cast<std::size_t>(i);
-        std::vector<DesignPoint>& feasible = per_chain[s];
-        for (const DesignConfig& config : chains[s].configs) {
-          DesignPoint point = evaluate(config);
-          if (!point.resources.total.fits_within(budget)) break;
-          // Verifier-flagged candidates are skipped, not early-exited:
-          // unlike resource use, diagnostics are not monotone in the
-          // fusion depth, so the rest of the chain may still be clean.
-          if (point.analysis_errors > 0) continue;
-          feasible.push_back(std::move(point));
+  pool_->parallel_for_chunked(
+      static_cast<std::int64_t>(blocks.size()), 1,
+      [&](std::int64_t block_begin, std::int64_t block_end) {
+        std::int64_t walked = 0;
+        for (std::int64_t b = block_begin; b < block_end; ++b) {
+          const CandidateSpace::ChainBlock& block =
+              blocks[static_cast<std::size_t>(b)];
+          for (std::size_t s = block.first; s < block.second; ++s) {
+            std::vector<DesignPoint>& feasible = per_chain[s];
+            for (const DesignConfig& config : chains[s].configs) {
+              ++walked;
+              DesignPoint point = evaluate_one(config);
+              if (!point.resources.total.fits_within(budget)) break;
+              // Verifier-flagged candidates are skipped, not
+              // early-exited: unlike resource use, diagnostics are not
+              // monotone in the fusion depth, so the rest of the chain
+              // may still be clean.
+              if (point.analysis_errors > 0) continue;
+              feasible.push_back(std::move(point));
+            }
+          }
         }
+        evaluated_.fetch_add(walked, std::memory_order_relaxed);
+        if (support::obs::enabled()) candidates_counter().add(walked);
       });
   std::vector<DesignPoint> out;
   for (std::vector<DesignPoint>& feasible : per_chain) {
@@ -180,9 +213,16 @@ std::vector<DesignPoint> EvaluationEngine::evaluate_chains(
   return out;
 }
 
+void EvaluationEngine::add_pruned(std::int64_t n) {
+  if (n <= 0) return;
+  pruned_.fetch_add(n, std::memory_order_relaxed);
+  if (support::obs::enabled()) pruned_counter().add(n);
+}
+
 DseStats EvaluationEngine::stats() const {
   DseStats stats;
   stats.candidates_evaluated = evaluated_.load(std::memory_order_relaxed);
+  stats.candidates_pruned = pruned_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.wall_seconds =
@@ -193,6 +233,7 @@ DseStats EvaluationEngine::stats() const {
 
 void EvaluationEngine::reset_stats() {
   evaluated_.store(0, std::memory_order_relaxed);
+  pruned_.store(0, std::memory_order_relaxed);
   wall_nanos_.store(0, std::memory_order_relaxed);
   cache_.clear();
 }

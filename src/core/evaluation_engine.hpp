@@ -34,6 +34,7 @@ struct DesignPoint;
 /// Aggregated DSE counters for reporting (core/report.cpp renders them).
 struct DseStats {
   std::int64_t candidates_evaluated = 0;  ///< cache hits + misses
+  std::int64_t candidates_pruned = 0;     ///< skipped via lower bounds
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   double wall_seconds = 0.0;  ///< time inside batch/chain evaluation
@@ -65,9 +66,18 @@ class EvaluationEngine {
   /// thread). Thread-safe.
   DesignPoint evaluate(const sim::DesignConfig& config);
 
-  /// Evaluates every config on the pool; results in input order.
+  /// Evaluates every config on the pool in contiguous blocks of
+  /// ~kBatchGrain candidates (one cursor claim per block, counters
+  /// flushed once per block); results in input order.
   std::vector<DesignPoint> evaluate_batch(
       const std::vector<sim::DesignConfig>& configs);
+
+  /// Candidates per chunked work claim. Candidate evaluation costs a few
+  /// microseconds, so per-candidate dispatch would be dominated by the
+  /// cursor cache-line bounce; O(hundreds) amortizes it to noise while
+  /// still load-balancing across thousands of candidates.
+  static constexpr std::int64_t kBatchGrain = 64;
+  static constexpr std::int64_t kChainGrainConfigs = 256;
 
   /// Evaluates chains on the pool (one chain per work item), walking each
   /// chain's ascending fusion depths and stopping at the first candidate
@@ -87,7 +97,15 @@ class EvaluationEngine {
   DseStats stats() const;
   void reset_stats();
 
+  /// Credits `n` branch-and-bound prunes to the stats (and the
+  /// scl_dse_pruned_total metric). The Optimizer calls this once per
+  /// search phase, not per candidate.
+  void add_pruned(std::int64_t n);
+
  private:
+  /// Cached evaluation without touching the evaluated-candidates
+  /// counters; the chunked loops flush those once per block.
+  DesignPoint evaluate_one(const sim::DesignConfig& config);
   /// Uncached evaluation on this worker slot's own models.
   CachedEvaluation compute(const sim::DesignConfig& config) const;
   void add_wall_seconds(double seconds);
@@ -102,6 +120,7 @@ class EvaluationEngine {
   std::unique_ptr<ThreadPool> pool_;
   EvalCache cache_;
   std::atomic<std::int64_t> evaluated_{0};
+  std::atomic<std::int64_t> pruned_{0};
   std::atomic<std::int64_t> wall_nanos_{0};
 };
 

@@ -36,6 +36,7 @@ SynthesisReport Framework::synthesize() const {
   SCL_INFO() << "heterogeneous: "
              << report.heterogeneous.config.summary(program_->dims());
   report.dse = optimizer_.dse_stats();
+  report.frontier = optimizer_.retained_frontier();
 
   if (options_.analyze) {
     // Verify both selected designs before spending time on simulation;

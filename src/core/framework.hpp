@@ -44,8 +44,14 @@ struct SynthesisReport {
   DesignPoint heterogeneous;
 
   /// DSE evaluation counters over both searches: candidates evaluated,
-  /// cache hit rate, throughput, wall-clock, worker threads.
+  /// pruned, cache hit rate, throughput, wall-clock, worker threads.
   DseStats dse;
+
+  /// The (cycles, BRAM18) Pareto front of the feasible designs the
+  /// searches evaluated (Optimizer::retained_frontier()): the trade-off
+  /// curve around the reported optimum. Deterministic for any thread
+  /// count.
+  std::vector<DesignPoint> frontier;
 
   // Measured (simulated) results; valid when options.simulate.
   sim::SimResult baseline_sim;

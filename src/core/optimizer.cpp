@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "model/lower_bound.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
 namespace scl::core {
@@ -101,18 +104,121 @@ DesignPoint Optimizer::select_best(
   return *best;
 }
 
+std::optional<DesignPoint> Optimizer::branch_and_bound(
+    const std::vector<CandidateChain>& chains,
+    const fpga::ResourceVector& cap) const {
+  // Flat view of the chains, enumeration order. Bounding works per
+  // candidate; Phase B restores the chain structure so the monotone
+  // early exit on over-budget fusion tails still applies.
+  std::vector<const DesignConfig*> flat;
+  for (const CandidateChain& chain : chains) {
+    for (const DesignConfig& config : chain.configs) flat.push_back(&config);
+  }
+  // Phase A (serial, hence deterministic for any thread count): bound
+  // every candidate, find a feasible incumbent by walking the most
+  // promising bounds first, and decide the kept set from bounds alone.
+  std::vector<char> keep(flat.size(), 0);
+  std::optional<DesignPoint> seed;
+  {
+    const auto span = support::obs::tracer().span("dse/prune", "dse");
+    const model::LowerBoundModel bound_model(*program_, options_.device);
+    std::vector<model::LowerBound> bounds(flat.size());
+    std::vector<std::size_t> order;
+    order.reserve(flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      bounds[i] = bound_model.bound(*flat[i]);
+      // Even the BRAM lower bound misses the cap: provably infeasible,
+      // never worth evaluating (not even as an incumbent).
+      if (bounds[i].bram18 <= cap.bram18) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (bounds[a].cycles != bounds[b].cycles) {
+        return bounds[a].cycles < bounds[b].cycles;
+      }
+      return a < b;  // enumeration index breaks ties deterministically
+    });
+    // Incumbent seed: evaluate bound-ascending in small batches until a
+    // design fits. The tighter the seed, the smaller the kept set, but
+    // any feasible design is a correct incumbent.
+    constexpr std::size_t kSeedBatch = 8;
+    std::vector<char> seen(flat.size(), 0);
+    for (std::size_t at = 0; at < order.size() && !seed; at += kSeedBatch) {
+      const std::size_t n = std::min(kSeedBatch, order.size() - at);
+      std::vector<DesignConfig> batch;
+      batch.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        batch.push_back(*flat[order[at + j]]);
+      }
+      const std::vector<DesignPoint> points = engine_.evaluate_batch(batch);
+      for (std::size_t j = 0; j < n; ++j) {
+        seen[order[at + j]] = 1;
+        const DesignPoint& point = points[j];
+        if (point.analysis_errors > 0) continue;
+        if (!point.resources.total.fits_within(cap)) continue;
+        seed = point;
+        break;
+      }
+    }
+    if (!seed) return std::nullopt;  // exhaustively infeasible
+    const double ceiling = kPruneMargin * seed->prediction.total_cycles;
+    for (const std::size_t i : order) {
+      if (bounds[i].cycles <= ceiling) keep[i] = 1;
+    }
+    std::int64_t pruned = 0;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      // Seed-probed candidates were evaluated, not skipped; candidates
+      // dropped later by Phase B's early exit are not counted either —
+      // this counter reports lower-bound prunes only.
+      if (keep[i] == 0 && seen[i] == 0) ++pruned;
+    }
+    engine_.add_pruned(pruned);
+  }
+  // Phase B: evaluate the kept subsets in enumeration order on the pool.
+  // Candidates outside the kept set have exact latency >= their bound
+  // > kPruneMargin x incumbent >= kPruneMargin x optimum, far beyond the
+  // near-tie band, so the running-best scan over this subsequence picks
+  // the same design the exhaustive scan would. Keeping the chain
+  // structure (each kept subset is still ascending in fusion depth)
+  // lets evaluate_chains early-exit the over-budget tails exactly as
+  // the exhaustive path does.
+  std::vector<CandidateChain> kept;
+  kept.reserve(chains.size());
+  std::size_t at = 0;
+  for (const CandidateChain& chain : chains) {
+    CandidateChain subset;
+    for (const DesignConfig& config : chain.configs) {
+      if (keep[at++] != 0) subset.configs.push_back(config);
+    }
+    if (!subset.configs.empty()) kept.push_back(std::move(subset));
+  }
+  const std::vector<DesignPoint> feasible = engine_.evaluate_chains(kept, cap);
+  for (const DesignPoint& point : feasible) retained_.insert(point);
+  if (feasible.empty()) return std::nullopt;  // unreachable: seed is kept
+  return select_best(feasible);
+}
+
 DesignPoint Optimizer::optimize_baseline() const {
-  const std::int64_t evaluated_before = engine_.stats().candidates_evaluated;
-  const std::vector<DesignPoint> feasible = explore(DesignKind::kBaseline);
+  const DseStats before = engine_.stats();
+  std::optional<DesignPoint> best;
+  if (options_.prune) {
+    best = branch_and_bound(space_.chains(DesignKind::kBaseline), budget());
+  } else {
+    const std::vector<DesignPoint> feasible = explore(DesignKind::kBaseline);
+    for (const DesignPoint& point : feasible) retained_.insert(point);
+    if (!feasible.empty()) best = select_best(feasible);
+  }
+  const DseStats after = engine_.stats();
   SCL_INFO() << "baseline DSE for " << program_->name() << ": "
-             << engine_.stats().candidates_evaluated - evaluated_before
-             << " candidates on " << engine_.threads() << " thread(s)";
-  if (feasible.empty()) {
+             << after.candidates_evaluated - before.candidates_evaluated
+             << " candidates evaluated, "
+             << after.candidates_pruned - before.candidates_pruned
+             << " pruned on " << engine_.threads() << " thread(s)";
+  if (!best) {
     throw ResourceError(
         str_cat("no baseline design for '", program_->name(),
                 "' fits the device budget ", budget().to_string()));
   }
-  return select_best(feasible);
+  return *best;
 }
 
 DesignPoint Optimizer::optimize_heterogeneous(
@@ -132,22 +238,40 @@ DesignPoint Optimizer::optimize_heterogeneous(
   // slowest kernel" is the baseline tile minus the balancing shrink.
   const std::vector<DesignConfig> candidates =
       space_.heterogeneous_candidates(baseline.config);
-  const std::vector<DesignPoint> points = engine_.evaluate_batch(candidates);
-  SCL_INFO() << "heterogeneous DSE for " << program_->name() << ": "
-             << points.size() << " candidates on " << engine_.threads()
-             << " thread(s)";
-  std::vector<DesignPoint> feasible;
-  feasible.reserve(points.size());
-  for (const DesignPoint& point : points) {
-    if (point.analysis_errors > 0) continue;
-    if (point.resources.total.fits_within(cap)) feasible.push_back(point);
+  const DseStats before = engine_.stats();
+  std::optional<DesignPoint> best;
+  if (options_.prune) {
+    // Shrink does not vary resources monotonically, so each candidate is
+    // its own single-config chain: the chain early exit degenerates to
+    // the plain feasibility filter.
+    std::vector<CandidateChain> singleton(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      singleton[i].configs.push_back(candidates[i]);
+    }
+    best = branch_and_bound(singleton, cap);
+  } else {
+    const std::vector<DesignPoint> points = engine_.evaluate_batch(candidates);
+    std::vector<DesignPoint> feasible;
+    feasible.reserve(points.size());
+    for (const DesignPoint& point : points) {
+      if (point.analysis_errors > 0) continue;
+      if (point.resources.total.fits_within(cap)) feasible.push_back(point);
+    }
+    for (const DesignPoint& point : feasible) retained_.insert(point);
+    if (!feasible.empty()) best = select_best(feasible);
   }
-  if (feasible.empty()) {
+  const DseStats after = engine_.stats();
+  SCL_INFO() << "heterogeneous DSE for " << program_->name() << ": "
+             << after.candidates_evaluated - before.candidates_evaluated
+             << " candidates evaluated, "
+             << after.candidates_pruned - before.candidates_pruned
+             << " pruned on " << engine_.threads() << " thread(s)";
+  if (!best) {
     throw ResourceError(
         str_cat("no heterogeneous design for '", program_->name(),
                 "' fits within the baseline's resources ", cap.to_string()));
   }
-  return select_best(feasible);
+  return *best;
 }
 
 std::vector<DesignPoint> Optimizer::pareto_frontier(

@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "core/candidate_space.hpp"
+#include "core/design_point.hpp"
 #include "core/evaluation_engine.hpp"
+#include "core/pareto_front.hpp"
 #include "core/resource_estimator.hpp"
 #include "fpga/device.hpp"
 #include "model/perf_model.hpp"
@@ -59,24 +61,14 @@ struct OptimizerOptions {
   /// candidate spaces are verified clean, so the per-candidate cost only
   /// pays off when exploring hand-extended spaces.
   bool analyze_candidates = false;
+  /// Branch-and-bound pruning for the optimize_* searches: admissible
+  /// lower bounds (model/lower_bound.hpp) discard candidates that
+  /// provably cannot beat a deterministically chosen incumbent. The
+  /// reported optimum is bit-identical with pruning on or off (see
+  /// tests/dse_prune_test.cpp); explore() and pareto_frontier() always
+  /// stay exhaustive.
+  bool prune = true;
 };
-
-/// One evaluated design: configuration, predicted latency, resources.
-struct DesignPoint {
-  sim::DesignConfig config;
-  model::Prediction prediction;
-  DesignResources resources;
-  /// Error diagnostics from the candidate verifier (0 when verification
-  /// is off or the design is clean).
-  std::int64_t analysis_errors = 0;
-};
-
-/// The total deterministic design ordering: predicted latency, then the
-/// resource vector (BRAM18, FF, LUT, DSP), then the canonical config key.
-/// No two distinct configs compare equal, so any selection or sort that
-/// uses this order is independent of enumeration and thread scheduling.
-/// Shared by the serial and parallel search paths.
-bool design_order(const DesignPoint& a, const DesignPoint& b);
 
 class Optimizer {
  public:
@@ -118,8 +110,38 @@ class Optimizer {
   /// over every search this optimizer ran.
   DseStats dse_stats() const { return engine_.stats(); }
 
+  /// The (cycles, BRAM18) Pareto front of every feasible design the
+  /// optimize_* searches evaluated, accumulated across searches. With
+  /// pruning on this covers the latency-competitive band the search kept
+  /// (bounds more than kPruneMargin above the incumbent are discarded
+  /// unevaluated) — the high-latency/low-BRAM tail of the exhaustive
+  /// frontier is intentionally absent; pareto_frontier() computes the
+  /// full curve. Deterministic for any thread count.
+  const std::vector<DesignPoint>& retained_frontier() const {
+    return retained_.points();
+  }
+
+  /// Pruning margin: a candidate is discarded only when its admissible
+  /// latency bound exceeds kPruneMargin x the incumbent's exact latency.
+  /// The running-best scan's 1.0005x near-tie band lets the incumbent
+  /// drift above the true optimum by a bounded chain of near-tie
+  /// replacements (worst case ~1.065x across the shipped candidate
+  /// spaces); 1.10 leaves headroom beyond that, so every candidate the
+  /// exhaustive scan could ever select survives the prune.
+  static constexpr double kPruneMargin = 1.10;
+
  private:
   DesignPoint select_best(const std::vector<DesignPoint>& feasible) const;
+
+  /// Branch-and-bound over `chains` (enumeration order) under resource
+  /// cap `cap`: serial deterministic bound/seed/keep phase, then one
+  /// parallel chain evaluation of the kept subsets (which preserves the
+  /// monotone early exit on over-budget fusion tails). Returns the same
+  /// design the exhaustive filter-and-select path returns, or nullopt
+  /// when nothing feasible exists. Feasible points feed retained_.
+  std::optional<DesignPoint> branch_and_bound(
+      const std::vector<CandidateChain>& chains,
+      const fpga::ResourceVector& cap) const;
 
   const scl::stencil::StencilProgram* program_;
   OptimizerOptions options_;
@@ -127,6 +149,8 @@ class Optimizer {
   /// Mutable: the engine's cache and counters advance under const
   /// searches; evaluation itself is pure.
   mutable EvaluationEngine engine_;
+  /// Mutable for the same reason: a by-product of const searches.
+  mutable ParetoFront retained_;
 };
 
 }  // namespace scl::core

@@ -1,0 +1,40 @@
+#include "core/pareto_front.hpp"
+
+#include <algorithm>
+
+namespace scl::core {
+
+bool ParetoFront::insert(const DesignPoint& point) {
+  const auto pos =
+      std::lower_bound(points_.begin(), points_.end(), point, design_order);
+  // The predecessor holds the minimum bram18 of every member ordered
+  // before `point` (the staircase is strictly decreasing), so one
+  // comparison decides dominance against the whole prefix. This also
+  // covers points evicted or rejected earlier: whatever dominated them
+  // orders before `point` too, and its bram18 survives in the prefix
+  // minimum.
+  if (pos != points_.begin() &&
+      (pos - 1)->resources.total.bram18 <= point.resources.total.bram18) {
+    return false;
+  }
+  // lower_bound already established !design_order(*pos, point); if the
+  // reverse also fails the keys are identical — the same config was
+  // offered twice.
+  if (pos != points_.end() && !design_order(point, *pos)) return false;
+  // Members now dominated by `point` are the contiguous run of successors
+  // with bram18 >= point's (successor bram18 values are decreasing).
+  auto last = pos;
+  while (last != points_.end() &&
+         last->resources.total.bram18 >= point.resources.total.bram18) {
+    ++last;
+  }
+  if (last != pos) {
+    *pos = point;
+    points_.erase(pos + 1, last);
+  } else {
+    points_.insert(pos, point);
+  }
+  return true;
+}
+
+}  // namespace scl::core

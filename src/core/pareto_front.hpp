@@ -1,0 +1,44 @@
+// Streaming latency/resource Pareto front (paper §5: the DSE reports the
+// latency-optimal design, but the BRAM18 trade-off curve is what a user
+// tuning resource_fraction actually needs).
+//
+// The front is two-axis: predicted cycles (via design_order, which breaks
+// latency ties with the resource vector and config key, making membership
+// deterministic) against total BRAM18 blocks. A point p is dominated when
+// some q precedes it in design_order with bram18(q) <= bram18(p) — the
+// same staircase Optimizer::pareto_frontier() produces by sorting and
+// scanning, but maintained incrementally so the optimizer can retain the
+// frontier of every point it evaluates without keeping them all alive.
+//
+// Invariant: points() is design_order-sorted with strictly decreasing
+// bram18. Insertion order does not affect the final set (see
+// ParetoFrontMatchesBatchReference in tests/dse_prune_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/design_point.hpp"
+
+namespace scl::core {
+
+class ParetoFront {
+ public:
+  /// Offers a point to the front. Returns true when the point joins it
+  /// (evicting any members it newly dominates); false when an existing
+  /// member dominates it or an identical config is already present.
+  bool insert(const DesignPoint& point);
+
+  /// The frontier, design_order-sorted (ascending cycles, strictly
+  /// decreasing bram18).
+  const std::vector<DesignPoint>& points() const { return points_; }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<DesignPoint> points_;
+};
+
+}  // namespace scl::core

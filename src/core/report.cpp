@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+
 #include "fpga/power.hpp"
 
 #include "support/strings.hpp"
@@ -135,6 +137,10 @@ std::string render_markdown_report(const SynthesisReport& report,
         {"cache hits", str_cat(format_thousands(report.dse.cache_hits), " (",
                                format_fixed(100.0 * report.dse.cache_hit_rate(), 1),
                                "%)")});
+    // Deterministic (the bound/keep phase is serial), so not gated on
+    // include_timing like the throughput rows.
+    table.add_row({"candidates pruned",
+                   format_thousands(report.dse.candidates_pruned)});
     if (options.include_timing) {
       table.add_row({"worker threads", std::to_string(report.dse.threads)});
       table.add_row({"wall-clock",
@@ -144,6 +150,32 @@ std::string render_markdown_report(const SynthesisReport& report,
                          report.dse.candidates_per_sec()))});
     }
     out += table.to_markdown();
+  }
+
+  if (!report.frontier.empty()) {
+    out += "\n## Latency/BRAM trade-off (retained Pareto front)\n\n";
+    out += "Feasible designs the search evaluated that are Pareto-optimal "
+           "in (predicted cycles, BRAM18); the first row is the reported "
+           "optimum's latency class. With pruning on, bounds more than "
+           "10% above the incumbent were discarded unevaluated, so the "
+           "high-latency/low-BRAM tail is intentionally absent.\n\n";
+    constexpr std::size_t kMaxFrontierRows = 12;
+    TableWriter table({"config", "predicted cycles", "BRAM18"});
+    const std::size_t rows =
+        std::min(report.frontier.size(), kMaxFrontierRows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const DesignPoint& point = report.frontier[i];
+      table.add_row(
+          {describe_config(point.config, dims),
+           format_thousands(
+               static_cast<long long>(point.prediction.total_cycles)),
+           format_thousands(point.resources.total.bram18)});
+    }
+    out += table.to_markdown();
+    if (report.frontier.size() > kMaxFrontierRows) {
+      out += str_cat("\n(", report.frontier.size() - kMaxFrontierRows,
+                     " more point(s) on the front.)\n");
+    }
   }
 
   if (report.baseline_sim.total_cycles > 0) {

@@ -1,0 +1,109 @@
+#include "model/lower_bound.hpp"
+
+#include <algorithm>
+
+#include "fpga/hls.hpp"
+#include "support/math.hpp"
+
+namespace scl::model {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::stencil::StencilProgram;
+
+LowerBoundModel::LowerBoundModel(const StencilProgram& program,
+                                 fpga::DeviceSpec device)
+    : program_(&program),
+      device_(device),
+      resource_model_(std::move(device)) {
+  for (int u = 1; u < static_cast<int>(ii_sum_by_unroll_.size()); ++u) {
+    double sum = 0.0;
+    for (int s = 0; s < program.stage_count(); ++s) {
+      sum += static_cast<double>(fpga::estimate_stage(program.stage(s), u).ii);
+    }
+    ii_sum_by_unroll_[static_cast<std::size_t>(u)] = sum;
+  }
+  for (int s = 0; s < program.stage_count(); ++s) {
+    if (program.stage_needs_double_buffer(s)) ++shadow_stages_;
+  }
+}
+
+double LowerBoundModel::ii_sum(int unroll) const {
+  if (unroll >= 1 && unroll < static_cast<int>(ii_sum_by_unroll_.size())) {
+    return ii_sum_by_unroll_[static_cast<std::size_t>(unroll)];
+  }
+  double sum = 0.0;
+  for (int s = 0; s < program_->stage_count(); ++s) {
+    sum += static_cast<double>(
+        fpga::estimate_stage(program_->stage(s), unroll).ii);
+  }
+  return sum;
+}
+
+LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
+  const StencilProgram& prog = *program_;
+  const double h = static_cast<double>(config.fused_iterations);
+  const double k = static_cast<double>(config.total_kernels());
+  const auto& radii = prog.iter_radii();
+
+  // Eq. 2 exactly: tile_extents() conserves the region extent K_d * w_d
+  // no matter how the edge shrink redistributes, so this term needs no
+  // bounding at all.
+  std::int64_t n_region =
+      ceil_div(prog.iterations(), config.fused_iterations);
+  for (int d = 0; d < prog.dims(); ++d) {
+    n_region *=
+        ceil_div(prog.grid_box().extent(d), config.region_extent(d));
+  }
+
+  // The smallest balanced tile extent per dimension: edge tiles lose the
+  // shrink, interior tiles only gain (see DesignConfig::tile_extents) —
+  // computed directly to keep bound() allocation-free.
+  double cells_min = 1.0;
+  double padded_min = 1.0;
+  const bool baseline = config.kind == DesignKind::kBaseline;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    std::int64_t e_min = config.tile_size[ds];
+    if (config.parallelism[ds] >= 3 && config.edge_shrink[ds] > 0) {
+      e_min -= config.edge_shrink[ds];
+    }
+    cells_min *= static_cast<double>(e_min);
+    // Baseline kernels buffer the whole cone footprint; heterogeneous
+    // kernels at least the tile itself (shared-face halos are >= 0).
+    double padded = static_cast<double>(e_min);
+    if (baseline) {
+      padded += static_cast<double>(radii[ds][0] + radii[ds][1]) * h;
+    }
+    padded_min *= padded;
+  }
+
+  // Eqs. 4-6 lower bound: tile cells only, margins dropped.
+  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
+                                   device_.mem_bytes_per_cycle / k);
+  const double bytes = StencilProgram::element_bytes();
+  const double l_mem_lb =
+      cells_min *
+      static_cast<double>(prog.field_count() + prog.mutable_field_count()) *
+      bytes / bw_share;
+
+  // Eqs. 7-10 lower bound: every iteration walks at least the tile cells
+  // per stage at the stage's II; exposed pipe waits (Eq. 11) are >= 0.
+  const double l_comp_lb = h * cells_min * ii_sum(config.unroll) /
+                           static_cast<double>(config.unroll);
+
+  LowerBound lb;
+  lb.cycles = static_cast<double>(n_region) * (l_mem_lb + l_comp_lb);
+
+  // BRAM: K kernels, each holding at least the padded tile for every
+  // field plus shadow copies; bram_blocks_for is monotone, pipe FIFO
+  // blocks only add.
+  const auto elements_lb = static_cast<std::int64_t>(
+      padded_min * static_cast<double>(prog.field_count() + shadow_stages_));
+  lb.bram18 = config.total_kernels() * resource_model_.bram_blocks_for(
+                                           std::max<std::int64_t>(
+                                               elements_lb, 1));
+  return lb;
+}
+
+}  // namespace scl::model

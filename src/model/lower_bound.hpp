@@ -1,0 +1,77 @@
+// Admissible lower bounds on a design's latency and BRAM footprint,
+// derived from the same analytical model as PerfModel (paper Eqs. 1–11)
+// by dropping every term that can only add cost.
+//
+// The bound must never exceed the exact model's value for the same
+// config — that is what lets the Optimizer's branch-and-bound skip a
+// candidate whose bound already exceeds the incumbent without ever
+// changing the reported optimum. Derivation (see DESIGN.md §5 for the
+// equation-by-equation mapping):
+//
+//   * N_region (Eq. 2) is exact: ceil(H/h) × Π_d ceil(N_d / (K_d·w_d)).
+//     tile_extents() redistributes the edge shrink but conserves the
+//     region extent, so no bounding is needed.
+//   * L_mem (Eqs. 4–6): every kernel reads at least its own tile cells
+//     for every field and writes them for every mutable field; halo and
+//     cone margins only add. With e_min_d the smallest balanced tile
+//     extent along d, L_mem ≥ Π e_min × (F + M) × bytes / bw_share,
+//     where bw_share = min(port ceiling, DDR share / K) is exact.
+//   * L_comp (Eqs. 7–10): iteration i walks at least Π e_min cells per
+//     stage at the stage's II (cone expansion only widens the extent;
+//     exposed pipe waits, Eq. 11, are ≥ 0), so
+//     L_comp ≥ h × Π e_min × (Σ_s II_s) / N_PE.
+//   * Eq. 1 takes max_k over kernels and every kernel's extents dominate
+//     e_min, so N_region × (L_mem_lb + L_comp_lb) bounds the total for
+//     both cone modes (kPaperExact only inflates extents further).
+//   * BRAM: each kernel buffers at least its padded tile for every field
+//     (plus the shadow copies of double-buffered stages); pipe FIFO
+//     blocks only add. bram_blocks_for() is monotone in elements, so
+//     K × bram_blocks_for(padded_min_cells × (F + shadows)) bounds the
+//     design total, which lets the search discard configs that cannot
+//     possibly fit the budget without pricing them exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "fpga/resource_model.hpp"
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+
+namespace scl::model {
+
+struct LowerBound {
+  /// Admissible latency bound in cycles: bound(c).cycles <= exact
+  /// PerfModel::predict(c).total_cycles for every valid config c.
+  double cycles = 0.0;
+  /// Admissible bound on the design's total BRAM18 blocks.
+  std::int64_t bram18 = 0;
+};
+
+/// Re-entrant like PerfModel: all state is immutable after construction,
+/// so concurrent bound() calls need no locking.
+class LowerBoundModel {
+ public:
+  LowerBoundModel(const scl::stencil::StencilProgram& program,
+                  fpga::DeviceSpec device);
+
+  /// Bounds for one (valid) candidate config. Costs O(dims) — no vector
+  /// allocation, no per-iteration loop — which is what makes bounding
+  /// the whole candidate space cheaper than evaluating a fraction of it.
+  LowerBound bound(const sim::DesignConfig& config) const;
+
+ private:
+  double ii_sum(int unroll) const;
+
+  const scl::stencil::StencilProgram* program_;
+  fpga::DeviceSpec device_;
+  fpga::ResourceModel resource_model_;
+  /// Σ_s II_s precomputed per unroll factor (II is bank-scaled, hence
+  /// unroll-invariant today, but the table keeps the bound honest if the
+  /// HLS estimator ever changes that).
+  std::array<double, 33> ii_sum_by_unroll_{};
+  std::int64_t shadow_stages_ = 0;
+};
+
+}  // namespace scl::model

@@ -30,13 +30,12 @@ PerfModel::PerfModel(const StencilProgram& program, fpga::DeviceSpec device,
 
 void PerfModel::accumulate_kernel(const DesignConfig& config,
                                   const KernelGeometry& geo,
+                                  const std::vector<double>& stage_ii,
                                   Prediction* out) const {
   const StencilProgram& prog = *program_;
   // C_element over a full iteration: every stage touches every cell once,
-  // so the per-cell cost is the sum of the per-stage IIs over N_PE.
-  // (Per-stage IIs are queried below; the program-level estimate is only
-  // needed for validation side effects of the unroll factor.)
-  (void)fpga::estimate_program(prog, config.unroll);
+  // so the per-cell cost is the sum of the per-stage IIs over N_PE. The
+  // per-stage IIs arrive precomputed in `stage_ii` (see predict()).
   const double h = static_cast<double>(config.fused_iterations);
   const double k = static_cast<double>(config.total_kernels());
   // Fair DDR share capped by the kernel's own AXI-master ceiling.
@@ -102,8 +101,7 @@ void PerfModel::accumulate_kernel(const DesignConfig& config,
 
     for (int s = 0; s < prog.stage_count(); ++s) {
       const scl::stencil::Stage& stage = prog.stage(s);
-      const double ii_s = static_cast<double>(
-          fpga::estimate_stage(stage, config.unroll).ii);
+      const double ii_s = stage_ii[static_cast<std::size_t>(s)];
       const double comp_s =
           ii_s / static_cast<double>(config.unroll) * cells;
 
@@ -174,6 +172,14 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
                              config.region_extent(d));
   }
 
+  // Per-stage IIs depend only on (stage, unroll): hoist them out of the
+  // kernel-position × iteration loops in accumulate_kernel.
+  std::vector<double> stage_ii(static_cast<std::size_t>(prog.stage_count()));
+  for (int s = 0; s < prog.stage_count(); ++s) {
+    stage_ii[static_cast<std::size_t>(s)] = static_cast<double>(
+        fpga::estimate_stage(prog.stage(s), config.unroll).ii);
+  }
+
   const auto& radii = prog.iter_radii();
   if (mode_ == ConeMode::kPaperExact) {
     // Eq. 8/10 verbatim: one representative "slowest" kernel with the
@@ -194,7 +200,7 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
         geo.shared[ds][0] = geo.shared[ds][1] = true;
       }
     }
-    accumulate_kernel(config, geo, &out);
+    accumulate_kernel(config, geo, stage_ii, &out);
   } else {
     // Refined: evaluate kernel positions with their own balanced extents
     // and exterior faces, and keep the slowest (Eq. 1's max_k). Interior
@@ -232,7 +238,7 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
             geo.cone_radius[ds][1] =
                 geo.shared[ds][1] ? 0.0 : static_cast<double>(radii[ds][1]);
           }
-          accumulate_kernel(config, geo, &out);
+          accumulate_kernel(config, geo, stage_ii, &out);
         }
       }
     }

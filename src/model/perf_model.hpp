@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "fpga/device.hpp"
 #include "sim/design.hpp"
@@ -68,9 +69,15 @@ class PerfModel {
 
  private:
   struct KernelGeometry;
-  /// Eq. 3 components for one kernel.
+  /// Eq. 3 components for one kernel. `stage_ii` carries the per-stage
+  /// initiation intervals, hoisted by predict() — they depend only on
+  /// (stage, unroll), never on the kernel position, so computing them
+  /// once per prediction instead of once per kernel×iteration is a pure
+  /// (bit-identical) speedup of the DSE hot path.
   void accumulate_kernel(const sim::DesignConfig& config,
-                         const KernelGeometry& geo, Prediction* out) const;
+                         const KernelGeometry& geo,
+                         const std::vector<double>& stage_ii,
+                         Prediction* out) const;
 
   const scl::stencil::StencilProgram* program_;
   fpga::DeviceSpec device_;

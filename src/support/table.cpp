@@ -12,7 +12,12 @@ namespace {
 
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  return "\"" + replace_all(cell, "\"", "\"\"") + "\"";
+  // Built up with += (not an operator+ chain): GCC 12's -O3 restrict
+  // checker misfires on the temporary-insert pattern under -Werror.
+  std::string out = "\"";
+  out += replace_all(cell, "\"", "\"\"");
+  out += "\"";
+  return out;
 }
 
 }  // namespace

@@ -56,11 +56,13 @@ support::obs::Histogram& parallel_for_histogram() {
   return histogram;
 }
 
-/// Shared state of one parallel_for: the index cursor, the helper
-/// completion count, and the lowest-index exception.
+/// Shared state of one parallel_for / parallel_for_chunked: the index
+/// cursor (advanced in grain-sized strides), the helper completion count,
+/// and the lowest-begin exception.
 struct LoopState {
   std::int64_t n = 0;
-  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::int64_t grain = 1;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
   std::atomic<std::int64_t> cursor{0};
   std::mutex mutex;
   std::condition_variable done_cv;
@@ -70,14 +72,16 @@ struct LoopState {
 
   void drain() {
     while (true) {
-      const std::int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+      const std::int64_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::int64_t end = std::min<std::int64_t>(begin + grain, n);
       try {
-        (*fn)(i);
+        (*fn)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        if (i < error_index) {
-          error_index = i;
+        if (begin < error_index) {
+          error_index = begin;
           error = std::current_exception();
         }
       }
@@ -207,11 +211,23 @@ int ThreadPool::worker_slot() { return tls_worker_slot; }
 
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunked(n, 1,
+                       [&fn](std::int64_t begin, std::int64_t end) {
+                         for (std::int64_t i = begin; i < end; ++i) fn(i);
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
-  if (threads_ <= 1 || n == 1 || tls_in_worker) {
+  SCL_CHECK(grain >= 1, "parallel_for_chunked needs grain >= 1");
+  const std::int64_t blocks = (n + grain - 1) / grain;
+  if (threads_ <= 1 || blocks == 1 || tls_in_worker) {
     // Serial fallback — also the nested case: a parallel_for from inside
-    // pool work must not wait on the pool it occupies.
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    // pool work must not wait on the pool it occupies. One contiguous
+    // call keeps per-block bookkeeping (counter flushes etc.) minimal.
+    fn(0, n);
     return;
   }
 
@@ -221,9 +237,10 @@ void ThreadPool::parallel_for(std::int64_t n,
 
   LoopState state;
   state.n = n;
+  state.grain = grain;
   state.fn = &fn;
   const int helpers =
-      static_cast<int>(std::min<std::int64_t>(threads_ - 1, n - 1));
+      static_cast<int>(std::min<std::int64_t>(threads_ - 1, blocks - 1));
   state.helpers_pending = helpers;
   bool pool_down = false;
   {
@@ -240,7 +257,7 @@ void ThreadPool::parallel_for(std::int64_t n,
   if (pool_down) {
     // shutdown() already ran: no worker would ever pick the helper jobs
     // up, so fall back to the serial loop.
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   impl_->work_cv.notify_all();

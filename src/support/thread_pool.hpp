@@ -56,6 +56,18 @@ class ThreadPool {
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn);
 
+  /// Chunked variant: fn(begin, end) is called over contiguous blocks of
+  /// up to `grain` indices (the last block may be short). Blocks are
+  /// claimed through the shared cursor in grain-sized strides, so per-task
+  /// dispatch overhead amortizes over O(grain) work items — the DSE's
+  /// candidate evaluations are far too cheap for per-index dispatch.
+  /// Same contract as parallel_for: results must be written by index, the
+  /// lowest-`begin` exception is rethrown after the loop drains, and
+  /// nested calls (or a 1-thread pool) degrade to one serial fn(0, n).
+  void parallel_for_chunked(
+      std::int64_t n, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t)>& fn);
+
   /// Enqueues one independent fire-and-forget job for the worker threads
   /// (the serve::Scheduler's request pumps run this way). Unlike
   /// parallel_for the submitting thread does not participate, so the pool

@@ -1,0 +1,258 @@
+// Property tests for the branch-and-bound DSE layer:
+//
+//   * the pruned search must choose designs byte-identical to the
+//     exhaustive search on every suite kernel (the pruning-correctness
+//     half of the determinism contract; thread-count invariance lives in
+//     dse_determinism_test.cpp),
+//   * LowerBoundModel must be admissible — never above the exact model —
+//     across whole candidate spaces, including the heterogeneous
+//     edge-shrink configs,
+//   * ParetoFront must keep exactly the non-dominated points regardless
+//     of insertion order (checked against an O(n^2) batch reference on
+//     randomized inputs).
+#include "core/optimizer.hpp"
+#include "core/pareto_front.hpp"
+#include "model/lower_bound.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stencil/kernels.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scl::core {
+namespace {
+
+using scl::stencil::BenchmarkInfo;
+using scl::stencil::StencilProgram;
+
+void expect_identical(const DesignPoint& a, const DesignPoint& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.config, b.config) << what << ": configs differ";
+  EXPECT_EQ(0, std::memcmp(&a.prediction, &b.prediction,
+                           sizeof(model::Prediction)))
+      << what << ": predictions differ";
+  EXPECT_EQ(a.resources.total.bram18, b.resources.total.bram18)
+      << what << ": resources differ";
+}
+
+/// A small instance of every suite kernel: big enough for a non-trivial
+/// candidate space, small enough that the exhaustive reference stays
+/// cheap under the sanitizers.
+StencilProgram scaled(const BenchmarkInfo& info) {
+  switch (info.dims) {
+    case 1:
+      return info.make_scaled({16384, 1, 1}, 48);
+    case 2:
+      return info.make_scaled({192, 192, 1}, 32);
+    default:
+      return info.make_scaled({48, 48, 48}, 16);
+  }
+}
+
+TEST(DsePruneTest, PrunedOptimumMatchesExhaustiveOnEverySuiteKernel) {
+  for (const BenchmarkInfo& info : scl::stencil::paper_benchmarks()) {
+    const StencilProgram program = scaled(info);
+    OptimizerOptions pruned_options;
+    pruned_options.threads = 2;
+    pruned_options.prune = true;
+    OptimizerOptions exhaustive_options = pruned_options;
+    exhaustive_options.prune = false;
+    const Optimizer pruned(program, pruned_options);
+    const Optimizer exhaustive(program, exhaustive_options);
+
+    const DesignPoint base_p = pruned.optimize_baseline();
+    const DesignPoint base_e = exhaustive.optimize_baseline();
+    expect_identical(base_p, base_e, info.name + " baseline");
+    // The searches must also agree on infeasibility: pruning may never
+    // turn a solvable heterogeneous search into a ResourceError (or vice
+    // versa). The scaled 1-D instance exercises exactly this branch.
+    std::optional<DesignPoint> het_p;
+    std::optional<DesignPoint> het_e;
+    try {
+      het_p = pruned.optimize_heterogeneous(base_p);
+    } catch (const ResourceError&) {
+    }
+    try {
+      het_e = exhaustive.optimize_heterogeneous(base_e);
+    } catch (const ResourceError&) {
+    }
+    ASSERT_EQ(het_p.has_value(), het_e.has_value())
+        << info.name << ": pruning changed heterogeneous feasibility";
+    if (het_p.has_value()) {
+      expect_identical(*het_p, *het_e, info.name + " heterogeneous");
+    }
+
+    const DseStats stats = pruned.dse_stats();
+    EXPECT_GT(stats.candidates_pruned, 0)
+        << info.name << ": pruning never engaged";
+    EXPECT_EQ(exhaustive.dse_stats().candidates_pruned, 0)
+        << info.name << ": exhaustive search must not prune";
+  }
+}
+
+TEST(DsePruneTest, LowerBoundIsAdmissibleAcrossBaselineSpaces) {
+  for (const char* name : {"Jacobi-2D", "HotSpot-3D", "FDTD-2D"}) {
+    const StencilProgram program = scaled(scl::stencil::find_benchmark(name));
+    OptimizerOptions options;
+    options.threads = 1;
+    const Optimizer optimizer(program, options);
+    const model::LowerBoundModel bound_model(program, options.device);
+    std::int64_t checked = 0;
+    for (const CandidateChain& chain :
+         optimizer.space().chains(sim::DesignKind::kBaseline)) {
+      for (const sim::DesignConfig& config : chain.configs) {
+        const model::LowerBound lb = bound_model.bound(config);
+        const DesignPoint exact = optimizer.evaluate(config);
+        ASSERT_LE(lb.cycles, exact.prediction.total_cycles)
+            << name << " " << config.summary(program.dims());
+        ASSERT_LE(lb.bram18, exact.resources.total.bram18)
+            << name << " " << config.summary(program.dims());
+        ++checked;
+      }
+    }
+    EXPECT_GT(checked, 100) << name << ": space unexpectedly tiny";
+  }
+}
+
+TEST(DsePruneTest, LowerBoundIsAdmissibleForHeterogeneousCandidates) {
+  const StencilProgram program =
+      scaled(scl::stencil::find_benchmark("HotSpot-2D"));
+  OptimizerOptions options;
+  options.threads = 1;
+  const Optimizer optimizer(program, options);
+  const DesignPoint baseline = optimizer.optimize_baseline();
+  const model::LowerBoundModel bound_model(program, options.device);
+  std::int64_t checked = 0;
+  for (const sim::DesignConfig& config :
+       optimizer.space().heterogeneous_candidates(baseline.config)) {
+    const model::LowerBound lb = bound_model.bound(config);
+    const DesignPoint exact = optimizer.evaluate(config);
+    ASSERT_LE(lb.cycles, exact.prediction.total_cycles)
+        << config.summary(program.dims());
+    ASSERT_LE(lb.bram18, exact.resources.total.bram18)
+        << config.summary(program.dims());
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(DsePruneTest, RetainedFrontierIsDeterministicAcrossThreadCounts) {
+  const StencilProgram program =
+      scaled(scl::stencil::find_benchmark("Jacobi-3D"));
+  auto frontier_at = [&](int threads) {
+    OptimizerOptions options;
+    options.threads = threads;
+    const Optimizer optimizer(program, options);
+    const DesignPoint baseline = optimizer.optimize_baseline();
+    (void)optimizer.optimize_heterogeneous(baseline);
+    return optimizer.retained_frontier();
+  };
+  const std::vector<DesignPoint> serial = frontier_at(1);
+  const std::vector<DesignPoint> parallel = frontier_at(8);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i], "frontier point");
+  }
+  // Staircase invariant: design_order-sorted, bram18 strictly decreasing.
+  for (std::size_t i = 1; i < serial.size(); ++i) {
+    EXPECT_TRUE(design_order(serial[i - 1], serial[i]));
+    EXPECT_LT(serial[i].resources.total.bram18,
+              serial[i - 1].resources.total.bram18);
+  }
+}
+
+DesignPoint synthetic_point(scl::Rng& rng) {
+  DesignPoint point;
+  // Narrow value ranges on purpose: collisions in cycles and bram18 are
+  // where dominance logic can go wrong.
+  point.prediction.total_cycles =
+      static_cast<double>(rng.uniform_int(1, 12)) * 1000.0;
+  point.resources.total.bram18 = rng.uniform_int(1, 10);
+  point.resources.total.ff = rng.uniform_int(1, 4);
+  point.resources.total.lut = rng.uniform_int(1, 4);
+  point.resources.total.dsp = rng.uniform_int(1, 4);
+  // Distinct-enough config keys (exact duplicates still possible, which
+  // the front must also handle).
+  point.config.fused_iterations = rng.uniform_int(1, 64);
+  point.config.unroll = static_cast<int>(rng.uniform_int(1, 16));
+  point.config.tile_size[0] = rng.uniform_int(1, 64);
+  return point;
+}
+
+/// O(n^2) reference: p survives iff no other point orders before it with
+/// bram18 <= its own (matching Optimizer::pareto_frontier()'s staircase).
+std::vector<DesignPoint> reference_front(std::vector<DesignPoint> points) {
+  std::sort(points.begin(), points.end(), design_order);
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const DesignPoint& a, const DesignPoint& b) {
+                             return !design_order(a, b) &&
+                                    !design_order(b, a);
+                           }),
+               points.end());
+  std::vector<DesignPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < i && !dominated; ++j) {
+      dominated = points[j].resources.total.bram18 <=
+                  points[i].resources.total.bram18;
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  return front;
+}
+
+TEST(DsePruneTest, ParetoFrontMatchesBatchReferenceOnRandomInputs) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    scl::Rng rng(seed * 7919);
+    std::vector<DesignPoint> points;
+    const std::int64_t n = rng.uniform_int(1, 200);
+    points.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) points.push_back(synthetic_point(rng));
+
+    ParetoFront front;
+    for (const DesignPoint& point : points) front.insert(point);
+
+    const std::vector<DesignPoint> expected = reference_front(points);
+    ASSERT_EQ(front.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      expect_identical(front.points()[i], expected[i],
+                       "seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(DsePruneTest, ParetoFrontIsInsertionOrderInvariant) {
+  scl::Rng rng(42);
+  std::vector<DesignPoint> points;
+  for (int i = 0; i < 150; ++i) points.push_back(synthetic_point(rng));
+
+  ParetoFront forward;
+  for (const DesignPoint& point : points) forward.insert(point);
+
+  // A deterministic shuffle (Fisher-Yates with the seeded Rng).
+  std::vector<DesignPoint> shuffled = points;
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i)));
+    std::swap(shuffled[i], shuffled[j]);
+  }
+  ParetoFront backward;
+  for (auto it = shuffled.rbegin(); it != shuffled.rend(); ++it) {
+    backward.insert(*it);
+  }
+
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    expect_identical(forward.points()[i], backward.points()[i], "shuffled");
+  }
+}
+
+}  // namespace
+}  // namespace scl::core

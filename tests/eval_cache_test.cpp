@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <vector>
 
@@ -151,19 +152,109 @@ TEST(EvalCacheTest, ConcurrentFindOrComputeConverges) {
   EXPECT_EQ(cache.hits() + cache.misses(), n);
 }
 
+TEST(EvalCacheTest, TinyCapacitySpillsToOverflowCorrectly) {
+  // A 4-slot table forces most entries through the locked overflow map;
+  // hit/miss semantics and size() must be indistinguishable from the
+  // lock-free fast path.
+  EvalCache cache(4);
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(cache.insert(sample_config(1 + i).key(),
+                             fake_eval(static_cast<double>(i))));
+  }
+  EXPECT_EQ(cache.size(), n);
+  for (int i = 0; i < n; ++i) {
+    CachedEvaluation out;
+    ASSERT_TRUE(cache.lookup(sample_config(1 + i).key(), &out)) << i;
+    EXPECT_EQ(out.prediction.total_cycles, static_cast<double>(i));
+    EXPECT_FALSE(cache.insert(sample_config(1 + i).key(), fake_eval(-1.0)));
+  }
+  EXPECT_EQ(cache.hits(), n);
+}
+
+TEST(EvalCacheTest, ClearBumpsEpochAndSlotsAreReclaimable) {
+  EvalCache cache(8);  // small: clear()+reinsert reclaims stale slots
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      cache.insert(sample_config(1 + i).key(), fake_eval(round * 100.0 + i));
+    }
+    EXPECT_EQ(cache.size(), 20);
+    CachedEvaluation out;
+    ASSERT_TRUE(cache.lookup(sample_config(5).key(), &out));
+    EXPECT_EQ(out.prediction.total_cycles, round * 100.0 + 4);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0);
+    EXPECT_FALSE(cache.lookup(sample_config(5).key(), &out));
+    EXPECT_EQ(cache.misses(), 1);  // counters restarted by clear()
+    cache.clear();
+  }
+}
+
+TEST(EvalCacheTest, ConcurrentInsertersDedupeExactly) {
+  // 8 threads hammer insert() on 16 shared keys: the busy-wait dedupe on
+  // the write path must keep size() exact — one winner per key. TSan
+  // runs this in CI.
+  EvalCache cache;
+  ThreadPool pool(8);
+  std::atomic<int> winners{0};
+  pool.parallel_for(512, [&](std::int64_t i) {
+    const DesignKey key = sample_config(1 + (i % 16)).key();
+    if (cache.insert(key, fake_eval(100.0 + (i % 16)))) {
+      winners.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(cache.size(), 16);
+  EXPECT_EQ(winners.load(), 16);
+  for (int k = 0; k < 16; ++k) {
+    CachedEvaluation out;
+    ASSERT_TRUE(cache.lookup(sample_config(1 + k).key(), &out));
+    EXPECT_EQ(out.prediction.total_cycles, 100.0 + k);
+  }
+}
+
+TEST(EvalCacheTest, ConcurrentReadersSeeConsistentValues) {
+  // Readers race writers on a warm and a cold half of the key set; every
+  // observed hit must carry the full, untorn value. TSan runs this in
+  // CI.
+  EvalCache cache;
+  ThreadPool pool(8);
+  for (int k = 0; k < 8; ++k) {
+    cache.insert(sample_config(1 + k).key(), fake_eval(1000.0 + k));
+  }
+  pool.parallel_for(2048, [&](std::int64_t i) {
+    const int k = static_cast<int>(i % 16);
+    const DesignKey key = sample_config(1 + k).key();
+    CachedEvaluation out;
+    if (cache.lookup(key, &out)) {
+      EXPECT_EQ(out.prediction.total_cycles, 1000.0 + k);
+      EXPECT_EQ(out.resources.total.lut, 2);
+    } else {
+      cache.insert(key, fake_eval(1000.0 + k));
+    }
+  });
+  EXPECT_EQ(cache.size(), 16);
+}
+
 TEST(EvalCacheTest, OptimizerSearchesShareTheCache) {
-  // optimize_baseline() and the Pareto sweep walk the same feasible set:
-  // the second search must be served mostly from cache.
+  // The Pareto sweep walks the full feasible set; a following
+  // optimize_baseline() — pruned or exhaustive — revisits a subset of
+  // those configs and must be served mostly from cache.
   const auto p = scl::stencil::make_jacobi2d(512, 512, 64);
   const Optimizer opt(p, OptimizerOptions{});
-  (void)opt.optimize_baseline();
-  const DseStats after_baseline = opt.dse_stats();
-  EXPECT_GT(after_baseline.candidates_evaluated, 0);
-
   (void)opt.pareto_frontier(DesignKind::kBaseline);
   const DseStats after_pareto = opt.dse_stats();
-  EXPECT_GT(after_pareto.cache_hits, after_baseline.cache_hits);
-  EXPECT_GT(after_pareto.cache_hit_rate(), 0.3);
+  EXPECT_GT(after_pareto.candidates_evaluated, 0);
+
+  (void)opt.optimize_baseline();
+  const DseStats after_baseline = opt.dse_stats();
+  const std::int64_t walked =
+      after_baseline.candidates_evaluated - after_pareto.candidates_evaluated;
+  const std::int64_t hits =
+      after_baseline.cache_hits - after_pareto.cache_hits;
+  EXPECT_GT(walked, 0);
+  // Not 100%: the sweep's chain early exit never priced the over-budget
+  // fusion tails, and a pruned search may still bound-keep a few of them.
+  EXPECT_GT(static_cast<double>(hits), 0.5 * static_cast<double>(walked));
 }
 
 }  // namespace

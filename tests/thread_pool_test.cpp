@@ -255,6 +255,74 @@ TEST(ThreadPoolTest, SubmitAndParallelForInterleave) {
   EXPECT_EQ(submitted_done.load(), 8);
 }
 
+TEST(ThreadPoolTest, ChunkedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::int64_t n = 10001;  // not a multiple of the grain
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n));
+  std::atomic<int> blocks{0};
+  pool.parallel_for_chunked(n, 64, [&](std::int64_t begin, std::int64_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, 64);
+    EXPECT_EQ(begin % 64, 0);
+    blocks.fetch_add(1);
+    for (std::int64_t i = begin; i < end; ++i) {
+      counts[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(blocks.load(), (n + 63) / 64);
+}
+
+TEST(ThreadPoolTest, ChunkedSingleBlockRunsSerially) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for_chunked(50, 64, [&](std::int64_t begin, std::int64_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 50);
+    EXPECT_FALSE(ThreadPool::in_worker());
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ChunkedLowestBeginExceptionWins) {
+  ThreadPool pool(4);
+  std::string what;
+  try {
+    pool.parallel_for_chunked(
+        1024, 32, [](std::int64_t begin, std::int64_t) {
+          if (begin == 32 || begin == 512 || begin == 960) {
+            throw std::runtime_error("boom " + std::to_string(begin));
+          }
+        });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    what = e.what();
+  }
+  EXPECT_EQ(what, "boom 32");
+}
+
+TEST(ThreadPoolTest, ChunkedNestedRunsAsOneSerialBlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_blocks{0};
+  pool.parallel_for(8, [&](std::int64_t) {
+    pool.parallel_for_chunked(256, 16,
+                              [&](std::int64_t begin, std::int64_t end) {
+                                EXPECT_EQ(begin, 0);
+                                EXPECT_EQ(end, 256);
+                                inner_blocks.fetch_add(1);
+                              });
+  });
+  EXPECT_EQ(inner_blocks.load(), 8);
+}
+
+TEST(ThreadPoolTest, ChunkedRejectsBadGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_chunked(10, 0, [](std::int64_t, std::int64_t) {}),
+      Error);
+}
+
 TEST(ThreadPoolTest, ManyIterationsStress) {
   ThreadPool pool(8);
   std::atomic<std::int64_t> sum{0};
