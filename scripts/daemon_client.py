@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Reference Python client for the stencild daemon wire protocol.
+
+One frame = one JSON object on one line over a Unix-domain socket
+(serve/wire.hpp). The client pipelines --repeat copies of one request,
+reads the matching responses in order, prints each response as a JSON
+line on stdout, and applies the --expect-* assertions to every response.
+
+CI's daemon-smoke job is the primary caller:
+
+  daemon_client.py --socket /tmp/stencild.sock --benchmark Jacobi-2D \\
+      --expect-status ok                  # cold synthesis over the wire
+  daemon_client.py --socket /tmp/stencild.sock --benchmark Jacobi-2D \\
+      --expect-status ok --expect-warm    # replay must hit the store
+
+Exit status: 0 all assertions held, 1 an assertion failed, 2 usage or
+connection error.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+def build_request(args, request_id):
+    request = {"id": request_id, "tenant": args.tenant}
+    if args.benchmark:
+        request["benchmark"] = args.benchmark
+    else:
+        with open(args.stencil, encoding="utf-8") as handle:
+            request["stencil_text"] = handle.read()
+    if args.iterations > 0:
+        request["iterations"] = args.iterations
+    if args.priority != 0:
+        request["priority"] = args.priority
+    if args.timeout_ms > 0:
+        request["timeout_ms"] = args.timeout_ms
+    return request
+
+
+def check(response, args):
+    """Returns a list of assertion-failure strings for one response."""
+    failures = []
+    if args.expect_status and response.get("status") != args.expect_status:
+        failures.append(
+            f"expected status {args.expect_status!r}, got "
+            f"{response.get('status')!r} "
+            f"(error: {response.get('error', '')!r})")
+    if args.expect_warm and not response.get("from_cache"):
+        failures.append("expected from_cache=true (a warm store hit)")
+    if args.expect_memory and not response.get("from_memory"):
+        failures.append("expected from_memory=true (a hot-tier hit)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="send requests to a running stencild daemon")
+    parser.add_argument("--socket", required=True,
+                        help="path of the daemon's Unix-domain socket")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark",
+                        help="paper-suite benchmark name (e.g. Jacobi-2D)")
+    source.add_argument("--stencil",
+                        help="path of a .stencil source file to submit")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--iterations", type=int, default=0)
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--timeout-ms", type=int, default=0)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="pipeline N copies of the request (default 1)")
+    parser.add_argument("--recv-timeout", type=float, default=120.0,
+                        help="seconds to wait for each response")
+    parser.add_argument("--expect-status",
+                        help="fail unless every response has this status")
+    parser.add_argument("--expect-warm", action="store_true",
+                        help="fail unless every response was a store hit")
+    parser.add_argument("--expect-memory", action="store_true",
+                        help="fail unless every response hit the hot tier")
+    args = parser.parse_args()
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    try:
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        connection.settimeout(args.recv_timeout)
+        connection.connect(args.socket)
+    except OSError as error:
+        print(f"error: cannot connect to {args.socket}: {error}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    with connection, connection.makefile("rwb") as stream:
+        for request_id in range(1, args.repeat + 1):
+            frame = json.dumps(build_request(args, request_id))
+            stream.write(frame.encode("utf-8") + b"\n")
+        stream.flush()
+        for request_id in range(1, args.repeat + 1):
+            line = stream.readline()
+            if not line:
+                print("error: daemon closed the connection before "
+                      f"response {request_id}", file=sys.stderr)
+                return 1
+            response = json.loads(line)
+            print(json.dumps(response, sort_keys=True))
+            if response.get("id") != request_id:
+                failures.append(
+                    f"response id {response.get('id')} out of order "
+                    f"(expected {request_id})")
+            failures.extend(check(response, args))
+
+    if failures:
+        for failure in failures:
+            print(f"assertion failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,13 @@ threshold (default 25%). Tracked metrics:
                  multi-thread run that silently collapses to serial-level
                  throughput fails even if absolute candidates/sec still
                  clears the ratchet
-  bench=service  key (threads)                metric warm_speedup
+  bench=service  key (threads, mode)          metric warm_speedup
 
 The mode suffix ("", "/warm") distinguishes bench_dse's cold rows (fresh
 eval cache) from warm replays (fully cached); rows without a mode field
-are treated as cold, so pre-refactor baselines keep their keys.
+are treated as cold, so pre-refactor baselines keep their keys. Service
+rows use the suffix the same way: batch rows carry no mode and keep
+their historical key, daemon-over-the-wire rows append "/daemon".
 
 All metrics are higher-is-better; a row counts as a regression when
 
@@ -94,6 +96,11 @@ def keyed_metrics(rows):
                     "speedup_vs_serial", float(speedup), wall)
         elif bench == "service":
             key = f"service/t{row.get('threads')}"
+            # Batch rows predate the daemon split and carry no mode;
+            # their key stays unsuffixed so old baselines gate new runs.
+            mode = row.get("mode")
+            if mode:
+                key = f"{key}/{mode}"
             value = row.get("warm_speedup")
             if value is not None:
                 metrics[key] = ("warm_speedup", float(value), wall)

@@ -1,0 +1,114 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace scl::serve {
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted:
+      return "ok";
+    case AdmissionVerdict::kShed:
+      return "shed";
+    case AdmissionVerdict::kQuotaExceeded:
+      return "quota";
+    case AdmissionVerdict::kRateLimited:
+      return "rate_limited";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         Clock clock)
+    : options_(std::move(options)), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] { return std::chrono::steady_clock::now(); };
+  }
+}
+
+AdmissionController::TenantState& AdmissionController::tenant_locked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantState state;
+    const auto quota_it = options_.tenant_quotas.find(tenant);
+    state.quota = quota_it != options_.tenant_quotas.end()
+                      ? quota_it->second
+                      : options_.default_quota;
+    state.quota.burst = std::max(1.0, state.quota.burst);
+    it = tenants_.emplace(tenant, std::move(state)).first;
+  }
+  return it->second;
+}
+
+AdmissionVerdict AdmissionController::try_admit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.max_queue_depth > 0 && depth_ >= options_.max_queue_depth) {
+    ++totals_.shed;
+    return AdmissionVerdict::kShed;
+  }
+  TenantState& state = tenant_locked(tenant);
+  if (state.quota.max_in_flight > 0 &&
+      state.stats.in_flight >= state.quota.max_in_flight) {
+    ++state.stats.quota_rejected;
+    ++totals_.quota_rejected;
+    return AdmissionVerdict::kQuotaExceeded;
+  }
+  if (state.quota.rate_per_sec > 0.0) {
+    const auto now = clock_();
+    if (!state.bucket_started) {
+      // A fresh bucket starts full: the first burst is free.
+      state.tokens = state.quota.burst;
+      state.bucket_started = true;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - state.last_refill).count();
+      state.tokens = std::min(state.quota.burst,
+                              state.tokens +
+                                  elapsed * state.quota.rate_per_sec);
+    }
+    state.last_refill = now;
+    if (state.tokens < 1.0) {
+      ++state.stats.rate_limited;
+      ++totals_.quota_rejected;
+      return AdmissionVerdict::kRateLimited;
+    }
+    state.tokens -= 1.0;
+  }
+  ++state.stats.admitted;
+  ++state.stats.in_flight;
+  ++totals_.admitted;
+  ++depth_;
+  totals_.max_depth = std::max(totals_.max_depth, depth_);
+  return AdmissionVerdict::kAdmitted;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SCL_CHECK(depth_ > 0, "AdmissionController::release without admit");
+  TenantState& state = tenant_locked(tenant);
+  SCL_CHECK(state.stats.in_flight > 0,
+            "AdmissionController::release for a tenant with nothing "
+            "in flight");
+  --state.stats.in_flight;
+  --depth_;
+}
+
+std::int64_t AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats = totals_;
+  stats.depth = depth_;
+  for (const auto& [tenant, state] : tenants_) {
+    stats.tenants[tenant] = state.stats;
+  }
+  return stats;
+}
+
+}  // namespace scl::serve

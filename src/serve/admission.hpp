@@ -1,0 +1,122 @@
+// Multi-tenant admission control: per-tenant quotas, token-bucket rate
+// limiting, and bounded backpressure for the stencild daemon.
+//
+// Every ingested request passes through try_admit(tenant) before it may
+// touch the scheduler. The decision ladder, in order:
+//
+//   1. global backpressure — when admitted-but-unfinished work is at
+//      max_queue_depth the request is SHED. The daemon first calls
+//      Scheduler::shed_expired() so over-deadline work already doomed to
+//      time out is shed *before* fresh work is rejected (see
+//      daemon.cpp); only if that frees nothing does the newcomer bounce.
+//   2. per-tenant concurrency quota — a tenant with max_in_flight
+//      admitted-but-unfinished requests gets QUOTA_EXCEEDED; other
+//      tenants are unaffected (the isolation property).
+//   3. per-tenant token bucket — each admit spends one token; tokens
+//      refill continuously at rate_per_sec up to burst. An empty bucket
+//      yields RATE_LIMITED.
+//
+// An admitted request holds one global slot and one tenant slot until
+// release(tenant) — the daemon releases after the response is written,
+// so the depth bound covers the full ingest-to-respond pipeline, not
+// just scheduler residency.
+//
+// Time is injected: the controller reads its clock through a
+// std::function, so the latch-driven tests refill buckets by moving a
+// fake clock instead of sleeping. All public methods are thread-safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace scl::serve {
+
+struct TenantQuota {
+  /// Admitted-but-unfinished requests one tenant may hold; <= 0 means
+  /// unlimited.
+  int max_in_flight = 64;
+  /// Token refill rate; <= 0 disables rate limiting for the tenant.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity in tokens (the permitted burst size); >= 1.
+  double burst = 8.0;
+};
+
+struct AdmissionOptions {
+  /// Global bound on admitted-but-unfinished requests; <= 0 = unbounded.
+  std::int64_t max_queue_depth = 256;
+  /// Quota applied to tenants without an explicit entry below.
+  TenantQuota default_quota;
+  /// Per-tenant overrides, keyed by tenant id.
+  std::map<std::string, TenantQuota> tenant_quotas;
+};
+
+enum class AdmissionVerdict {
+  kAdmitted,
+  kShed,           ///< global queue bound reached
+  kQuotaExceeded,  ///< tenant concurrency quota reached
+  kRateLimited,    ///< tenant token bucket empty
+};
+
+/// Wire/status spelling of a verdict ("ok", "shed", "quota",
+/// "rate_limited").
+const char* to_string(AdmissionVerdict verdict);
+
+struct TenantAdmissionStats {
+  std::int64_t admitted = 0;
+  std::int64_t quota_rejected = 0;  ///< concurrency quota bounces
+  std::int64_t rate_limited = 0;    ///< token-bucket bounces
+  std::int64_t in_flight = 0;       ///< currently admitted, not released
+};
+
+struct AdmissionStats {
+  std::int64_t admitted = 0;
+  std::int64_t shed = 0;
+  std::int64_t quota_rejected = 0;  ///< quota + rate-limit bounces
+  std::int64_t depth = 0;           ///< current global in-flight
+  std::int64_t max_depth = 0;       ///< high-water mark
+  std::map<std::string, TenantAdmissionStats> tenants;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// `clock` defaults to steady_clock::now; tests inject a fake.
+  explicit AdmissionController(AdmissionOptions options, Clock clock = {});
+
+  /// Runs the decision ladder for one request. kAdmitted takes one
+  /// global and one tenant slot; every other verdict takes nothing.
+  AdmissionVerdict try_admit(const std::string& tenant);
+
+  /// Returns the slots taken by a prior kAdmitted. Call exactly once per
+  /// admitted request, after its response is written.
+  void release(const std::string& tenant);
+
+  std::int64_t depth() const;
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill{};
+    bool bucket_started = false;
+    TenantAdmissionStats stats;
+  };
+
+  TenantState& tenant_locked(const std::string& tenant);
+
+  AdmissionOptions options_;
+  Clock clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantState> tenants_;
+  std::int64_t depth_ = 0;
+  AdmissionStats totals_;
+};
+
+}  // namespace scl::serve

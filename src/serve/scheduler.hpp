@@ -34,6 +34,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/observability/observability.hpp"
@@ -48,6 +49,7 @@ struct SchedulerStats {
   std::int64_t completed = 0;  ///< work functions that returned a value
   std::int64_t failed = 0;     ///< work functions that threw
   std::int64_t timed_out = 0;  ///< requests expired while queued
+  std::int64_t shed = 0;       ///< requests removed by shed_expired()
   std::int64_t max_queue_depth = 0;
 };
 
@@ -114,6 +116,48 @@ class Scheduler {
     lock.unlock();
     work_cv_.notify_one();
     return {request->future, false};
+  }
+
+  /// Load shedding: removes every *queued* request whose deadline has
+  /// already passed and fails its future with scl::Error immediately,
+  /// instead of letting it occupy a pump slot later only to expire there.
+  /// Running work is never touched. Returns the number of requests shed;
+  /// coalesced waiters ride the same future and observe the same error.
+  /// The admission layer calls this when the queue is over its bound, so
+  /// over-deadline work is shed before fresh work is rejected.
+  std::size_t shed_expired() {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<RequestPtr> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if ((*it)->has_deadline && now > (*it)->deadline) {
+          doomed.push_back(*it);
+          if (!(*it)->key.empty()) inflight_.erase((*it)->key);
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      stats_.shed += static_cast<std::int64_t>(doomed.size());
+      if (!doomed.empty() && pending_.empty() && running_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+    // Promises are fulfilled outside the lock: a waiter's continuation
+    // may immediately resubmit, which takes mutex_ again.
+    for (const RequestPtr& request : doomed) {
+      request->promise.set_exception(std::make_exception_ptr(Error(
+          "request '" + request->key + "' shed: over deadline in queue")));
+    }
+    return doomed.size();
+  }
+
+  /// Queued + running requests right now (the admission layer's
+  /// backpressure signal).
+  std::int64_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(pending_.size()) + running_;
   }
 
   /// Blocks until every accepted request has completed (or expired).

@@ -67,6 +67,9 @@ struct SynthesisArtifact {
   /// Transient: set by the service when this instance was loaded from
   /// the artifact store rather than freshly synthesized. Not serialized.
   bool served_from_store = false;
+  /// Transient: the store load was a memory-tier hit (implies
+  /// served_from_store). Not serialized.
+  bool served_from_memory = false;
 };
 
 // Component writers/parsers, exposed for targeted round-trip tests. The

@@ -8,21 +8,27 @@ namespace scl::serve {
 
 std::string ServiceStats::to_string() const {
   return str_cat(
-      "service: ", requests, " request(s), ", store_hits, " store hit(s), ",
+      "service: ", requests, " request(s), ", store_hits, " store hit(s) (",
+      store_memory_hits, " memory, ", store_disk_hits, " disk), ",
       store_misses, " miss(es), ", coalesced, " coalesced, ", synthesized,
       " synthesized, ", failures, " failure(s)\n", "store: ", store_entries,
       " artifact(s), ", format_thousands(store_bytes), " bytes, ", evictions,
-      " eviction(s), ", corrupt_recovered,
-      " corrupt artifact(s) recovered\n", "latency: p50 ",
+      " eviction(s), ", store_demotions, " demotion(s), ",
+      corrupt_recovered, " corrupt artifact(s) recovered\n", "latency: p50 ",
       format_fixed(latency_p50_ms, 2), " ms, p95 ",
       format_fixed(latency_p95_ms, 2), " ms\n");
 }
 
 SynthesisService::SynthesisService(ServiceOptions options)
     : options_(std::move(options)) {
-  if (!options_.store_dir.empty()) {
-    store_ = std::make_unique<ArtifactStore>(ArtifactStoreOptions{
-        options_.store_dir, options_.store_capacity_bytes});
+  if (!options_.store_shards.empty() || !options_.store_dir.empty()) {
+    TieredStoreOptions tiered;
+    tiered.shard_roots = options_.store_shards.empty()
+                             ? std::vector<std::string>{options_.store_dir}
+                             : options_.store_shards;
+    tiered.disk_capacity_bytes = options_.store_capacity_bytes;
+    tiered.memory_capacity_bytes = options_.memory_cache_bytes;
+    store_ = std::make_unique<TieredArtifactStore>(std::move(tiered));
   }
   scheduler_ = std::make_unique<
       Scheduler<std::shared_ptr<const SynthesisArtifact>>>(
@@ -79,6 +85,7 @@ JobResult SynthesisService::wait(const PendingJob& job) {
     result.artifact = job.future.get();
     result.ok = true;
     result.from_cache = result.artifact->served_from_store;
+    result.from_memory = result.artifact->served_from_memory;
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();
@@ -108,16 +115,27 @@ std::vector<JobResult> SynthesisService::run_batch(
 
 void SynthesisService::drain() { scheduler_->drain(); }
 
+std::size_t SynthesisService::shed_expired() {
+  return scheduler_->shed_expired();
+}
+
+std::int64_t SynthesisService::queue_depth() const {
+  return scheduler_->depth();
+}
+
 std::shared_ptr<const SynthesisArtifact> SynthesisService::perform(
     const std::string& key,
     const std::shared_ptr<const stencil::StencilProgram>& program) {
   if (store_ != nullptr && !key.empty()) {
-    if (std::optional<std::string> payload = store_->load(key)) {
+    bool from_memory = false;
+    if (std::optional<std::string> payload =
+            store_->load(key, &from_memory)) {
       try {
         auto artifact = std::make_shared<SynthesisArtifact>(
             parse_artifact(*payload));
         if (artifact->key == key) {
           artifact->served_from_store = true;
+          artifact->served_from_memory = from_memory;
           return artifact;
         }
         SCL_INFO() << "artifact " << key
@@ -149,8 +167,11 @@ ServiceStats SynthesisService::stats() const {
   stats.failures = failures_->value();
   stats.coalesced = sched.coalesced;
   if (store_ != nullptr) {
-    const ArtifactStoreStats store = store_->stats();
-    stats.store_hits = store.hits;
+    const TieredStoreStats store = store_->stats();
+    stats.store_hits = store.hits();
+    stats.store_memory_hits = store.memory_hits;
+    stats.store_disk_hits = store.disk_hits;
+    stats.store_demotions = store.demotions;
     stats.store_misses = store.misses;
     stats.evictions = store.evictions;
     stats.corrupt_recovered = store.corrupt_dropped;
@@ -179,10 +200,18 @@ std::string SynthesisService::render_metrics_exposition() const {
          static_cast<double>(sched.max_queue_depth));
   mirror("scl_serve_timed_out", "requests expired while queued",
          static_cast<double>(sched.timed_out));
+  mirror("scl_serve_scheduler_shed", "queued requests shed past deadline",
+         static_cast<double>(sched.shed));
   if (store_ != nullptr) {
-    const ArtifactStoreStats store = store_->stats();
-    mirror("scl_serve_store_hits", "artifact store lookup hits",
-           static_cast<double>(store.hits));
+    const TieredStoreStats store = store_->stats();
+    mirror("scl_serve_store_hits", "artifact store lookup hits (all tiers)",
+           static_cast<double>(store.hits()));
+    mirror("scl_serve_store_memory_hits", "hot in-memory tier hits",
+           static_cast<double>(store.memory_hits));
+    mirror("scl_serve_store_disk_hits", "disk shard hits (promotions)",
+           static_cast<double>(store.disk_hits));
+    mirror("scl_serve_store_demotions", "memory-tier LRU evictions",
+           static_cast<double>(store.demotions));
     mirror("scl_serve_store_misses", "artifact store lookup misses",
            static_cast<double>(store.misses));
     mirror("scl_serve_store_evictions", "artifacts evicted by the LRU cap",
@@ -201,6 +230,9 @@ std::string SynthesisService::render_stats_json() const {
   json.begin_object();
   json.member("requests", s.requests);
   json.member("store_hits", s.store_hits);
+  json.member("store_memory_hits", s.store_memory_hits);
+  json.member("store_disk_hits", s.store_disk_hits);
+  json.member("store_demotions", s.store_demotions);
   json.member("store_misses", s.store_misses);
   json.member("coalesced", s.coalesced);
   json.member("synthesized", s.synthesized);

@@ -4,8 +4,9 @@
 //
 //   canonicalize program  ->  content address (serve/serialize.hpp)
 //     -> coalescing scheduler (serve/scheduler.hpp)
-//       -> artifact-store lookup (serve/artifact_store.hpp)
-//         -> hit:  parse artifact, respond warm
+//       -> tiered store lookup (serve/tiered_store.hpp: memory LRU, then
+//          the key's consistent-hash disk shard)
+//         -> hit:  parse artifact, respond warm (memory hits skip disk)
 //         -> miss: Framework::synthesize + verify, persist, respond cold
 //
 // Programs without a canonical `.stencil` round-trip (hand-written
@@ -37,9 +38,9 @@
 #include <vector>
 
 #include "core/framework.hpp"
-#include "serve/artifact_store.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/serialize.hpp"
+#include "serve/tiered_store.hpp"
 #include "stencil/program.hpp"
 #include "support/observability/metrics.hpp"
 
@@ -47,9 +48,16 @@ namespace scl::serve {
 
 struct ServiceOptions {
   /// Artifact-store root; empty disables persistence (every job is a
-  /// cold synthesis, coalescing still applies).
+  /// cold synthesis, coalescing still applies). Ignored when
+  /// store_shards is non-empty.
   std::string store_dir;
   std::int64_t store_capacity_bytes = 256ll * 1024 * 1024;
+  /// Explicit disk shard roots for the tiered store; when empty, a
+  /// single shard at store_dir is used.
+  std::vector<std::string> store_shards;
+  /// Byte bound of the hot in-memory artifact tier; <= 0 disables it
+  /// (every warm hit re-reads and re-validates its disk shard).
+  std::int64_t memory_cache_bytes = 64ll * 1024 * 1024;
   /// Concurrent synthesis workers; <= 0 resolves via SCL_THREADS /
   /// hardware concurrency.
   int threads = 0;
@@ -73,8 +81,9 @@ struct JobResult {
   std::string name;
   std::string key;  ///< empty for uncacheable programs
   bool ok = false;
-  bool from_cache = false;  ///< served from the artifact store
-  bool coalesced = false;   ///< rode an identical in-flight request
+  bool from_cache = false;   ///< served from the artifact store (any tier)
+  bool from_memory = false;  ///< served from the hot in-memory tier
+  bool coalesced = false;    ///< rode an identical in-flight request
   std::string error;        ///< set when !ok
   std::shared_ptr<const SynthesisArtifact> artifact;  ///< set when ok
   double latency_ms = 0.0;  ///< submit-to-completion turnaround
@@ -82,7 +91,10 @@ struct JobResult {
 
 struct ServiceStats {
   std::int64_t requests = 0;
-  std::int64_t store_hits = 0;
+  std::int64_t store_hits = 0;         ///< memory + disk tier hits
+  std::int64_t store_memory_hits = 0;  ///< hot in-memory tier hits
+  std::int64_t store_disk_hits = 0;    ///< disk shard hits (promotions)
+  std::int64_t store_demotions = 0;    ///< memory-tier LRU evictions
   std::int64_t store_misses = 0;
   std::int64_t coalesced = 0;
   std::int64_t synthesized = 0;  ///< cold Framework::synthesize runs
@@ -125,6 +137,13 @@ class SynthesisService {
   /// Blocks until every accepted job completed.
   void drain();
 
+  /// Load shedding passthrough: fails every *queued* job whose deadline
+  /// already passed (their futures throw). Returns how many were shed.
+  std::size_t shed_expired();
+
+  /// Queued + running jobs right now (the daemon's backpressure signal).
+  std::int64_t queue_depth() const;
+
   ServiceStats stats() const;
   std::string render_stats_json() const;
 
@@ -136,8 +155,11 @@ class SynthesisService {
   /// This instance's metric registry (always enabled).
   support::obs::MetricsRegistry& metrics() const { return metrics_; }
 
-  /// The backing store; nullptr when persistence is disabled.
-  const ArtifactStore* store() const { return store_.get(); }
+  /// The backing tiered store; nullptr when persistence is disabled.
+  const TieredArtifactStore* store() const { return store_.get(); }
+
+  /// Scheduler ground truth (coalescing, queue, shed counts).
+  SchedulerStats scheduler_stats() const { return scheduler_->stats(); }
 
  private:
   std::shared_ptr<const SynthesisArtifact> perform(
@@ -145,7 +167,7 @@ class SynthesisService {
       const std::shared_ptr<const stencil::StencilProgram>& program);
 
   ServiceOptions options_;
-  std::unique_ptr<ArtifactStore> store_;
+  std::unique_ptr<TieredArtifactStore> store_;
   std::unique_ptr<Scheduler<std::shared_ptr<const SynthesisArtifact>>>
       scheduler_;
 

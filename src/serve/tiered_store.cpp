@@ -1,0 +1,160 @@
+#include "serve/tiered_store.hpp"
+
+#include <algorithm>
+
+#include "serve/serialize.hpp"
+#include "support/error.hpp"
+
+namespace scl::serve {
+
+namespace {
+
+/// Ring positions need full 64-bit dispersion, and fnv1a64 alone cannot
+/// give it here: virtual-node names share a long root prefix and differ
+/// only in a short "#v" suffix, which leaves each shard's 64 points
+/// clustered in a couple of arcs (measured: a 4-shard ring where one
+/// shard owned 74% of the keyspace and a new shard captured 0 keys). A
+/// splitmix64-style finalizer restores avalanche.
+std::uint64_t ring_hash(std::string_view data) {
+  std::uint64_t z = fnv1a64(data);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TieredArtifactStore::TieredArtifactStore(TieredStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.shard_roots.empty()) {
+    throw Error("TieredArtifactStore: needs at least one shard root");
+  }
+  shards_.reserve(options_.shard_roots.size());
+  for (std::size_t s = 0; s < options_.shard_roots.size(); ++s) {
+    shards_.push_back(std::make_unique<ArtifactStore>(ArtifactStoreOptions{
+        options_.shard_roots[s], options_.disk_capacity_bytes}));
+    // Ring points hash the root *name*, not the index, so a shard keeps
+    // its keyspace slice when the roots list is reordered.
+    for (int v = 0; v < kVirtualNodes; ++v) {
+      const std::uint64_t point = ring_hash(
+          options_.shard_roots[s] + "#" + std::to_string(v));
+      ring_.emplace_back(point, s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t TieredArtifactStore::shard_for(const std::string& key) const {
+  const std::uint64_t point = ring_hash(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& node, std::uint64_t p) { return node.first < p; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+void TieredArtifactStore::cache_locked(const std::string& key,
+                                       const std::string& payload) {
+  if (options_.memory_capacity_bytes <= 0) return;
+  const auto bytes = static_cast<std::int64_t>(key.size() + payload.size());
+  if (bytes > options_.memory_capacity_bytes) return;  // would evict all
+  if (const auto it = index_.find(key); it != index_.end()) {
+    memory_bytes_ -= static_cast<std::int64_t>(
+        it->second->key.size() + it->second->payload.size());
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(MemoryEntry{key, payload});
+  index_[key] = lru_.begin();
+  memory_bytes_ += bytes;
+  while (memory_bytes_ > options_.memory_capacity_bytes) {
+    const MemoryEntry& victim = lru_.back();
+    memory_bytes_ -= static_cast<std::int64_t>(victim.key.size() +
+                                               victim.payload.size());
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.demotions;
+  }
+}
+
+std::optional<std::string> TieredArtifactStore::load(const std::string& key,
+                                                     bool* from_memory) {
+  if (from_memory != nullptr) *from_memory = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      ++stats_.memory_hits;
+      if (from_memory != nullptr) *from_memory = true;
+      return it->second->payload;
+    }
+  }
+  // Disk I/O happens outside the memory lock so loads on different
+  // shards overlap.
+  std::optional<std::string> payload = shards_[shard_for(key)]->load(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!payload) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.disk_hits;
+  ++stats_.promotions;
+  cache_locked(key, *payload);
+  return payload;
+}
+
+void TieredArtifactStore::store(const std::string& key,
+                                const std::string& payload) {
+  // Durability before visibility: the shard write lands first, so a
+  // memory entry always has a disk backing to demote onto.
+  shards_[shard_for(key)]->store(key, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  cache_locked(key, payload);
+}
+
+bool TieredArtifactStore::contains(const std::string& key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key) != 0) return true;
+  }
+  return shards_[shard_for(key)]->contains(key);
+}
+
+std::size_t TieredArtifactStore::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+std::int64_t TieredArtifactStore::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_bytes_;
+}
+
+std::int64_t TieredArtifactStore::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_bytes();
+  return total;
+}
+
+std::size_t TieredArtifactStore::entry_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->entry_count();
+  return total;
+}
+
+TieredStoreStats TieredArtifactStore::stats() const {
+  TieredStoreStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = stats_;
+  }
+  for (const auto& shard : shards_) {
+    const ArtifactStoreStats disk = shard->stats();
+    stats.evictions += disk.evictions;
+    stats.corrupt_dropped += disk.corrupt_dropped;
+  }
+  return stats;
+}
+
+}  // namespace scl::serve

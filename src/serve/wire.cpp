@@ -1,0 +1,233 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace scl::serve {
+
+namespace {
+
+using support::JsonStyle;
+using support::JsonValue;
+using support::JsonWriter;
+
+}  // namespace
+
+std::string serialize_request(const WireRequest& request) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_object();
+  json.member("v", kWireVersion);
+  json.member("id", request.id);
+  json.member("tenant", request.tenant);
+  if (!request.benchmark.empty()) json.member("benchmark", request.benchmark);
+  if (!request.stencil_text.empty()) {
+    json.member("stencil_text", request.stencil_text);
+  }
+  if (request.grid_dims > 0) {
+    json.key("grid").begin_array();
+    for (int d = 0; d < request.grid_dims; ++d) json.value(request.grid[d]);
+    json.end_array();
+  }
+  if (request.iterations > 0) json.member("iterations", request.iterations);
+  if (request.priority != 0) json.member("priority", request.priority);
+  if (request.timeout_ms > 0) json.member("timeout_ms", request.timeout_ms);
+  json.end_object();
+  return json.take();
+}
+
+WireRequest parse_request(const std::string& frame) {
+  const JsonValue v = JsonValue::parse(frame);
+  if (!v.is_object()) throw Error("wire request: frame must be an object");
+  const std::int64_t version = v.get_int64("v", kWireVersion);
+  if (version != kWireVersion) {
+    throw Error(str_cat("wire request: unsupported protocol version ",
+                        version));
+  }
+  WireRequest request;
+  request.id = v.get_int64("id", 0);
+  request.tenant = v.get_string("tenant", "default");
+  if (request.tenant.empty()) {
+    throw Error("wire request: tenant must be non-empty");
+  }
+  request.benchmark = v.get_string("benchmark", "");
+  request.stencil_text = v.get_string("stencil_text", "");
+  if (request.benchmark.empty() == request.stencil_text.empty()) {
+    throw Error(
+        "wire request: need exactly one of \"benchmark\" or "
+        "\"stencil_text\"");
+  }
+  if (const JsonValue* grid = v.find("grid")) {
+    if (!grid->is_array() || grid->size() == 0 || grid->size() > 3) {
+      throw Error("wire request: \"grid\" needs 1..3 extents");
+    }
+    request.grid = {1, 1, 1};
+    request.grid_dims = static_cast<int>(grid->size());
+    for (std::size_t d = 0; d < grid->size(); ++d) {
+      const std::int64_t extent = (*grid)[d].as_int64();
+      if (extent <= 0) throw Error("wire request: grid extents must be > 0");
+      request.grid[d] = extent;
+    }
+  }
+  request.iterations = v.get_int64("iterations", 0);
+  if (request.iterations < 0) {
+    throw Error("wire request: iterations must be >= 0");
+  }
+  request.priority = static_cast<int>(v.get_int64("priority", 0));
+  request.timeout_ms = v.get_int64("timeout_ms", 0);
+  if (request.timeout_ms < 0) {
+    throw Error("wire request: timeout_ms must be >= 0");
+  }
+  return request;
+}
+
+std::string serialize_response(const WireResponse& response) {
+  JsonWriter json(JsonStyle::kCompact);
+  json.begin_object();
+  json.member("v", kWireVersion);
+  json.member("id", response.id);
+  json.member("status", response.status);
+  if (!response.error.empty()) json.member("error", response.error);
+  if (!response.key.empty()) json.member("key", response.key);
+  if (!response.name.empty()) json.member("name", response.name);
+  if (response.ok()) {
+    json.member("from_cache", response.from_cache);
+    json.member("from_memory", response.from_memory);
+    json.member("coalesced", response.coalesced);
+    json.member("speedup", response.speedup);
+    json.member("latency_ms", response.latency_ms);
+  }
+  json.end_object();
+  return json.take();
+}
+
+WireResponse parse_response(const std::string& frame) {
+  const JsonValue v = JsonValue::parse(frame);
+  if (!v.is_object()) throw Error("wire response: frame must be an object");
+  WireResponse response;
+  response.id = v.get_int64("id", 0);
+  response.status = v.get_string("status", "");
+  if (response.status.empty()) {
+    throw Error("wire response: missing \"status\"");
+  }
+  response.error = v.get_string("error", "");
+  response.key = v.get_string("key", "");
+  response.name = v.get_string("name", "");
+  response.from_cache = v.get_bool("from_cache", false);
+  response.from_memory = v.get_bool("from_memory", false);
+  response.coalesced = v.get_bool("coalesced", false);
+  response.speedup = v.get_double("speedup", 0.0);
+  response.latency_ms = v.get_double("latency_ms", 0.0);
+  return response;
+}
+
+FrameReader::FrameReader(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameReader::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+std::optional<std::string> FrameReader::next() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (discarding_) {
+      if (newline == std::string::npos) {
+        buffer_.clear();  // still inside the over-long frame
+        return std::nullopt;
+      }
+      buffer_.erase(0, newline + 1);
+      discarding_ = false;
+      continue;
+    }
+    if (newline == std::string::npos) {
+      if (buffer_.size() > max_frame_bytes_) {
+        // Report once, then swallow the rest of the frame.
+        buffer_.clear();
+        discarding_ = true;
+        throw Error(str_cat("wire frame exceeds ", max_frame_bytes_,
+                            " bytes"));
+      }
+      return std::nullopt;
+    }
+    if (newline > max_frame_bytes_) {
+      buffer_.erase(0, newline + 1);
+      throw Error(str_cat("wire frame exceeds ", max_frame_bytes_,
+                          " bytes"));
+    }
+    std::string frame = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    // Tolerate blank keep-alive lines and trailing \r from chatty
+    // clients.
+    while (!frame.empty() && (frame.back() == '\r' || frame.back() == ' ')) {
+      frame.pop_back();
+    }
+    if (frame.empty()) continue;
+    return frame;
+  }
+}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::connect(const std::string& socket_path) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("WireClient: cannot create socket");
+  sockaddr_un address = {};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    close();
+    throw Error("WireClient: socket path too long: " + socket_path);
+  }
+  std::memcpy(address.sun_path, socket_path.c_str(),
+              socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    close();
+    throw Error("WireClient: cannot connect to " + socket_path);
+  }
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WireClient::send(const WireRequest& request) {
+  send_raw(serialize_request(request) + "\n");
+}
+
+void WireClient::send_raw(std::string_view bytes) {
+  SCL_CHECK(fd_ >= 0, "WireClient: send before connect");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) throw Error("WireClient: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+WireResponse WireClient::recv() {
+  SCL_CHECK(fd_ >= 0, "WireClient: recv before connect");
+  while (true) {
+    if (std::optional<std::string> frame = reader_.next()) {
+      return parse_response(*frame);
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) throw Error("WireClient: recv failed");
+    if (n == 0) {
+      throw Error("WireClient: connection closed by the daemon");
+    }
+    reader_.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace scl::serve

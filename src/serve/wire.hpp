@@ -1,0 +1,145 @@
+// stencild wire protocol: newline-delimited JSON frames over a stream.
+//
+// One frame = one JSON object on one line, terminated by '\n'. A client
+// writes request frames; the daemon answers each with exactly one
+// response frame carrying the request's `id` (responses per connection
+// come back in request order, so pipelining N requests is safe). The
+// framing and the JSON layer are intentionally boring — the same
+// support/json reader/writer every other document in the framework uses.
+//
+// Request frame:
+//   {"id":1,"tenant":"team-a","benchmark":"Jacobi-2D",
+//    "grid":[64,64],"iterations":8,"priority":2,"timeout_ms":5000}
+// or  {"id":2,"stencil_text":"stencil jacobi1d { ... }"}
+//
+// Response frame:
+//   {"id":1,"status":"ok","key":"<32 hex>","name":"Jacobi-2D",
+//    "from_cache":true,"from_memory":true,"coalesced":false,
+//    "speedup":1.62,"latency_ms":0.41}
+// or  {"id":1,"status":"shed","error":"queue full"}
+//
+// `status` is "ok", or one of the admission bounces ("shed", "quota",
+// "rate_limited"), or "error" (synthesis failure / malformed request).
+// A malformed frame that carries no parseable id is answered with
+// id = 0. The protocol never drops a frame silently and never kills the
+// connection for a bad frame — only for an over-long one after the
+// error response is written.
+//
+// FrameReader is the incremental decoder: it accepts arbitrary byte
+// chunks (partial frames, many frames at once) and yields complete
+// frames. A frame that exceeds max_frame_bytes before its newline
+// arrives throws on next(); the reader then discards bytes until the
+// next newline, so the caller can answer with a structured error and
+// keep the connection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scl::serve {
+
+inline constexpr int kWireVersion = 1;
+/// Upper bound on one frame's bytes (id + program text dominate; 4 MiB
+/// comfortably fits any bundled stencil while bounding a hostile
+/// client's memory).
+inline constexpr std::size_t kMaxFrameBytes = 4u * 1024 * 1024;
+
+struct WireRequest {
+  std::int64_t id = 0;
+  std::string tenant = "default";
+  /// Exactly one of `benchmark` (a paper-suite name) or `stencil_text`
+  /// (inline `.stencil` source) must be set.
+  std::string benchmark;
+  std::string stencil_text;
+  /// Grid override for benchmark requests; used when dims > 0.
+  std::array<std::int64_t, 3> grid = {0, 0, 0};
+  int grid_dims = 0;
+  std::int64_t iterations = 0;  ///< 0 = benchmark default
+  int priority = 0;
+  std::int64_t timeout_ms = 0;  ///< queue deadline; 0 = none
+};
+
+struct WireResponse {
+  std::int64_t id = 0;
+  std::string status;  ///< "ok" | "error" | "shed" | "quota" | "rate_limited"
+  std::string error;   ///< set when status != "ok"
+  std::string key;     ///< content address; empty when uncacheable
+  std::string name;
+  bool from_cache = false;   ///< served from the artifact store (any tier)
+  bool from_memory = false;  ///< served from the in-memory tier
+  bool coalesced = false;
+  double speedup = 0.0;
+  double latency_ms = 0.0;
+
+  bool ok() const { return status == "ok"; }
+};
+
+/// One-line JSON frame (no trailing '\n').
+std::string serialize_request(const WireRequest& request);
+std::string serialize_response(const WireResponse& response);
+
+/// Throw scl::Error on malformed JSON, a missing discriminator, or
+/// out-of-range fields.
+WireRequest parse_request(const std::string& frame);
+WireResponse parse_response(const std::string& frame);
+
+/// Incremental newline-delimited frame decoder. Not thread-safe (one
+/// reader per connection).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kMaxFrameBytes);
+
+  /// Appends raw bytes from the stream (any chunking, including one byte
+  /// at a time or several frames at once).
+  void feed(std::string_view bytes);
+
+  /// Returns the next complete frame without its '\n' (empty frames are
+  /// skipped), or nullopt when no full frame is buffered. Throws
+  /// scl::Error once per over-long frame; the offending bytes are
+  /// discarded through the frame's eventual newline and subsequent
+  /// frames decode normally.
+  std::optional<std::string> next();
+
+  /// Bytes buffered toward the next frame (diagnostic).
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an over-long frame
+};
+
+/// Minimal blocking client over a Unix-domain socket; used by the bench
+/// harness, the daemon tests and as the reference for writing clients in
+/// other languages. Not thread-safe.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to the daemon's socket. Throws scl::Error on failure.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request frame.
+  void send(const WireRequest& request);
+  /// Sends raw bytes verbatim (malformed-frame tests).
+  void send_raw(std::string_view bytes);
+
+  /// Blocks for the next response frame. Throws scl::Error when the
+  /// daemon closes the connection first.
+  WireResponse recv();
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace scl::serve

@@ -1,0 +1,71 @@
+#include "support/shutdown.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace scl::support {
+
+ShutdownLatch::ShutdownLatch() {
+  if (::pipe(pipe_fds_) != 0) {
+    throw Error("ShutdownLatch: cannot create self-pipe");
+  }
+  for (const int fd : pipe_fds_) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+}
+
+ShutdownLatch::~ShutdownLatch() {
+  for (const int fd : pipe_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void ShutdownLatch::trigger() noexcept {
+  // exchange() makes the wake-byte write one-shot: repeated signals can
+  // never fill the (non-blocking) pipe, and the write side stays
+  // readable until reset() drains it.
+  if (triggered_.exchange(true, std::memory_order_acq_rel)) return;
+  const char byte = 1;
+  // The return value is deliberately unused: on the impossible full-pipe
+  // path the atomic flag already carries the state.
+  [[maybe_unused]] const auto n = ::write(pipe_fds_[1], &byte, 1);
+}
+
+void ShutdownLatch::reset() noexcept {
+  char drain[16];
+  while (::read(pipe_fds_[0], drain, sizeof drain) > 0) {
+  }
+  triggered_.store(false, std::memory_order_release);
+}
+
+ShutdownLatch& ShutdownLatch::instance() {
+  // Leaked on purpose: signal handlers may fire during static
+  // destruction and must still find a live latch.
+  static ShutdownLatch* latch = new ShutdownLatch();
+  return *latch;
+}
+
+namespace {
+extern "C" void scl_shutdown_signal_handler(int) {
+  ShutdownLatch::instance().trigger();
+}
+}  // namespace
+
+void ShutdownLatch::install(std::initializer_list<int> signals) {
+  instance();  // force construction outside any handler
+  struct sigaction action = {};
+  action.sa_handler = scl_shutdown_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  for (const int signo : signals) {
+    ::sigaction(signo, &action, nullptr);
+  }
+  // Broken-pipe writes (a client that hung up mid-drain) must surface as
+  // EPIPE on the write call, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace scl::support

@@ -1,0 +1,67 @@
+// Signal-safe shutdown latch for long-running servers.
+//
+// A ShutdownLatch is a one-way flag that can be tripped from a POSIX
+// signal handler: trigger() performs only async-signal-safe work (an
+// atomic store and a write() to a self-pipe), so it is legal to call from
+// a SIGTERM/SIGINT handler while the rest of the process is mid-malloc.
+// Consumers have two ways to observe the trip:
+//
+//   * triggered()  — one relaxed atomic load, for polling loops;
+//   * fd()         — the read end of the self-pipe, for poll()/select()
+//                    loops that block on sockets (the daemon's accept and
+//                    connection loops poll this fd alongside their own).
+//
+// install() wires process signal handlers to the singleton instance();
+// tests trip the latch directly with trigger() (or raise()) and rewind it
+// with reset() between cases. The latch never blocks and never allocates
+// after construction.
+#pragma once
+
+#include <atomic>
+#include <initializer_list>
+
+namespace scl::support {
+
+class ShutdownLatch {
+ public:
+  /// Creates the self-pipe. Throws scl::Error when the pipe cannot be
+  /// created (fd exhaustion).
+  ShutdownLatch();
+  ~ShutdownLatch();
+
+  ShutdownLatch(const ShutdownLatch&) = delete;
+  ShutdownLatch& operator=(const ShutdownLatch&) = delete;
+
+  /// Trips the latch. Async-signal-safe; idempotent (only the first call
+  /// writes the wake byte, so the pipe can never fill).
+  void trigger() noexcept;
+
+  /// True once trigger() ran. One relaxed load.
+  bool triggered() const noexcept {
+    return triggered_.load(std::memory_order_acquire);
+  }
+
+  /// Read end of the self-pipe: becomes readable when the latch trips.
+  /// Poll it; do not read from it (reset() owns draining).
+  int fd() const noexcept { return pipe_fds_[0]; }
+
+  /// Rewinds the latch for reuse (tests, sequential daemon runs in one
+  /// process). Not signal-safe; callers serialize against trigger().
+  void reset() noexcept;
+
+  /// Process-wide instance used by installed signal handlers. Created on
+  /// first use and intentionally leaked, so handlers stay valid during
+  /// static destruction.
+  static ShutdownLatch& instance();
+
+  /// Installs handlers for `signals` (e.g. {SIGTERM, SIGINT}) that trip
+  /// instance(). Also ignores SIGPIPE so socket writers see EPIPE instead
+  /// of dying. Idempotent.
+  static void install(std::initializer_list<int> signals);
+
+ private:
+  std::atomic<bool> triggered_{false};
+  int pipe_fds_[2] = {-1, -1};
+};
+
+}  // namespace scl::support

@@ -1,0 +1,407 @@
+// Tests for multi-tenant admission control (serve/admission.hpp) and the
+// stencild daemon (serve/daemon.hpp).
+//
+// Determinism discipline: no sleep-based synchronization anywhere.
+// Token buckets run on an injected fake clock; quota/overload windows are
+// held open by cold synthesis that is orders of magnitude slower than the
+// frame handling racing it (and the rate-limit cases do not depend on
+// timing at all — the fake clock is frozen, so a bucket can never
+// refill); the drain test waits on the daemon's own frame counter before
+// pulling the trigger. TSan-runnable.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/wire.hpp"
+#include "support/error.hpp"
+
+namespace scl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+/// Manually advanced clock: admission decisions become pure functions of
+/// the test script.
+class FakeClock {
+ public:
+  AdmissionController::Clock fn() {
+    return [this] {
+      return std::chrono::steady_clock::time_point(
+          std::chrono::nanoseconds(now_ns_.load()));
+    };
+  }
+  void advance(std::chrono::nanoseconds by) { now_ns_ += by.count(); }
+
+ private:
+  std::atomic<std::int64_t> now_ns_{1};
+};
+
+TEST(AdmissionTest, GlobalDepthBoundSheds) {
+  AdmissionOptions options;
+  options.max_queue_depth = 2;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.try_admit("a"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("b"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("c"), AdmissionVerdict::kShed);
+  admission.release("a");
+  EXPECT_EQ(admission.try_admit("c"), AdmissionVerdict::kAdmitted);
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.depth, 2);
+  EXPECT_EQ(stats.max_depth, 2);
+}
+
+TEST(AdmissionTest, TenantQuotaIsolatesTenants) {
+  AdmissionOptions options;
+  options.default_quota.max_in_flight = 1;
+  TenantQuota roomy;
+  roomy.max_in_flight = 3;
+  options.tenant_quotas["vip"] = roomy;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.try_admit("greedy"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("greedy"), AdmissionVerdict::kQuotaExceeded)
+      << "second concurrent request breaches max_in_flight=1";
+  // The greedy tenant's quota does not touch anyone else.
+  EXPECT_EQ(admission.try_admit("bystander"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("vip"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("vip"), AdmissionVerdict::kAdmitted);
+
+  admission.release("greedy");
+  EXPECT_EQ(admission.try_admit("greedy"), AdmissionVerdict::kAdmitted)
+      << "release frees the tenant slot";
+
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.tenants.at("greedy").quota_rejected, 1);
+  EXPECT_EQ(stats.tenants.at("bystander").quota_rejected, 0);
+  EXPECT_EQ(stats.tenants.at("greedy").in_flight, 1);
+}
+
+TEST(AdmissionTest, TokenBucketRefillsOnTheInjectedClock) {
+  FakeClock clock;
+  AdmissionOptions options;
+  options.default_quota.rate_per_sec = 1.0;
+  options.default_quota.burst = 2.0;
+  AdmissionController admission(options, clock.fn());
+
+  // A fresh bucket holds its full burst.
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kRateLimited)
+      << "burst spent, clock frozen: no refill can have happened";
+  admission.release("t");
+  admission.release("t");
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kRateLimited)
+      << "releasing slots must not mint tokens";
+
+  clock.advance(999ms);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kRateLimited)
+      << "0.999 tokens is not a whole token";
+  clock.advance(1ms);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kAdmitted);
+
+  // Refill caps at burst: a long idle stretch cannot bank extra tokens.
+  clock.advance(3600s);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(admission.try_admit("t"), AdmissionVerdict::kRateLimited);
+
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.tenants.at("t").rate_limited, 4);
+}
+
+TEST(AdmissionTest, VerdictSpellings) {
+  EXPECT_STREQ(to_string(AdmissionVerdict::kAdmitted), "ok");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kShed), "shed");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kQuotaExceeded), "quota");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kRateLimited), "rate_limited");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end-to-end over the socket
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("scl-daemon-test-" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "-" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  DaemonOptions base_options() {
+    DaemonOptions options;
+    options.socket_path = (root_ / "sock").string();
+    options.service.store_dir = (root_ / "store").string();
+    options.service.threads = 2;
+    return options;
+  }
+
+  static WireRequest benchmark_request(std::int64_t id,
+                                       const std::string& tenant = "default") {
+    WireRequest request;
+    request.id = id;
+    request.tenant = tenant;
+    request.benchmark = "Jacobi-2D";  // paper scale: a real cold synthesis
+    return request;
+  }
+
+  /// Blocks until the daemon has ingested `frames` frames. Progress is
+  /// the daemon's own counter, so this cannot pass early or hang on a
+  /// healthy daemon.
+  static void wait_for_frames(const Daemon& daemon, std::int64_t frames) {
+    while (daemon.stats().frames < frames) std::this_thread::yield();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DaemonTest, ColdThenWarmThenMemoryWarmOverTheSocket) {
+  Daemon daemon(base_options());
+  daemon.start();
+
+  WireClient client;
+  client.connect(daemon.socket_path());
+  client.send(benchmark_request(1));
+  const WireResponse cold = client.recv();
+  ASSERT_EQ(cold.status, "ok") << cold.error;
+  EXPECT_EQ(cold.id, 1);
+  EXPECT_EQ(cold.name, "Jacobi-2D");
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_FALSE(cold.key.empty());
+  EXPECT_GT(cold.speedup, 0.0);
+
+  client.send(benchmark_request(2));
+  const WireResponse warm = client.recv();
+  ASSERT_EQ(warm.status, "ok") << warm.error;
+  EXPECT_EQ(warm.id, 2);
+  EXPECT_EQ(warm.key, cold.key) << "content addressing is deterministic";
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_TRUE(warm.from_memory)
+      << "the write-through tier serves the repeat from memory";
+
+  client.close();
+  EXPECT_TRUE(daemon.wait_drained());
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.frames, 2);
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.responses, 2);
+  EXPECT_TRUE(stats.drained_clean);
+}
+
+TEST_F(DaemonTest, MalformedFramesGetErrorsAndTheConnectionSurvives) {
+  DaemonOptions options = base_options();
+  options.max_frame_bytes = 512;
+  Daemon daemon(options);
+  daemon.start();
+
+  WireClient client;
+  client.connect(daemon.socket_path());
+  client.send_raw("this is not json\n");
+  const WireResponse bad_json = client.recv();
+  EXPECT_EQ(bad_json.status, "error");
+  EXPECT_EQ(bad_json.id, 0) << "no parseable id answers as id 0";
+
+  client.send_raw("{\"id\":7}\n");  // valid JSON, no discriminator
+  const WireResponse no_program = client.recv();
+  EXPECT_EQ(no_program.status, "error");
+
+  client.send_raw(std::string(2048, 'x') + "\n");  // over max_frame_bytes
+  const WireResponse oversized = client.recv();
+  EXPECT_EQ(oversized.status, "error");
+
+  // An admitted request whose benchmark does not exist fails cleanly and
+  // releases its admission slot.
+  WireRequest unknown;
+  unknown.id = 8;
+  unknown.benchmark = "No-Such-Benchmark";
+  client.send(unknown);
+  const WireResponse missing = client.recv();
+  EXPECT_EQ(missing.status, "error");
+  EXPECT_EQ(missing.id, 8);
+
+  // The connection is still healthy after every abuse above.
+  client.send(benchmark_request(9));
+  const WireResponse ok = client.recv();
+  EXPECT_EQ(ok.status, "ok") << ok.error;
+  EXPECT_EQ(ok.id, 9);
+
+  client.close();
+  EXPECT_TRUE(daemon.wait_drained());
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.malformed, 3);
+  EXPECT_EQ(stats.responses, 5);
+  EXPECT_EQ(daemon.admission().stats().depth, 0)
+      << "every admitted slot was released";
+}
+
+TEST_F(DaemonTest, FrozenClockRateLimitIsDeterministicOnTheWire) {
+  // The fake clock never advances, so however fast or slow the daemon
+  // machinery runs, the second request of a burst=1 tenant can never
+  // find a refilled bucket.
+  FakeClock clock;
+  DaemonOptions options = base_options();
+  options.admission.default_quota.rate_per_sec = 1.0;
+  options.admission.default_quota.burst = 1.0;
+  options.admission_clock = clock.fn();
+  Daemon daemon(options);
+  daemon.start();
+
+  WireClient client;
+  client.connect(daemon.socket_path());
+  client.send(benchmark_request(1));
+  client.send(benchmark_request(2));
+  const WireResponse first = client.recv();
+  const WireResponse second = client.recv();
+  EXPECT_EQ(first.status, "ok") << first.error;
+  EXPECT_EQ(second.status, "rate_limited");
+  EXPECT_EQ(second.id, 2);
+
+  client.close();
+  EXPECT_TRUE(daemon.wait_drained());
+  EXPECT_EQ(daemon.stats().quota_rejected, 1);
+  EXPECT_EQ(daemon.admission().stats().tenants.at("default").rate_limited,
+            1);
+}
+
+TEST_F(DaemonTest, OverloadShedsWithStructuredStatus) {
+  // One admitted-but-unanswered slot globally. Both frames arrive in one
+  // write; the reader admits #2 microseconds after #1, while #1 is still
+  // a cold multi-candidate DSE (tens of milliseconds at minimum), so #2
+  // deterministically finds the queue full — and nothing shed-able, since
+  // #1 carries no deadline — and bounces with status "shed".
+  DaemonOptions options = base_options();
+  options.admission.max_queue_depth = 1;
+  Daemon daemon(options);
+  daemon.start();
+
+  WireClient client;
+  client.connect(daemon.socket_path());
+  client.send_raw(serialize_request(benchmark_request(1)) + "\n" +
+                  serialize_request(benchmark_request(2)) + "\n");
+  const WireResponse first = client.recv();
+  const WireResponse shed = client.recv();
+  EXPECT_EQ(first.status, "ok") << first.error;
+  EXPECT_EQ(shed.status, "shed");
+  EXPECT_EQ(shed.id, 2);
+
+  client.close();
+  EXPECT_TRUE(daemon.wait_drained());
+  EXPECT_EQ(daemon.stats().shed, 1);
+}
+
+TEST_F(DaemonTest, SigtermStyleDrainLosesNoAcceptedRequests) {
+  Daemon daemon(base_options());
+  daemon.start();
+
+  constexpr int kRequests = 6;
+  WireClient client;
+  client.connect(daemon.socket_path());
+  std::string burst;
+  for (int i = 1; i <= kRequests; ++i) {
+    burst += serialize_request(benchmark_request(i)) + "\n";
+  }
+  client.send_raw(burst);
+
+  // Trigger the drain only once every frame is provably ingested — from
+  // here on the daemon owes exactly kRequests responses.
+  wait_for_frames(daemon, kRequests);
+  daemon.request_stop();
+
+  std::vector<WireResponse> responses;
+  for (int i = 0; i < kRequests; ++i) responses.push_back(client.recv());
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].id, i + 1)
+        << "responses come back in request order";
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].status, "ok")
+        << responses[static_cast<std::size_t>(i)].error;
+  }
+
+  EXPECT_TRUE(daemon.wait_drained()) << "drain finished inside the budget";
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.frames, kRequests);
+  EXPECT_EQ(stats.responses, kRequests) << "zero accepted requests lost";
+  EXPECT_TRUE(stats.drained_clean);
+
+  // A drained daemon is gone: new connections are refused.
+  WireClient late;
+  EXPECT_THROW(late.connect(daemon.socket_path()), Error);
+}
+
+TEST_F(DaemonTest, ConnectionCapRejectsExtraClients) {
+  DaemonOptions options = base_options();
+  options.max_connections = 1;
+  Daemon daemon(options);
+  daemon.start();
+
+  WireClient first;
+  first.connect(daemon.socket_path());
+  first.send(benchmark_request(1));
+  EXPECT_EQ(first.recv().status, "ok");
+
+  // The second connect() lands in the listen backlog, then the daemon
+  // accepts and immediately closes it: recv sees EOF, never a response.
+  // (No send here — the daemon may close before bytes could land, and
+  // the contract is EOF-before-response, not EPIPE timing.)
+  WireClient second;
+  second.connect(daemon.socket_path());
+  EXPECT_THROW(second.recv(), Error);
+
+  first.close();
+  second.close();
+  EXPECT_TRUE(daemon.wait_drained());
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.connections_accepted, 1);
+  EXPECT_EQ(stats.connections_rejected, 1);
+}
+
+TEST_F(DaemonTest, StatsAndMetricsRenderTheServePipeline) {
+  Daemon daemon(base_options());
+  daemon.start();
+
+  WireClient client;
+  client.connect(daemon.socket_path());
+  client.send(benchmark_request(1, "team-a"));
+  ASSERT_EQ(client.recv().status, "ok");
+  client.close();
+  EXPECT_TRUE(daemon.wait_drained());
+
+  const std::string json = daemon.render_stats_json();
+  EXPECT_NE(json.find("\"daemon\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission\""), std::string::npos);
+  EXPECT_NE(json.find("\"team-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"drained_clean\": true"), std::string::npos);
+
+  const std::string metrics = daemon.render_metrics_exposition();
+  EXPECT_NE(metrics.find("scl_serve_frames_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("scl_serve_admitted_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("scl_serve_tenant_admitted_total_team_a 1"),
+            std::string::npos)
+      << "tenant ids are sanitized into metric names";
+  EXPECT_NE(metrics.find("scl_serve_store_misses"), std::string::npos)
+      << "the service registry rides along in one exposition";
+}
+
+}  // namespace
+}  // namespace scl::serve

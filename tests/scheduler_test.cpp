@@ -1,10 +1,16 @@
 // Tests for the coalescing async scheduler (serve/scheduler.hpp).
+//
+// Synchronization discipline: gates are std::latch (a pump parked on a
+// latch is *provably* parked once `started` trips — no sleep can race),
+// and deadline tests spin a clock condition past a timestamp captured
+// after submit instead of sleeping and hoping the scheduler caught up.
 #include "serve/scheduler.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <latch>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +21,15 @@ namespace scl::serve {
 namespace {
 
 using namespace std::chrono_literals;
+
+/// Busy-waits until steady_clock is strictly past `when`: every queue
+/// deadline captured at or before the call site's submit has then
+/// objectively expired.
+void spin_past(std::chrono::steady_clock::time_point when) {
+  while (std::chrono::steady_clock::now() <= when) {
+    std::this_thread::yield();
+  }
+}
 
 TEST(SchedulerTest, RunsSubmittedWork) {
   Scheduler<int> scheduler(2);
@@ -35,13 +50,13 @@ TEST(SchedulerTest, PropagatesExceptionsThroughTheFuture) {
 TEST(SchedulerTest, CoalescesIdenticalConcurrentRequests) {
   Scheduler<int> scheduler(4);
   std::atomic<int> executions{0};
-  std::atomic<bool> release{false};
+  std::latch release{1};
 
   // First request under the key parks in a pump until released, so the
   // next N requests are guaranteed to find it in flight.
   auto first = scheduler.submit("stencil-key", [&] {
     ++executions;
-    while (!release.load()) std::this_thread::sleep_for(1ms);
+    release.wait();
     return 7;
   });
   EXPECT_FALSE(first.coalesced);
@@ -54,7 +69,7 @@ TEST(SchedulerTest, CoalescesIdenticalConcurrentRequests) {
       return -1;  // must never run
     }));
   }
-  release = true;
+  release.count_down();
 
   for (auto& twin : twins) {
     EXPECT_TRUE(twin.coalesced);
@@ -63,6 +78,9 @@ TEST(SchedulerTest, CoalescesIdenticalConcurrentRequests) {
   EXPECT_EQ(first.future.get(), 7);
   EXPECT_EQ(executions.load(), 1) << "N identical requests, 1 execution";
 
+  // The future is fulfilled before the pump's bookkeeping; drain() is
+  // the barrier that makes the stats read race-free.
+  scheduler.drain();
   const SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.submitted, kTwins + 1);
   EXPECT_EQ(stats.coalesced, kTwins);
@@ -112,7 +130,8 @@ TEST(SchedulerTest, HigherPriorityDispatchesFirst) {
   // One pump, blocked; everything else queues behind it so dispatch
   // order is fully observable.
   Scheduler<int> scheduler(1);
-  std::atomic<bool> release{false};
+  std::latch started{1};
+  std::latch release{1};
   std::mutex order_mutex;
   std::vector<int> order;
   auto note = [&](int id) {
@@ -122,13 +141,15 @@ TEST(SchedulerTest, HigherPriorityDispatchesFirst) {
   };
 
   auto gate = scheduler.submit("", [&] {
-    while (!release.load()) std::this_thread::sleep_for(1ms);
+    started.count_down();
+    release.wait();
     return 0;
   });
+  started.wait();  // the single pump is now provably occupied
   auto low1 = scheduler.submit("", [&] { return note(1); }, /*priority=*/0);
   auto high = scheduler.submit("", [&] { return note(2); }, /*priority=*/5);
   auto low2 = scheduler.submit("", [&] { return note(3); }, /*priority=*/0);
-  release = true;
+  release.count_down();
   gate.future.get();
   low1.future.get();
   high.future.get();
@@ -142,30 +163,110 @@ TEST(SchedulerTest, HigherPriorityDispatchesFirst) {
 
 TEST(SchedulerTest, QueueTimeoutExpiresRequests) {
   Scheduler<int> scheduler(1);
-  std::atomic<bool> release{false};
+  std::latch started{1};
+  std::latch release{1};
   auto gate = scheduler.submit("", [&] {
-    while (!release.load()) std::this_thread::sleep_for(1ms);
+    started.count_down();
+    release.wait();
     return 0;
   });
-  // 1ms deadline, stuck behind the gate for ~50ms: must expire.
+  started.wait();
   auto doomed = scheduler.submit(
       "doomed", [] { return 1; }, /*priority=*/0, /*timeout=*/1ms);
-  std::this_thread::sleep_for(50ms);
-  release = true;
+  // Captured *after* submit, so the internal deadline is <= this one;
+  // once we spin past it the request has objectively expired.
+  spin_past(std::chrono::steady_clock::now() + 1ms);
+  release.count_down();
   gate.future.get();
   EXPECT_THROW(doomed.future.get(), Error);
   scheduler.drain();
   EXPECT_EQ(scheduler.stats().timed_out, 1);
 }
 
+TEST(SchedulerTest, ShedExpiredFailsOnlyOverDeadlineQueuedWork) {
+  Scheduler<int> scheduler(1);
+  std::latch started{1};
+  std::latch release{1};
+  auto gate = scheduler.submit("", [&] {
+    started.count_down();
+    release.wait();
+    return 0;
+  });
+  started.wait();
+  auto doomed = scheduler.submit(
+      "doomed", [] { return 1; }, /*priority=*/0, /*timeout=*/1ms);
+  auto healthy = scheduler.submit(
+      "healthy", [] { return 2; }, /*priority=*/0, /*timeout=*/60s);
+  auto eternal = scheduler.submit("eternal", [] { return 3; });
+  spin_past(std::chrono::steady_clock::now() + 1ms);
+
+  // Load shedding is selective: only the over-deadline request dies; a
+  // far-future deadline and a no-deadline request ride out the purge.
+  EXPECT_EQ(scheduler.shed_expired(), 1u);
+  EXPECT_EQ(scheduler.shed_expired(), 0u) << "idempotent once shed";
+
+  release.count_down();
+  gate.future.get();
+  EXPECT_THROW(doomed.future.get(), Error);
+  EXPECT_EQ(healthy.future.get(), 2);
+  EXPECT_EQ(eternal.future.get(), 3);
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.timed_out, 0)
+      << "shed work is accounted as shed, not timed out";
+}
+
+TEST(SchedulerTest, ShedReleasesTheCoalescingKey) {
+  Scheduler<int> scheduler(1);
+  std::latch started{1};
+  std::latch release{1};
+  auto gate = scheduler.submit("", [&] {
+    started.count_down();
+    release.wait();
+    return 0;
+  });
+  started.wait();
+  auto doomed = scheduler.submit(
+      "key", [] { return 1; }, /*priority=*/0, /*timeout=*/1ms);
+  spin_past(std::chrono::steady_clock::now() + 1ms);
+  ASSERT_EQ(scheduler.shed_expired(), 1u);
+
+  // The key is free again: a resubmit is fresh work, not a twin riding
+  // a corpse.
+  auto retry = scheduler.submit("key", [] { return 2; });
+  EXPECT_FALSE(retry.coalesced);
+  release.count_down();
+  gate.future.get();
+  EXPECT_THROW(doomed.future.get(), Error);
+  EXPECT_EQ(retry.future.get(), 2);
+}
+
+TEST(SchedulerTest, DepthCountsQueuedAndRunningWork) {
+  Scheduler<int> scheduler(1);
+  EXPECT_EQ(scheduler.depth(), 0);
+  std::latch started{1};
+  std::latch release{1};
+  auto gate = scheduler.submit("", [&] {
+    started.count_down();
+    release.wait();
+    return 0;
+  });
+  started.wait();
+  auto queued = scheduler.submit("", [] { return 1; });
+  EXPECT_EQ(scheduler.depth(), 2) << "1 running + 1 queued";
+  release.count_down();
+  gate.future.get();
+  queued.future.get();
+  scheduler.drain();
+  EXPECT_EQ(scheduler.depth(), 0);
+}
+
 TEST(SchedulerTest, DrainWaitsForAllWork) {
   Scheduler<int> scheduler(4);
   std::atomic<int> done{0};
   for (int i = 0; i < 32; ++i) {
-    scheduler.submit("", [&] {
-      std::this_thread::sleep_for(1ms);
-      return ++done;
-    });
+    scheduler.submit("", [&] { return ++done; });
   }
   scheduler.drain();
   EXPECT_EQ(done.load(), 32);

@@ -1,0 +1,221 @@
+// Tests for the tiered artifact cache (serve/tiered_store.hpp):
+// promotion/demotion between the memory and disk tiers, write-through
+// semantics, and the consistent-hash shard layout (stability, balance,
+// minimal reshuffle on growth).
+#include "serve/tiered_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TieredStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("scl-tiered-test-" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "-" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::vector<std::string> shard_roots(int count) const {
+    std::vector<std::string> roots;
+    for (int s = 0; s < count; ++s) {
+      roots.push_back((root_ / ("shard-" + std::to_string(s))).string());
+    }
+    return roots;
+  }
+
+  TieredArtifactStore make_store(int shards, std::int64_t memory_bytes) {
+    TieredStoreOptions options;
+    options.shard_roots = shard_roots(shards);
+    options.memory_capacity_bytes = memory_bytes;
+    return TieredArtifactStore(std::move(options));
+  }
+
+  static std::string key_of(int i) {
+    std::ostringstream key;
+    key << std::hex << i;
+    std::string tail = key.str();
+    return std::string(32 - tail.size(), '0') + tail;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(TieredStoreTest, RequiresAShardRoot) {
+  EXPECT_THROW(TieredArtifactStore(TieredStoreOptions{}), Error);
+}
+
+TEST_F(TieredStoreTest, WriteThroughServesFromMemory) {
+  TieredArtifactStore store = make_store(1, 1 << 20);
+  store.store(key_of(1), "payload-1");
+  bool from_memory = false;
+  const auto payload = store.load(key_of(1), &from_memory);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload-1");
+  EXPECT_TRUE(from_memory) << "write-through caches the fresh write";
+  const TieredStoreStats stats = store.stats();
+  EXPECT_EQ(stats.memory_hits, 1);
+  EXPECT_EQ(stats.disk_hits, 0);
+  EXPECT_EQ(stats.writes, 1);
+}
+
+TEST_F(TieredStoreTest, ColdStartPromotesDiskHitsIntoMemory) {
+  // A second store over the same roots models a daemon restart: memory
+  // is cold, disk is warm.
+  make_store(2, 1 << 20).store(key_of(7), "persisted");
+  TieredArtifactStore reopened = make_store(2, 1 << 20);
+  EXPECT_EQ(reopened.memory_entries(), 0u);
+
+  bool from_memory = true;
+  ASSERT_EQ(reopened.load(key_of(7), &from_memory), "persisted");
+  EXPECT_FALSE(from_memory) << "first load after restart is a disk hit";
+  EXPECT_EQ(reopened.stats().promotions, 1);
+
+  ASSERT_EQ(reopened.load(key_of(7), &from_memory), "persisted");
+  EXPECT_TRUE(from_memory) << "the disk hit was promoted";
+  const TieredStoreStats stats = reopened.stats();
+  EXPECT_EQ(stats.disk_hits, 1);
+  EXPECT_EQ(stats.memory_hits, 1);
+}
+
+TEST_F(TieredStoreTest, MissReportsMissAndNothingElse) {
+  TieredArtifactStore store = make_store(2, 1 << 20);
+  EXPECT_FALSE(store.load(key_of(42)).has_value());
+  EXPECT_FALSE(store.contains(key_of(42)));
+  const TieredStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits(), 0);
+}
+
+TEST_F(TieredStoreTest, MemoryPressureDemotesLruVictimsNotData) {
+  // Memory fits ~2 of the 40-byte entries (key 32 + payload ~8); the
+  // third insert demotes the least recently used. Demotion loses no
+  // data: the victim is still on its disk shard.
+  TieredArtifactStore store = make_store(1, 96);
+  store.store(key_of(1), "aaaaaaaa");
+  store.store(key_of(2), "bbbbbbbb");
+  store.store(key_of(3), "cccccccc");
+  EXPECT_GT(store.stats().demotions, 0);
+  EXPECT_LE(store.memory_bytes(), 96);
+
+  // Every payload is still readable; the demoted ones come from disk.
+  for (int i = 1; i <= 3; ++i) {
+    const auto payload = store.load(key_of(i));
+    ASSERT_TRUE(payload.has_value()) << "key " << i;
+    EXPECT_EQ(payload->size(), 8u);
+  }
+  EXPECT_GT(store.stats().disk_hits, 0);
+}
+
+TEST_F(TieredStoreTest, LruRefreshOnLoadProtectsHotKeys) {
+  TieredArtifactStore store = make_store(1, 96);
+  store.store(key_of(1), "aaaaaaaa");
+  store.store(key_of(2), "bbbbbbbb");
+  // Touch key 1 so key 2 is the LRU victim when key 3 arrives.
+  bool from_memory = false;
+  ASSERT_TRUE(store.load(key_of(1), &from_memory).has_value());
+  ASSERT_TRUE(from_memory);
+  store.store(key_of(3), "cccccccc");
+
+  ASSERT_TRUE(store.load(key_of(1), &from_memory).has_value());
+  EXPECT_TRUE(from_memory) << "recently touched key survived the demotion";
+  ASSERT_TRUE(store.load(key_of(2), &from_memory).has_value());
+  EXPECT_FALSE(from_memory) << "cold key was the demotion victim";
+}
+
+TEST_F(TieredStoreTest, OversizedPayloadBypassesMemoryTier) {
+  TieredArtifactStore store = make_store(1, 64);
+  store.store(key_of(1), std::string(1024, 'x'));  // larger than the tier
+  EXPECT_EQ(store.memory_entries(), 0u);
+  bool from_memory = true;
+  ASSERT_TRUE(store.load(key_of(1), &from_memory).has_value());
+  EXPECT_FALSE(from_memory);
+}
+
+TEST_F(TieredStoreTest, DisabledMemoryTierStillServes) {
+  TieredArtifactStore store = make_store(2, 0);
+  store.store(key_of(5), "payload");
+  EXPECT_EQ(store.memory_entries(), 0u);
+  bool from_memory = true;
+  ASSERT_EQ(store.load(key_of(5), &from_memory), "payload");
+  EXPECT_FALSE(from_memory);
+  EXPECT_EQ(store.stats().disk_hits, 1);
+}
+
+TEST_F(TieredStoreTest, ShardLayoutIsStableAndExhaustive) {
+  TieredArtifactStore store = make_store(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t shard = store.shard_for(key_of(i));
+    ASSERT_LT(shard, store.shard_count());
+    EXPECT_EQ(store.shard_for(key_of(i)), shard) << "deterministic";
+  }
+}
+
+TEST_F(TieredStoreTest, ShardsSplitTheKeyspaceRoughlyEvenly) {
+  TieredArtifactStore store = make_store(4, 0);
+  std::map<std::size_t, int> counts;
+  const int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) ++counts[store.shard_for(key_of(i))];
+  ASSERT_EQ(counts.size(), 4u) << "every shard owns part of the keyspace";
+  for (const auto& [shard, count] : counts) {
+    // 64 virtual nodes per shard: each holds 25% +/- a generous margin.
+    EXPECT_GT(count, kKeys / 10) << "shard " << shard << " starved";
+    EXPECT_LT(count, kKeys / 2) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST_F(TieredStoreTest, GrowingTheRingMovesOnlyAFractionOfKeys) {
+  // The consistent-hash property: going 3 -> 4 shards reassigns ~1/4 of
+  // the keyspace, and every key that stays maps to the same root (the
+  // ring hashes root names, not indices).
+  TieredStoreOptions three;
+  three.shard_roots = shard_roots(3);
+  TieredStoreOptions four;
+  four.shard_roots = shard_roots(4);
+  TieredArtifactStore before{std::move(three)};
+  TieredArtifactStore after{std::move(four)};
+
+  const int kKeys = 2000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (before.shard_for(key_of(i)) != after.shard_for(key_of(i))) ++moved;
+  }
+  EXPECT_GT(moved, 0) << "the new shard must take some keys";
+  EXPECT_LT(moved, kKeys / 2)
+      << "growth reshuffled far more than the ~1/4 consistent hashing "
+         "promises; a modulo layout would move ~3/4";
+}
+
+TEST_F(TieredStoreTest, DataLandsOnTheRingAssignedShard) {
+  TieredArtifactStore store = make_store(3, 0);
+  for (int i = 0; i < 30; ++i) store.store(key_of(i), "payload");
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < store.shard_count(); ++s) {
+    total += store.shard(s).entry_count();
+  }
+  EXPECT_EQ(total, 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(store.shard(store.shard_for(key_of(i))).contains(key_of(i)));
+  }
+}
+
+}  // namespace
+}  // namespace scl::serve

@@ -1,0 +1,259 @@
+// Property and fuzz tests for the stencild wire protocol
+// (serve/wire.hpp): serialize/parse round-trips, hostile framing
+// (truncation, oversized frames, byte-at-a-time and random chunking),
+// and the no-crash/no-hang guarantee on arbitrary bytes.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scl::serve {
+namespace {
+
+WireRequest random_request(Rng& rng) {
+  WireRequest request;
+  request.id = rng.uniform_int(0, 1 << 20);
+  request.tenant = "tenant-" + std::to_string(rng.uniform_int(0, 9));
+  if (rng.uniform_int(0, 1) == 0) {
+    request.benchmark = "Jacobi-" + std::to_string(rng.uniform_int(1, 3)) + "D";
+  } else {
+    // Exercise JSON string escaping: quotes, braces, newlines.
+    request.stencil_text =
+        "stencil \"s" + std::to_string(rng.uniform_int(0, 99)) +
+        "\" {\n  a[i] = 0.5 * (a[i-1] + a[i+1]);\n}";
+  }
+  if (rng.uniform_int(0, 1) == 0) {
+    request.grid_dims = static_cast<int>(rng.uniform_int(1, 3));
+    request.grid = {1, 1, 1};
+    for (int d = 0; d < request.grid_dims; ++d) {
+      request.grid[d] = rng.uniform_int(1, 1 << 14);
+    }
+  }
+  request.iterations = rng.uniform_int(0, 1 << 10);
+  request.priority = static_cast<int>(rng.uniform_int(-4, 4));
+  request.timeout_ms = rng.uniform_int(0, 60000);
+  return request;
+}
+
+void expect_equal(const WireRequest& a, const WireRequest& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.stencil_text, b.stencil_text);
+  EXPECT_EQ(a.grid_dims, b.grid_dims);
+  for (int d = 0; d < a.grid_dims; ++d) EXPECT_EQ(a.grid[d], b.grid[d]);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.timeout_ms, b.timeout_ms);
+}
+
+TEST(WireTest, RequestRoundTripProperty) {
+  Rng rng(0x5eed0001);
+  for (int i = 0; i < 300; ++i) {
+    const WireRequest request = random_request(rng);
+    const std::string frame = serialize_request(request);
+    EXPECT_EQ(frame.find('\n'), std::string::npos)
+        << "a frame must stay on one line even with embedded newlines: "
+        << frame;
+    expect_equal(request, parse_request(frame));
+  }
+}
+
+TEST(WireTest, ResponseRoundTripProperty) {
+  Rng rng(0x5eed0002);
+  const char* statuses[] = {"ok", "error", "shed", "quota", "rate_limited"};
+  for (int i = 0; i < 300; ++i) {
+    WireResponse response;
+    response.id = rng.uniform_int(0, 1 << 20);
+    response.status = statuses[rng.uniform_int(0, 4)];
+    if (response.ok()) {
+      response.key = "00ff";
+      response.name = "Jacobi-2D";
+      response.from_cache = rng.uniform_int(0, 1) == 1;
+      response.from_memory = response.from_cache && rng.uniform_int(0, 1) == 1;
+      response.coalesced = rng.uniform_int(0, 1) == 1;
+      response.speedup = rng.uniform_double(0.25, 8.0);
+      response.latency_ms = rng.uniform_double(0.0, 5000.0);
+    } else {
+      response.error = "synthesis failed: \"quoted\" detail\nline two";
+    }
+    const WireResponse parsed =
+        parse_response(serialize_response(response));
+    EXPECT_EQ(parsed.id, response.id);
+    EXPECT_EQ(parsed.status, response.status);
+    EXPECT_EQ(parsed.error, response.error);
+    EXPECT_EQ(parsed.key, response.key);
+    EXPECT_EQ(parsed.name, response.name);
+    EXPECT_EQ(parsed.from_cache, response.from_cache);
+    EXPECT_EQ(parsed.from_memory, response.from_memory);
+    EXPECT_EQ(parsed.coalesced, response.coalesced);
+    if (response.ok()) {
+      EXPECT_DOUBLE_EQ(parsed.speedup, response.speedup);
+      EXPECT_DOUBLE_EQ(parsed.latency_ms, response.latency_ms);
+    }
+  }
+}
+
+TEST(WireTest, ParseRejectsMalformedRequests) {
+  // Every rejection is a structured Error, never a crash or a silent
+  // default.
+  const char* bad[] = {
+      "",                                      // empty
+      "{",                                     // truncated JSON
+      "[1,2,3]",                               // not an object
+      "{\"id\":1}",                            // no discriminator
+      "{\"benchmark\":\"a\",\"stencil_text\":\"b\"}",  // both
+      "{\"v\":99,\"benchmark\":\"a\"}",        // future version
+      "{\"benchmark\":\"a\",\"tenant\":\"\"}",         // empty tenant
+      "{\"benchmark\":\"a\",\"grid\":[]}",     // empty grid
+      "{\"benchmark\":\"a\",\"grid\":[1,2,3,4]}",      // 4-D grid
+      "{\"benchmark\":\"a\",\"grid\":[0]}",    // non-positive extent
+      "{\"benchmark\":\"a\",\"iterations\":-1}",
+      "{\"benchmark\":\"a\",\"timeout_ms\":-5}",
+      "{\"benchmark\":\"a\"",                  // unterminated object
+      "nonsense",
+  };
+  for (const char* frame : bad) {
+    EXPECT_THROW(parse_request(frame), Error) << "frame: " << frame;
+  }
+  EXPECT_THROW(parse_response("{\"id\":1}"), Error) << "missing status";
+}
+
+TEST(WireTest, ParseAcceptsMinimalRequest) {
+  const WireRequest request = parse_request("{\"benchmark\":\"Jacobi-2D\"}");
+  EXPECT_EQ(request.id, 0);
+  EXPECT_EQ(request.tenant, "default");
+  EXPECT_EQ(request.benchmark, "Jacobi-2D");
+  EXPECT_EQ(request.grid_dims, 0);
+}
+
+TEST(WireTest, FrameReaderByteAtATime) {
+  Rng rng(0x5eed0003);
+  std::vector<WireRequest> requests;
+  std::string stream;
+  for (int i = 0; i < 20; ++i) {
+    requests.push_back(random_request(rng));
+    stream += serialize_request(requests.back()) + "\n";
+  }
+  FrameReader reader;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    reader.feed(std::string_view(&byte, 1));
+    while (auto frame = reader.next()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), requests.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    expect_equal(requests[i], parse_request(frames[i]));
+  }
+}
+
+TEST(WireTest, FrameReaderRandomChunkingProperty) {
+  Rng rng(0x5eed0004);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<WireRequest> requests;
+    std::string stream;
+    const int count = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < count; ++i) {
+      requests.push_back(random_request(rng));
+      stream += serialize_request(requests.back()) + "\n";
+    }
+    FrameReader reader;
+    std::vector<std::string> frames;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(stream.size() - offset)));
+      reader.feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      while (auto frame = reader.next()) frames.push_back(*frame);
+    }
+    ASSERT_EQ(frames.size(), requests.size()) << "round " << round;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      expect_equal(requests[i], parse_request(frames[i]));
+    }
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+  }
+}
+
+TEST(WireTest, FrameReaderSkipsBlankLinesAndTrimsCarriageReturns) {
+  FrameReader reader;
+  reader.feed("\n  \n{\"a\":1}\r\n\n{\"b\":2} \n");
+  EXPECT_EQ(reader.next(), "{\"a\":1}");
+  EXPECT_EQ(reader.next(), "{\"b\":2}");
+  EXPECT_EQ(reader.next(), std::nullopt);
+}
+
+TEST(WireTest, FrameReaderOversizedFrameThrowsOnceThenRecovers) {
+  FrameReader reader(/*max_frame_bytes=*/64);
+  // The frame blows the bound long before its newline arrives: next()
+  // reports it exactly once, swallows the tail, and the following frame
+  // decodes normally.
+  reader.feed(std::string(200, 'x'));
+  EXPECT_THROW(reader.next(), Error);
+  EXPECT_EQ(reader.next(), std::nullopt);  // only one error per frame
+  reader.feed(std::string(100, 'y'));     // still the same doomed frame
+  EXPECT_EQ(reader.next(), std::nullopt);
+  reader.feed("tail\n{\"ok\":true}\n");
+  EXPECT_EQ(reader.next(), "{\"ok\":true}");
+}
+
+TEST(WireTest, FrameReaderOversizedFrameArrivingWholeAlsoRecovers) {
+  FrameReader reader(/*max_frame_bytes=*/16);
+  reader.feed(std::string(40, 'z') + "\n{\"ok\":1}\n");
+  EXPECT_THROW(reader.next(), Error);
+  EXPECT_EQ(reader.next(), "{\"ok\":1}");
+}
+
+TEST(WireTest, FrameReaderNeverCrashesOnRandomBytes) {
+  // Fuzz: arbitrary bytes in arbitrary chunks. The reader must only ever
+  // (a) yield frames, (b) throw scl::Error, or (c) ask for more bytes —
+  // and parse_request on whatever comes out must throw Error, not
+  // anything else. Bounded input, so no hang is possible by
+  // construction; the invariant is no crash and no foreign exception.
+  Rng rng(0x5eed0005);
+  for (int round = 0; round < 50; ++round) {
+    FrameReader reader(/*max_frame_bytes=*/256);
+    const int length = static_cast<int>(rng.uniform_int(1, 2048));
+    std::string bytes(static_cast<std::size_t>(length), '\0');
+    for (char& c : bytes) {
+      // Bias toward structural JSON bytes so some frames nearly parse.
+      const std::int64_t roll = rng.uniform_int(0, 99);
+      if (roll < 20) {
+        c = "{}[]\",:0.\n"[rng.uniform_int(0, 9)];
+      } else {
+        c = static_cast<char>(rng.uniform_int(0, 255));
+      }
+    }
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(rng.uniform_int(
+          1, std::min<std::int64_t>(
+                 64, static_cast<std::int64_t>(bytes.size() - offset))));
+      reader.feed(std::string_view(bytes).substr(offset, chunk));
+      offset += chunk;
+      while (true) {
+        std::optional<std::string> frame;
+        try {
+          frame = reader.next();
+        } catch (const Error&) {
+          continue;  // oversized frame reported; reader keeps going
+        }
+        if (!frame) break;
+        try {
+          (void)parse_request(*frame);
+        } catch (const Error&) {
+          // Expected for garbage; anything else fails the test.
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scl::serve
