@@ -12,12 +12,17 @@
 //   --analyze             print design-verifier diagnostics (pipe graph,
 //                         halo & bounds, resource cross-check, generated
 //                         sources); exit 1 when errors are reported
-//   --analyze-json        like --analyze but machine-readable JSON: an
-//                         object with the verifier diagnostics under
-//                         "analysis" (docs/ARCHITECTURE.md §8 schema) and
-//                         the DSE summary — candidates evaluated/pruned
-//                         and the retained latency/BRAM Pareto front —
-//                         under "dse"
+//   --analyze-json        like --analyze but machine-readable JSON: a
+//                         versioned document ("schema_version") with the
+//                         verifier diagnostics under "analysis"
+//                         (docs/ARCHITECTURE.md §8 schema), the kernel-IR
+//                         pass-4 coverage summary under "ir", and the DSE
+//                         summary — candidates evaluated/pruned and the
+//                         retained latency/BRAM Pareto front — under "dse"
+//   --deep-ir             with the DSE verifier: generate each evaluated
+//                         candidate's OpenCL and run the pass-4 kernel-IR
+//                         checks on it, filtering candidates with errors
+//                         (slow; implies per-candidate analysis)
 //   --dump-stencil        print the program in .stencil form and exit
 //   --list                list built-in benchmarks and devices, exit
 //   --trace-out <file>    enable observability; write a Chrome trace_event
@@ -51,7 +56,7 @@ int usage() {
   std::cerr
       << "usage: stencil_compiler <input.stencil | benchmark-name> "
          "[--device <name>] [--emit <dir>] [--no-sim] [--analyze] "
-         "[--analyze-json] [--dump-stencil] [--list] "
+         "[--analyze-json] [--deep-ir] [--dump-stencil] [--list] "
          "[--trace-out <file>] [--metrics-out <file>]\n";
   return 2;
 }
@@ -123,6 +128,7 @@ struct ToolConfig {
   bool dump = false;
   bool analyze = false;
   bool analyze_json = false;
+  bool deep_ir = false;
   scl::frontend::OpenClImportOptions ocl_options;
 };
 
@@ -146,6 +152,10 @@ int run_tool(const ToolConfig& cfg) {
   options.optimizer.device = scl::fpga::find_device(cfg.device_name);
   options.simulate = cfg.simulate && !cfg.analyze && !cfg.analyze_json;
   options.generate_code = true;
+  if (cfg.deep_ir) {
+    options.optimizer.analyze_candidates = true;
+    options.optimizer.deep_ir_analysis = true;
+  }
   // The analyze modes render diagnostics themselves instead of letting
   // the framework abort on the first error.
   options.fail_on_analysis_error = !cfg.analyze && !cfg.analyze_json;
@@ -155,7 +165,19 @@ int run_tool(const ToolConfig& cfg) {
   if (cfg.analyze_json) {
     scl::support::JsonWriter json;
     json.begin_object();
+    // Bumped whenever the document layout changes; see
+    // docs/ARCHITECTURE.md §8 for the history. v2 added
+    // "schema_version" itself and the "ir" section.
+    json.member("schema_version", 2);
     json.key("analysis").raw(report.analysis.render_json());
+    json.key("ir").begin_object();
+    json.member("ran", report.ir.ran);
+    json.member("kernels_lowered", report.ir.kernels_lowered);
+    json.member("pipes_checked", report.ir.pipes_checked);
+    json.member("unmodeled_constructs", report.ir.unmodeled_constructs);
+    json.member("errors", report.ir.errors);
+    json.member("warnings", report.ir.warnings);
+    json.end_object();
     json.key("dse").begin_object();
     json.member("candidates_evaluated", report.dse.candidates_evaluated);
     json.member("candidates_pruned", report.dse.candidates_pruned);
@@ -232,6 +254,8 @@ int main(int argc, char** argv) {
       cfg.analyze = true;
     } else if (arg == "--analyze-json") {
       cfg.analyze_json = true;
+    } else if (arg == "--deep-ir") {
+      cfg.deep_ir = true;
     } else if (arg == "--dump-stencil") {
       cfg.dump = true;
     } else if (flag_with_value(arg, "--trace-out", argc, argv, i, &value)) {

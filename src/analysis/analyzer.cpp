@@ -403,15 +403,13 @@ void check_buffer_bounds(const AnalysisInput& input, int kernel,
   }
 }
 
-namespace {
-
 /// Checks the burst write of field `f` stays inside the field's updatable
 /// region (Dirichlet border cells must keep their initial values).
 void check_owned_bounds(const AnalysisInput& input, int kernel, int f,
+                        const LoopBounds& bounds,
                         support::DiagnosticEngine* diags) {
   const GenContext& ctx = input.ctx;
   const StencilProgram& prog = *ctx.program;
-  const LoopBounds bounds = codegen::owned_bounds(ctx, kernel, f);
   const scl::stencil::Box updated = prog.updated_box(f);
   for (int d = 0; d < prog.dims(); ++d) {
     const auto ds = static_cast<std::size_t>(d);
@@ -448,69 +446,65 @@ void check_owned_bounds(const AnalysisInput& input, int kernel, int f,
 /// Checks every neighbor access of every stage stays inside the kernel's
 /// local-buffer box — dynamically (the burst-read window) and statically
 /// (the compile-time array extent the emitter sizes).
-void check_stage_accesses(const AnalysisInput& input, int kernel,
+void check_stage_accesses(const AnalysisInput& input, int kernel, int stage,
+                          const LoopBounds& bounds,
                           support::DiagnosticEngine* diags) {
   const GenContext& ctx = input.ctx;
   const StencilProgram& prog = *ctx.program;
   const LoopBounds buffer = codegen::buffer_bounds(ctx, kernel);
-  for (int s = 0; s < prog.stage_count(); ++s) {
-    const LoopBounds bounds = codegen::stage_compute_bounds(ctx, kernel, s);
-    for (const scl::stencil::ReadAccess& access : prog.stage(s).reads) {
-      for (int d = 0; d < prog.dims(); ++d) {
-        const auto ds = static_cast<std::size_t>(d);
-        const int off = access.offset[ds];
-        const std::int64_t ext = static_buffer_extent(ctx, kernel, d);
-        bool flagged = false;
-        for (const std::int64_t origin : origin_samples(ctx, d)) {
-          if (flagged) break;
-          for (const std::int64_t dt : dt_samples(ctx)) {
-            IntervalEnv env = make_env(0, 0, 0, dt);
-            env[str_cat("r", d)] = Interval::point(origin);
-            std::int64_t lo = 0, hi = 0, buf_lo = 0, buf_hi = 0;
-            try {
-              lo = eval_point(bounds.lo[ds], env);
-              hi = eval_point(bounds.hi[ds], env);
-              buf_lo = eval_point(buffer.lo[ds], env);
-              buf_hi = eval_point(buffer.hi[ds], env);
-            } catch (const Error& e) {
-              report_unparsable(diags, kernel, bounds.lo[ds], e.what());
-              flagged = true;
-              break;
-            }
-            if (hi <= lo) continue;  // no cells computed at this point
-            const std::int64_t access_lo = lo + off;
-            const std::int64_t access_hi = hi - 1 + off;
-            // Static array extent: local index (i - B_LO) must fit.
-            const std::int64_t static_hi = buf_lo + ext;
-            if (access_lo < buf_lo || access_hi >= buf_hi ||
-                access_hi >= static_hi) {
-              support::Diagnostic& diag = diags->error(
-                  "SCL202",
-                  str_cat("stage '", prog.stage(s).name, "' reads field '",
-                          prog.field(access.field).name, "' at offset ", off,
-                          " over [", access_lo, ", ", access_hi + 1,
-                          ") along dim ", d,
-                          ", escaping the local buffer box [", buf_lo, ", ",
-                          std::min(buf_hi, static_hi), ")"));
-              diag.location = {"kernel", kernel_name(kernel), -1};
-              diag.notes.push_back(str_cat(
-                  "evaluated at region origin ", origin,
-                  ", fused-iteration distance pass_h - it = ", dt));
-              diag.notes.push_back(str_cat(
-                  "the halo this access needs is neither held in the "
-                  "buffer margin nor deliverable by a pipe at that "
-                  "iteration"));
-              flagged = true;
-              break;
-            }
+  for (const scl::stencil::ReadAccess& access : prog.stage(stage).reads) {
+    for (int d = 0; d < prog.dims(); ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const int off = access.offset[ds];
+      const std::int64_t ext = static_buffer_extent(ctx, kernel, d);
+      bool flagged = false;
+      for (const std::int64_t origin : origin_samples(ctx, d)) {
+        if (flagged) break;
+        for (const std::int64_t dt : dt_samples(ctx)) {
+          IntervalEnv env = make_env(0, 0, 0, dt);
+          env[str_cat("r", d)] = Interval::point(origin);
+          std::int64_t lo = 0, hi = 0, buf_lo = 0, buf_hi = 0;
+          try {
+            lo = eval_point(bounds.lo[ds], env);
+            hi = eval_point(bounds.hi[ds], env);
+            buf_lo = eval_point(buffer.lo[ds], env);
+            buf_hi = eval_point(buffer.hi[ds], env);
+          } catch (const Error& e) {
+            report_unparsable(diags, kernel, bounds.lo[ds], e.what());
+            flagged = true;
+            break;
+          }
+          if (hi <= lo) continue;  // no cells computed at this point
+          const std::int64_t access_lo = lo + off;
+          const std::int64_t access_hi = hi - 1 + off;
+          // Static array extent: local index (i - B_LO) must fit.
+          const std::int64_t static_hi = buf_lo + ext;
+          if (access_lo < buf_lo || access_hi >= buf_hi ||
+              access_hi >= static_hi) {
+            support::Diagnostic& diag = diags->error(
+                "SCL202",
+                str_cat("stage '", prog.stage(stage).name, "' reads field '",
+                        prog.field(access.field).name, "' at offset ", off,
+                        " over [", access_lo, ", ", access_hi + 1,
+                        ") along dim ", d,
+                        ", escaping the local buffer box [", buf_lo, ", ",
+                        std::min(buf_hi, static_hi), ")"));
+            diag.location = {"kernel", kernel_name(kernel), -1};
+            diag.notes.push_back(str_cat(
+                "evaluated at region origin ", origin,
+                ", fused-iteration distance pass_h - it = ", dt));
+            diag.notes.push_back(str_cat(
+                "the halo this access needs is neither held in the "
+                "buffer margin nor deliverable by a pipe at that "
+                "iteration"));
+            flagged = true;
+            break;
           }
         }
       }
     }
   }
 }
-
-}  // namespace
 
 void analyze_bounds(const AnalysisInput& input,
                     support::DiagnosticEngine* diags) {
@@ -520,9 +514,13 @@ void analyze_bounds(const AnalysisInput& input,
     check_buffer_bounds(input, k, codegen::buffer_bounds(ctx, k), diags);
     for (int f = 0; f < prog.field_count(); ++f) {
       if (prog.is_constant_field(f)) continue;
-      check_owned_bounds(input, k, f, diags);
+      check_owned_bounds(input, k, f, codegen::owned_bounds(ctx, k, f),
+                         diags);
     }
-    check_stage_accesses(input, k, diags);
+    for (int s = 0; s < prog.stage_count(); ++s) {
+      check_stage_accesses(input, k, s,
+                           codegen::stage_compute_bounds(ctx, k, s), diags);
+    }
   }
 }
 

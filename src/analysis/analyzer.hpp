@@ -22,6 +22,10 @@
 //      core::estimate_design_resources charged, catching model/codegen
 //      drift before a mis-modeled design wins the DSE.
 //
+// Pass 4 — kernel-IR dataflow analysis of the *emitted* OpenCL text
+// (SCL4xx) — lives in analysis/ir/ and is wired up by
+// core::verify_generated_ir.
+//
 // The AnalysisInput is exposed (rather than hidden behind a one-shot
 // entry point) so tests can seed defects — drop a pipe, shrink a FIFO,
 // tamper with a bound expression — and assert the golden diagnostics.
@@ -66,6 +70,22 @@ void analyze_bounds(const AnalysisInput& input,
 void check_buffer_bounds(const AnalysisInput& input, int kernel,
                          const codegen::LoopBounds& bounds,
                          support::DiagnosticEngine* diags);
+
+/// Pass 2 entry point for one field's burst-write bounds (SCL203).
+/// analyze_bounds passes codegen::owned_bounds; tests seed tampered
+/// expressions that escape the field's updatable region.
+void check_owned_bounds(const AnalysisInput& input, int kernel, int field,
+                        const codegen::LoopBounds& bounds,
+                        support::DiagnosticEngine* diags);
+
+/// Pass 2 entry point for one stage's compute bounds (SCL202): every
+/// neighbor access (bounds ± stencil offset) must stay inside the
+/// kernel's local-buffer box, dynamically and against the static array
+/// extent. analyze_bounds passes codegen::stage_compute_bounds; tests
+/// seed widened expressions.
+void check_stage_accesses(const AnalysisInput& input, int kernel, int stage,
+                          const codegen::LoopBounds& bounds,
+                          support::DiagnosticEngine* diags);
 
 /// What the resource model charged the design, as far as pass 3 needs it.
 /// The analysis layer sits below core/, so the caller (core::verify_design)

@@ -1,0 +1,667 @@
+#include "analysis/ir/dataflow.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/ir/lower.hpp"
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::analysis::ir {
+
+namespace {
+
+/// Enumerating a loop variable concretely (pipe-token counting) is capped
+/// here; the only loop whose variable appears in nested bounds is the
+/// fused-iteration loop (trip count = pass_h), so the cap is generous.
+constexpr std::int64_t kEnumerationCap = 1 << 16;
+
+/// Disjoint written-interval unions are coalesced to their hull past this
+/// many fragments; precision only matters near the handful of halo strips.
+constexpr std::size_t kMaxHullFragments = 16;
+
+bool overlaps_or_adjacent(const Interval& a, const Interval& b) {
+  return a.lo <= b.hi + 1 && b.lo <= a.hi + 1;
+}
+
+/// Union-of-intervals with bounded fragmentation.
+struct IntervalUnion {
+  std::vector<Interval> parts;
+
+  void add(Interval v) {
+    for (;;) {
+      bool merged = false;
+      for (auto it = parts.begin(); it != parts.end(); ++it) {
+        if (overlaps_or_adjacent(*it, v)) {
+          v = {std::min(it->lo, v.lo), std::max(it->hi, v.hi)};
+          parts.erase(it);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) break;
+    }
+    parts.push_back(v);
+    if (parts.size() > kMaxHullFragments) {
+      Interval hull = parts.front();
+      for (const Interval& p : parts) {
+        hull = {std::min(hull.lo, p.lo), std::max(hull.hi, p.hi)};
+      }
+      parts = {hull};
+    }
+  }
+
+  bool empty() const { return parts.empty(); }
+
+  bool intersects(const Interval& v) const {
+    return std::any_of(parts.begin(), parts.end(), [&](const Interval& p) {
+      return p.lo <= v.hi && v.lo <= p.hi;
+    });
+  }
+};
+
+/// One kernel's facts accumulated across every sampled environment.
+struct KernelFacts {
+  std::map<std::string, IntervalUnion, std::less<>> written;  ///< local buffers
+  std::set<std::string, std::less<>> stored_buffers;
+  std::set<std::string, std::less<>> loaded_buffers;
+  std::set<std::string, std::less<>> stored_globals;
+  /// Loop statement lines: every loop seen, and those whose body ran
+  /// under at least one sampled environment.
+  std::set<int> loops_seen;
+  std::set<int> loops_executed;
+};
+
+class ModuleAnalyzer {
+ public:
+  ModuleAnalyzer(const Module& module, const IrContext& ctx,
+                 support::DiagnosticEngine* diags)
+      : module_(module), ctx_(ctx), diags_(diags) {}
+
+  void run() {
+    report_unmodeled();
+    build_environments();
+    for (const Kernel& kernel : module_.kernels) {
+      analyze_kernel(kernel);
+    }
+    check_pipe_balance();
+  }
+
+ private:
+  // ---- diagnostics plumbing -------------------------------------------
+
+  /// Emits once per (code, kernel, subject) so per-environment re-walks do
+  /// not repeat themselves.
+  support::Diagnostic* emit(const std::string& code,
+                            support::Severity severity,
+                            const std::string& kernel,
+                            const std::string& subject, int line,
+                            const std::string& message) {
+    if (!emitted_.insert(str_cat(code, '|', kernel, '|', subject)).second) {
+      return nullptr;
+    }
+    support::Diagnostic& diag =
+        diags_->add(code, severity, message);
+    diag.location = {"kernel", kernel, line};
+    return &diag;
+  }
+
+  void report_unmodeled() {
+    for (const std::string& what : module_.unmodeled) {
+      support::Diagnostic* diag =
+          emit("SCL409", support::Severity::kWarning, "", what, -1,
+               str_cat("emitted construct outside the analyzable subset: ",
+                       what));
+      if (diag != nullptr) {
+        diag->location = {"source", what, -1};
+        diag->notes.push_back(
+            "the IR dataflow pass skipped it; its effects are unverified");
+      }
+    }
+  }
+
+  // ---- environment sampling -------------------------------------------
+
+  /// Origin samples along dimension d, mirroring the emitted host sweep
+  /// `for (r = 0; r < grid; r += region)`: first, one interior, last.
+  std::vector<std::int64_t> origin_samples(int d) const {
+    const auto ds = static_cast<std::size_t>(d);
+    const std::int64_t grid = ctx_.grid_extents[ds];
+    const std::int64_t region = std::max<std::int64_t>(ctx_.region_extents[ds], 1);
+    std::vector<std::int64_t> out{0};
+    if (region < grid) {
+      out.push_back(region);
+      out.push_back(((grid - 1) / region) * region);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// pass_h values the host can pass: the full depth and, when the total
+  /// iteration count is not a multiple, the final partial pass.
+  std::vector<std::int64_t> pass_samples() const {
+    const std::int64_t h = std::max<std::int64_t>(ctx_.fused_iterations, 1);
+    std::vector<std::int64_t> out{std::min(h, ctx_.iterations)};
+    const std::int64_t tail = ctx_.iterations % h;
+    if (tail > 0) out.push_back(tail);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Builds the joint cross product of origin and pass-depth samples. The
+  /// origins must vary *jointly* — flattened indices sum per-dimension
+  /// contributions, so independent wide intervals would lose the
+  /// correlation between a loop's range and the buffer origin macro.
+  void build_environments() {
+    std::array<std::vector<std::int64_t>, 3> per_dim;
+    for (int d = 0; d < 3; ++d) {
+      per_dim[static_cast<std::size_t>(d)] =
+          d < ctx_.dims ? origin_samples(d) : std::vector<std::int64_t>{0};
+    }
+    for (const std::int64_t r0 : per_dim[0]) {
+      for (const std::int64_t r1 : per_dim[1]) {
+        for (const std::int64_t r2 : per_dim[2]) {
+          for (const std::int64_t ph : pass_samples()) {
+            IntervalEnv env;
+            env["r0"] = Interval::point(r0);
+            env["r1"] = Interval::point(r1);
+            env["r2"] = Interval::point(r2);
+            env["pass_h"] = Interval::point(ph);
+            envs_.push_back(std::move(env));
+          }
+        }
+      }
+    }
+  }
+
+  static std::string env_summary(const IntervalEnv& env) {
+    return str_cat("r0=", env.at("r0").lo, " r1=", env.at("r1").lo,
+                   " r2=", env.at("r2").lo, " pass_h=",
+                   env.at("pass_h").lo);
+  }
+
+  // ---- per-kernel analysis --------------------------------------------
+
+  void analyze_kernel(const Kernel& kernel) {
+    KernelFacts facts;
+    buffer_sizes_.clear();
+    for (const Buffer& buffer : kernel.locals) {
+      try {
+        const Interval size = eval_expr(buffer.size, IntervalEnv{});
+        buffer_sizes_[buffer.name] = size.lo;
+      } catch (const Error& e) {
+        emit("SCL409", support::Severity::kWarning, kernel.name, buffer.name,
+             buffer.line,
+             str_cat("size of __local buffer '", buffer.name,
+                     "' is not a compile-time constant: ", e.what()));
+      }
+    }
+
+    // Walk 1 per environment: index checks + fact accumulation. The
+    // fused-iteration counter stays abstract ([1, pass_h]) — sound for
+    // indices and cheap.
+    for (const IntervalEnv& base : envs_) {
+      IntervalEnv env = base;
+      const Interval ph = env.at("pass_h");
+      env["it"] = {1, ph.hi};
+      walk_collect(kernel, kernel.body, env, &facts);
+    }
+
+    // Walk 2 per environment: uninitialized-read checks need the complete
+    // written hull, so they run after every store has been seen.
+    for (const IntervalEnv& base : envs_) {
+      IntervalEnv env = base;
+      const Interval ph = env.at("pass_h");
+      env["it"] = {1, ph.hi};
+      walk_uninit(kernel, kernel.body, env, facts);
+    }
+
+    // Whole-kernel verdicts.
+    for (const Buffer& buffer : kernel.locals) {
+      if (facts.stored_buffers.count(buffer.name) != 0 &&
+          facts.loaded_buffers.count(buffer.name) == 0) {
+        support::Diagnostic* diag = emit(
+            "SCL404", support::Severity::kError, kernel.name, buffer.name,
+            buffer.line,
+            str_cat("every store to __local buffer '", buffer.name,
+                    "' is dead: the kernel never loads it"));
+        if (diag != nullptr) {
+          diag->notes.push_back(
+              "data written there can never reach global memory or a pipe");
+        }
+      }
+    }
+    for (const std::string& global : kernel.global_outputs) {
+      if (facts.stored_globals.count(global) == 0) {
+        emit("SCL408", support::Severity::kError, kernel.name, global,
+             kernel.line,
+             str_cat("__global output '", global,
+                     "' is never stored to; the kernel produces no result"));
+      }
+    }
+    for (const int line : facts.loops_seen) {
+      if (facts.loops_executed.count(line) == 0) {
+        support::Diagnostic* diag =
+            emit("SCL407", support::Severity::kWarning, kernel.name,
+                 str_cat("loop@", line), line,
+                 str_cat("loop at line ", line,
+                         " has an empty range under every host-reachable "
+                         "parameter sample"));
+        if (diag != nullptr) {
+          diag->notes.push_back(
+              "a provably zero-trip loop usually means swapped or "
+              "inverted bounds");
+        }
+      }
+    }
+  }
+
+  /// Evaluates one index, reporting SCL401/402/405; returns the interval
+  /// or nullopt when evaluation failed (already reported as SCL409).
+  std::optional<Interval> check_ref(const Kernel& kernel, const ArrayRef& ref,
+                                    bool is_store, const IntervalEnv& env,
+                                    KernelFacts* facts) {
+    bool int32_overflow = false;
+    Interval idx;
+    try {
+      idx = eval_expr(ref.index, env, &int32_overflow);
+    } catch (const Error& e) {
+      emit("SCL409", support::Severity::kWarning, kernel.name,
+           str_cat(ref.array, "@", ref.line), ref.line,
+           str_cat("index of '", ref.array,
+                   "' could not be evaluated: ", e.what()));
+      return std::nullopt;
+    }
+    if (int32_overflow) {
+      support::Diagnostic* diag =
+          emit("SCL405", support::Severity::kError, kernel.name,
+               str_cat(ref.array, "@", ref.line), ref.line,
+               str_cat("index arithmetic for '", ref.array, "[",
+                       ref.index.to_string(),
+                       "]' can exceed 32-bit signed range"));
+      if (diag != nullptr) {
+        diag->notes.push_back(
+            "OpenCL `int` is 32 bits; the emitted expression wraps on the "
+            "device");
+        diag->notes.push_back(str_cat("under ", env_summary(env)));
+      }
+    }
+    const auto size_it = buffer_sizes_.find(ref.array);
+    if (size_it != buffer_sizes_.end()) {
+      const std::int64_t size = size_it->second;
+      if (idx.lo < 0 || idx.hi >= size) {
+        support::Diagnostic* diag = emit(
+            "SCL401", support::Severity::kError, kernel.name,
+            str_cat(ref.array, "@", ref.line), ref.line,
+            str_cat(is_store ? "store to" : "load from", " __local buffer '",
+                    ref.array, "' can reach index [", idx.lo, ", ", idx.hi,
+                    "], outside [0, ", size, ")"));
+        if (diag != nullptr) {
+          diag->notes.push_back(str_cat("emitted index: ",
+                                        ref.index.to_string()));
+          diag->notes.push_back(str_cat("under ", env_summary(env)));
+        }
+      }
+    } else if (is_global(kernel, ref.array)) {
+      const std::int64_t cells = ctx_.grid_cells();
+      if (idx.lo < 0 || idx.hi >= cells) {
+        support::Diagnostic* diag = emit(
+            "SCL402", support::Severity::kError, kernel.name,
+            str_cat(ref.array, "@", ref.line), ref.line,
+            str_cat(is_store ? "store to" : "load from", " __global '",
+                    ref.array, "' can reach index [", idx.lo, ", ", idx.hi,
+                    "], outside the grid's [0, ", cells, ")"));
+        if (diag != nullptr) {
+          diag->notes.push_back(str_cat("emitted index: ",
+                                        ref.index.to_string()));
+          diag->notes.push_back(str_cat("under ", env_summary(env)));
+        }
+      }
+    }
+    if (facts != nullptr) {
+      if (is_store) {
+        if (size_it != buffer_sizes_.end()) {
+          facts->stored_buffers.insert(ref.array);
+          facts->written[ref.array].add(idx);
+        } else {
+          facts->stored_globals.insert(ref.array);
+        }
+      } else if (size_it != buffer_sizes_.end()) {
+        facts->loaded_buffers.insert(ref.array);
+      }
+    }
+    return idx;
+  }
+
+  static bool is_global(const Kernel& kernel, const std::string& name) {
+    const auto in = [&](const std::vector<std::string>& v) {
+      return std::find(v.begin(), v.end(), name) != v.end();
+    };
+    return in(kernel.global_inputs) || in(kernel.global_outputs);
+  }
+
+  /// Loop-range evaluation shared by both walks. Returns false when the
+  /// body provably never executes under `env` (and records emptiness).
+  bool enter_loop(const Kernel& kernel, const Stmt& loop, IntervalEnv* env,
+                  KernelFacts* facts, Interval* saved, bool* had_var) {
+    if (facts != nullptr) facts->loops_seen.insert(loop.line);
+    Interval lo;
+    Interval hi;
+    try {
+      lo = eval_expr(loop.lo, *env);
+      hi = eval_expr(loop.hi, *env);
+    } catch (const Error& e) {
+      emit("SCL409", support::Severity::kWarning, kernel.name,
+           str_cat("loop@", loop.line), loop.line,
+           str_cat("loop bounds at line ", loop.line,
+                   " could not be evaluated: ", e.what()));
+      return false;
+    }
+    const std::int64_t var_max = loop.inclusive ? hi.hi : hi.hi - 1;
+    if (lo.lo > var_max) return false;  // empty range: body unreachable
+    if (facts != nullptr) facts->loops_executed.insert(loop.line);
+    const auto it = env->find(loop.var);
+    *had_var = it != env->end();
+    if (*had_var) *saved = it->second;
+    (*env)[loop.var] = {lo.lo, var_max};
+    return true;
+  }
+
+  void leave_loop(const Stmt& loop, IntervalEnv* env, const Interval& saved,
+                  bool had_var) {
+    if (had_var) {
+      (*env)[loop.var] = saved;
+    } else {
+      env->erase(loop.var);
+    }
+  }
+
+  void walk_collect(const Kernel& kernel, const StmtList& stmts,
+                    IntervalEnv& env, KernelFacts* facts) {
+    for (const Stmt& stmt : stmts) {
+      switch (stmt.kind) {
+        case Stmt::Kind::kLoop: {
+          Interval saved;
+          bool had_var = false;
+          if (enter_loop(kernel, stmt, &env, facts, &saved, &had_var)) {
+            walk_collect(kernel, stmt.body, env, facts);
+            leave_loop(stmt, &env, saved, had_var);
+          }
+          break;
+        }
+        case Stmt::Kind::kStore:
+          if (stmt.store.has_value()) {
+            check_ref(kernel, *stmt.store, /*is_store=*/true, env, facts);
+          }
+          for (const ArrayRef& load : stmt.loads) {
+            check_ref(kernel, load, /*is_store=*/false, env, facts);
+          }
+          break;
+        case Stmt::Kind::kPipeRead:
+        case Stmt::Kind::kPipeWrite:
+        case Stmt::Kind::kBarrier:
+        case Stmt::Kind::kOpaque:
+          break;
+      }
+    }
+  }
+
+  void walk_uninit(const Kernel& kernel, const StmtList& stmts,
+                   IntervalEnv& env, const KernelFacts& facts) {
+    for (const Stmt& stmt : stmts) {
+      switch (stmt.kind) {
+        case Stmt::Kind::kLoop: {
+          Interval saved;
+          bool had_var = false;
+          if (enter_loop(kernel, stmt, &env, nullptr, &saved, &had_var)) {
+            walk_uninit(kernel, stmt.body, env, facts);
+            leave_loop(stmt, &env, saved, had_var);
+          }
+          break;
+        }
+        case Stmt::Kind::kStore: {
+          for (const ArrayRef& load : stmt.loads) {
+            if (buffer_sizes_.find(load.array) == buffer_sizes_.end()) {
+              continue;  // globals are initialized by the host
+            }
+            Interval idx;
+            try {
+              idx = eval_expr(load.index, env);
+            } catch (const Error&) {
+              continue;  // walk 1 already reported SCL409
+            }
+            const auto written = facts.written.find(load.array);
+            const bool never_written =
+                written == facts.written.end() || written->second.empty();
+            if (never_written || !written->second.intersects(idx)) {
+              support::Diagnostic* diag = emit(
+                  "SCL403", support::Severity::kError, kernel.name,
+                  str_cat(load.array, "@", load.line), load.line,
+                  str_cat("load from __local buffer '", load.array,
+                          "' at index [", idx.lo, ", ", idx.hi,
+                          "] that no store can have written"));
+              if (diag != nullptr) {
+                diag->notes.push_back(
+                    never_written
+                        ? str_cat("the kernel never stores to '", load.array,
+                                  "'")
+                        : "every store's index range is disjoint from this "
+                          "load");
+                diag->notes.push_back(str_cat("under ", env_summary(env)));
+              }
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- pipe token balance ---------------------------------------------
+
+  static bool subtree_has_pipe_op(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kPipeRead ||
+        stmt.kind == Stmt::Kind::kPipeWrite) {
+      return true;
+    }
+    return std::any_of(stmt.body.begin(), stmt.body.end(),
+                       subtree_has_pipe_op);
+  }
+
+  static void collect_subtree_pipes(const StmtList& stmts,
+                                    std::set<std::string>* out) {
+    for (const Stmt& stmt : stmts) {
+      if (stmt.kind == Stmt::Kind::kPipeRead ||
+          stmt.kind == Stmt::Kind::kPipeWrite) {
+        out->insert(stmt.pipe);
+      }
+      collect_subtree_pipes(stmt.body, out);
+    }
+  }
+
+  static bool expr_uses_var(const Expr& expr, const std::string& var) {
+    if (expr.kind == Expr::Kind::kVar) return expr.name == var;
+    return std::any_of(expr.args.begin(), expr.args.end(),
+                       [&](const Expr& a) { return expr_uses_var(a, var); });
+  }
+
+  static bool subtree_bounds_use_var(const StmtList& stmts,
+                                     const std::string& var) {
+    for (const Stmt& stmt : stmts) {
+      if (stmt.kind != Stmt::Kind::kLoop) continue;
+      if (expr_uses_var(stmt.lo, var) || expr_uses_var(stmt.hi, var) ||
+          subtree_bounds_use_var(stmt.body, var)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Per-pipe token totals for one walk: [0] = writes, [1] = reads.
+  using TokenCounts = std::map<std::string, std::array<std::int64_t, 2>,
+                               std::less<>>;
+
+  /// Exact token counts for every pipe at once under a fully concrete
+  /// environment — one walk per (kernel, environment) instead of one per
+  /// (pipe, direction, kernel, environment), which dominated the deep
+  /// per-candidate analysis cost. Loops whose variable appears in nested
+  /// bounds are enumerated; others multiply by trip count. A loop whose
+  /// bound fails to evaluate or whose enumeration exceeds the cap poisons
+  /// only the pipes inside it (collected into `unknown`) — balance for
+  /// those is skipped, never a false positive.
+  void count_tokens(const StmtList& stmts, IntervalEnv& env,
+                    TokenCounts* counts, std::set<std::string>* unknown) {
+    for (const Stmt& stmt : stmts) {
+      if (stmt.kind == Stmt::Kind::kPipeWrite) {
+        ++(*counts)[stmt.pipe][0];
+        continue;
+      }
+      if (stmt.kind == Stmt::Kind::kPipeRead) {
+        ++(*counts)[stmt.pipe][1];
+        continue;
+      }
+      if (stmt.kind != Stmt::Kind::kLoop || !subtree_has_pipe_op(stmt)) {
+        continue;
+      }
+      Interval lo;
+      Interval hi;
+      try {
+        lo = eval_expr(stmt.lo, env);
+        hi = eval_expr(stmt.hi, env);
+      } catch (const Error&) {
+        collect_subtree_pipes(stmt.body, unknown);
+        continue;
+      }
+      const std::int64_t last = stmt.inclusive ? hi.lo : hi.lo - 1;
+      const std::int64_t trip = std::max<std::int64_t>(0, last - lo.lo + 1);
+      if (trip == 0) continue;
+      if (subtree_bounds_use_var(stmt.body, stmt.var)) {
+        if (trip > kEnumerationCap) {
+          collect_subtree_pipes(stmt.body, unknown);
+          continue;
+        }
+        const auto saved = env.find(stmt.var);
+        const bool had = saved != env.end();
+        const Interval old = had ? saved->second : Interval{};
+        for (std::int64_t v = lo.lo; v <= last; ++v) {
+          env[stmt.var] = Interval::point(v);
+          count_tokens(stmt.body, env, counts, unknown);
+        }
+        if (had) {
+          env[stmt.var] = old;
+        } else {
+          env.erase(stmt.var);
+        }
+      } else {
+        env[stmt.var] = Interval::point(lo.lo);  // bounds ignore it anyway
+        TokenCounts inner;
+        count_tokens(stmt.body, env, &inner, unknown);
+        env.erase(stmt.var);
+        for (const auto& [pipe, n] : inner) {
+          (*counts)[pipe][0] += trip * n[0];
+          (*counts)[pipe][1] += trip * n[1];
+        }
+      }
+    }
+  }
+
+  void check_pipe_balance() {
+    if (module_.pipes.empty()) return;
+    std::set<std::string> reported;
+    std::set<std::string> unknown;
+    for (const IntervalEnv& base : envs_) {
+      TokenCounts counts;
+      for (const Kernel& kernel : module_.kernels) {
+        IntervalEnv env = base;
+        count_tokens(kernel.body, env, &counts, &unknown);
+      }
+      for (const PipeChannel& pipe : module_.pipes) {
+        if (reported.count(pipe.name) != 0 || unknown.count(pipe.name) != 0) {
+          continue;
+        }
+        const auto it = counts.find(pipe.name);
+        const std::int64_t writes = it != counts.end() ? it->second[0] : 0;
+        const std::int64_t reads = it != counts.end() ? it->second[1] : 0;
+        if (writes == reads) continue;
+        reported.insert(pipe.name);  // one environment is enough evidence
+        support::Diagnostic* diag = emit(
+            "SCL406", support::Severity::kError, "", pipe.name, pipe.line,
+            str_cat("pipe '", pipe.name, "' is unbalanced: ", writes,
+                    " write(s) vs ", reads, " read(s) over one pass"));
+        if (diag != nullptr) {
+          diag->location = {"pipe", pipe.name, pipe.line};
+          diag->notes.push_back(str_cat("under ", env_summary(base)));
+          diag->notes.push_back(
+              writes > reads
+                  ? "surplus tokens accumulate until the writer blocks "
+                    "forever"
+                  : "the reader eventually blocks on a token that never "
+                    "arrives");
+        }
+      }
+    }
+    for (const PipeChannel& pipe : module_.pipes) {
+      if (unknown.count(pipe.name) == 0) continue;
+      emit("SCL409", support::Severity::kWarning, "", pipe.name, pipe.line,
+           str_cat("token balance for pipe '", pipe.name,
+                   "' could not be established (unevaluable or oversized "
+                   "loop nest)"));
+    }
+  }
+
+  const Module& module_;
+  const IrContext& ctx_;
+  support::DiagnosticEngine* diags_;
+  std::vector<IntervalEnv> envs_;
+  /// Local-buffer name -> constant element count, for the current kernel.
+  std::map<std::string, std::int64_t, std::less<>> buffer_sizes_;
+  std::set<std::string> emitted_;
+};
+
+}  // namespace
+
+IrContext make_ir_context(const scl::stencil::StencilProgram& program,
+                          const scl::sim::DesignConfig& config) {
+  IrContext ctx;
+  ctx.dims = program.dims();
+  for (int d = 0; d < program.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    ctx.grid_extents[ds] = program.grid_box().extent(d);
+    ctx.region_extents[ds] = std::max<std::int64_t>(config.region_extent(d), 1);
+  }
+  ctx.fused_iterations = std::max<std::int64_t>(config.fused_iterations, 1);
+  ctx.iterations = std::max<std::int64_t>(program.iterations(), 1);
+  return ctx;
+}
+
+void analyze_module(const Module& module, const IrContext& ctx,
+                    support::DiagnosticEngine* diags) {
+  ModuleAnalyzer(module, ctx, diags).run();
+}
+
+void analyze_kernel_source(const std::string& source, const IrContext& ctx,
+                           support::DiagnosticEngine* diags) {
+  Module module;
+  try {
+    module = lower_kernel_source(source);
+  } catch (const Error& e) {
+    support::Diagnostic& diag = diags->error(
+        "SCL409",
+        str_cat("emitted kernel source could not be lowered to the "
+                "analysis IR: ",
+                e.what()));
+    diag.location = {"source", "stencil_kernels.cl", -1};
+    return;
+  }
+  analyze_module(module, ctx, diags);
+}
+
+}  // namespace scl::analysis::ir

@@ -1,0 +1,150 @@
+#include "analysis/ir/ir.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::analysis::ir {
+
+namespace {
+
+constexpr std::int64_t kInt32Min = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kInt32Max = std::numeric_limits<std::int32_t>::max();
+
+/// Saturating int64 helpers: the evaluator must stay defined even on the
+/// pathological expressions it exists to diagnose.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return a > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  }
+  return r;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return (a > 0) == (b > 0) ? std::numeric_limits<std::int64_t>::max()
+                              : std::numeric_limits<std::int64_t>::min();
+  }
+  return r;
+}
+
+void note_int32_escape(const Interval& v, bool* flag) {
+  if (flag != nullptr && (v.lo < kInt32Min || v.hi > kInt32Max)) *flag = true;
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return str_cat(value);
+    case Kind::kVar:
+      return name;
+    case Kind::kAdd:
+      return str_cat("(", args[0].to_string(), " + ", args[1].to_string(),
+                     ")");
+    case Kind::kSub:
+      return str_cat("(", args[0].to_string(), " - ", args[1].to_string(),
+                     ")");
+    case Kind::kMul:
+      return str_cat("(", args[0].to_string(), " * ", args[1].to_string(),
+                     ")");
+    case Kind::kNeg:
+      return str_cat("-", args[0].to_string());
+    case Kind::kMin:
+      return str_cat("min(", args[0].to_string(), ", ", args[1].to_string(),
+                     ")");
+    case Kind::kMax:
+      return str_cat("max(", args[0].to_string(), ", ", args[1].to_string(),
+                     ")");
+    case Kind::kCast64:
+      return str_cat("(long)", args[0].to_string());
+  }
+  return "<expr>";
+}
+
+namespace {
+
+/// eval_expr's recursion. `wide` tracks whether the subtree is `long` on
+/// the device: a kCast64 node is wide, and so is every operation with a
+/// wide operand (C promotion), so those values never wrap an `int` and
+/// are exempt from the 32-bit escape check.
+Interval eval_impl(const Expr& expr, const IntervalEnv& env,
+                   bool* int32_overflow, bool* wide) {
+  *wide = false;
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return Interval::point(expr.value);
+    case Expr::Kind::kVar: {
+      const auto it = env.find(expr.name);
+      if (it == env.end()) {
+        throw Error(str_cat("unknown variable '", expr.name,
+                            "' in emitted expression"));
+      }
+      return it->second;
+    }
+    case Expr::Kind::kCast64: {
+      bool arg_wide = false;
+      const Interval v =
+          eval_impl(expr.args[0], env, int32_overflow, &arg_wide);
+      *wide = true;
+      return v;
+    }
+    default:
+      break;
+  }
+  bool a_wide = false;
+  const Interval a = eval_impl(expr.args[0], env, int32_overflow, &a_wide);
+  if (expr.kind == Expr::Kind::kNeg) {
+    const Interval v{sat_mul(a.hi, -1), sat_mul(a.lo, -1)};
+    *wide = a_wide;
+    if (!*wide) note_int32_escape(v, int32_overflow);
+    return v;
+  }
+  bool b_wide = false;
+  const Interval b = eval_impl(expr.args[1], env, int32_overflow, &b_wide);
+  Interval v;
+  switch (expr.kind) {
+    case Expr::Kind::kAdd:
+      v = {sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+      break;
+    case Expr::Kind::kSub:
+      v = {sat_add(a.lo, sat_mul(b.hi, -1)),
+           sat_add(a.hi, sat_mul(b.lo, -1))};
+      break;
+    case Expr::Kind::kMul: {
+      const std::int64_t p1 = sat_mul(a.lo, b.lo);
+      const std::int64_t p2 = sat_mul(a.lo, b.hi);
+      const std::int64_t p3 = sat_mul(a.hi, b.lo);
+      const std::int64_t p4 = sat_mul(a.hi, b.hi);
+      v = {std::min(std::min(p1, p2), std::min(p3, p4)),
+           std::max(std::max(p1, p2), std::max(p3, p4))};
+      break;
+    }
+    case Expr::Kind::kMin:
+      v = {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+      break;
+    case Expr::Kind::kMax:
+      v = {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+      break;
+    default:
+      throw Error("malformed IR expression");
+  }
+  *wide = a_wide || b_wide;
+  if (!*wide) note_int32_escape(v, int32_overflow);
+  return v;
+}
+
+}  // namespace
+
+Interval eval_expr(const Expr& expr, const IntervalEnv& env,
+                   bool* int32_overflow) {
+  bool wide = false;
+  return eval_impl(expr, env, int32_overflow, &wide);
+}
+
+}  // namespace scl::analysis::ir

@@ -1,0 +1,166 @@
+// Kernel IR: a small statement-level intermediate representation of the
+// OpenCL the code generator emits, plus the abstract-interpretation pass
+// family (SCL4xx) that verifies it.
+//
+// The PR-2 verifier (SCL1xx-SCL3xx) checks the *design configuration* —
+// pipe graph, re-derived halo bounds, resource charge — but never the
+// generated text itself, so an emitter bug that produces out-of-bounds
+// indexing or an unbalanced channel schedule ships silently. This layer
+// closes that gap: the emitted kernel source is lowered (reusing the
+// frontend lexer) into the structured IR below, and analysis/ir/dataflow
+// runs interval abstract interpretation over it, proving properties of
+// the *actual emitted expressions* instead of the formulas that were
+// supposed to produce them.
+//
+// The IR models exactly the language subset the emitter produces:
+// counted `for` loops over int induction variables, flat array stores and
+// loads through expanded index macros, blocking pipe reads/writes, local
+// scalar carriers (`float v`), and barriers. Anything outside the subset
+// lowers to an opaque statement and is reported as SCL409 (analysis
+// incomplete) rather than silently skipped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.hpp"
+
+namespace scl::analysis::ir {
+
+/// Integer expression tree over loop variables and kernel parameters.
+/// Only the operators the emitter's index/bound language uses exist;
+/// evaluation is interval arithmetic over analysis::Interval.
+struct Expr {
+  enum class Kind {
+    kLiteral,  ///< value
+    kVar,      ///< name
+    kAdd,      ///< args[0] + args[1]
+    kSub,      ///< args[0] - args[1]
+    kMul,      ///< args[0] * args[1]
+    kNeg,      ///< -args[0]
+    kMin,      ///< min(args[0], args[1])
+    kMax,      ///< max(args[0], args[1])
+    kCast64,   ///< (long)args[0]: widens to 64-bit device arithmetic
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::int64_t value = 0;
+  std::string name;
+  std::vector<Expr> args;
+
+  static Expr literal(std::int64_t v) {
+    Expr e;
+    e.kind = Kind::kLiteral;
+    e.value = v;
+    return e;
+  }
+  static Expr var(std::string n) {
+    Expr e;
+    e.kind = Kind::kVar;
+    e.name = std::move(n);
+    return e;
+  }
+  static Expr make(Kind kind, std::vector<Expr> args) {
+    Expr e;
+    e.kind = kind;
+    e.args = std::move(args);
+    return e;
+  }
+
+  /// Renders the expression back to C-ish text (diagnostics only).
+  std::string to_string() const;
+};
+
+/// Interval evaluation of `expr` under `env`. Unknown variables throw
+/// scl::Error (the analyzer reports SCL409 and skips the statement).
+/// `int32_overflow`, when non-null, is set if any intermediate value can
+/// escape the 32-bit signed range — the emitted arithmetic runs on
+/// OpenCL `int`, so that is real wrap-around on the device. A kCast64
+/// subtree widens to `long`: its result and every operation it feeds are
+/// 64-bit on the device and exempt from the check (operands computed
+/// *before* the cast are still `int` and still checked).
+Interval eval_expr(const Expr& expr, const IntervalEnv& env,
+                   bool* int32_overflow = nullptr);
+
+/// One array element access: `array[index]` after index-macro expansion.
+struct ArrayRef {
+  std::string array;
+  Expr index;
+  int line = 0;
+};
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+/// Structured-CFG statement. Loops carry their body; everything else is
+/// a leaf. The emitter only produces reducible, counted loops, so the
+/// loop tree *is* the CFG (one back-edge per loop, no gotos).
+struct Stmt {
+  enum class Kind {
+    kLoop,       ///< for (int var = lo; var < hi; ++var) body   (or <=)
+    kStore,      ///< store->array[store->index] = ...loads...
+    kPipeWrite,  ///< write_pipe_block(pipe, &carrier)
+    kPipeRead,   ///< read_pipe_block(pipe, &carrier)
+    kBarrier,    ///< barrier(...)
+    kOpaque,     ///< outside the modeled subset (reported as SCL409)
+  };
+
+  Kind kind = Kind::kOpaque;
+  int line = 0;
+
+  // kLoop
+  std::string var;
+  Expr lo;
+  Expr hi;
+  bool inclusive = false;  ///< condition was `var <= hi` (the `it` loop)
+  StmtList body;
+
+  // kStore
+  std::optional<ArrayRef> store;
+  std::vector<ArrayRef> loads;  ///< array reads on the right-hand side
+                                ///< (also set for kPipeWrite carriers)
+
+  // kPipeWrite / kPipeRead
+  std::string pipe;
+
+  // kOpaque
+  std::string text;  ///< short description for the SCL409 note
+};
+
+/// A local (`__local float name[size]`) buffer declaration.
+struct Buffer {
+  std::string name;
+  Expr size;  ///< compile-time constant after macro expansion
+  int line = 0;
+};
+
+/// One lowered `__kernel` function.
+struct Kernel {
+  std::string name;
+  std::vector<std::string> int_params;      ///< r0..r2, pass_h
+  std::vector<std::string> global_inputs;   ///< `__global const float*` args
+  std::vector<std::string> global_outputs;  ///< `__global float*` args
+  std::vector<Buffer> locals;
+  StmtList body;
+  int line = 0;
+};
+
+/// A `pipe float` declaration.
+struct PipeChannel {
+  std::string name;
+  std::int64_t depth = 0;
+  int line = 0;
+};
+
+/// The lowered compilation unit.
+struct Module {
+  std::vector<PipeChannel> pipes;
+  std::vector<Kernel> kernels;
+  /// Constructs the lowerer could not model (rendered into SCL409).
+  std::vector<std::string> unmodeled;
+};
+
+}  // namespace scl::analysis::ir

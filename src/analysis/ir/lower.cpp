@@ -1,0 +1,546 @@
+#include "analysis/ir/lower.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace scl::analysis::ir {
+
+using scl::frontend::Token;
+using scl::frontend::TokenKind;
+
+namespace {
+
+constexpr int kMaxMacroDepth = 16;
+
+struct Macro {
+  bool function_like = false;
+  std::vector<std::string> params;
+  std::vector<Token> body;
+};
+
+using MacroTable = std::map<std::string, Macro, std::less<>>;
+
+/// The frontend lexer strips preprocessor lines, so macro definitions are
+/// collected from the raw text first. The emitter only produces
+/// single-line `#define NAME[(params)] body` forms.
+MacroTable collect_macros(const std::string& source) {
+  MacroTable macros;
+  int line_no = 0;
+  for (const std::string& raw : split(source, '\n')) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (!starts_with(line, "#define ")) continue;
+    std::size_t pos = 8;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_')) {
+      name.push_back(line[pos++]);
+    }
+    if (name.empty()) continue;
+    Macro macro;
+    if (pos < line.size() && line[pos] == '(') {
+      macro.function_like = true;
+      ++pos;
+      std::string param;
+      while (pos < line.size() && line[pos] != ')') {
+        const char c = line[pos++];
+        if (c == ',') {
+          if (!param.empty()) macro.params.push_back(std::move(param));
+          param.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          param.push_back(c);
+        }
+      }
+      if (!param.empty()) macro.params.push_back(std::move(param));
+      if (pos < line.size()) ++pos;  // consume ')'
+    }
+    macro.body = scl::frontend::tokenize(line.substr(pos));
+    if (!macro.body.empty() && macro.body.back().kind == TokenKind::kEnd) {
+      macro.body.pop_back();
+    }
+    for (Token& t : macro.body) t.line = line_no;
+    macros.emplace(std::move(name), std::move(macro));
+  }
+  return macros;
+}
+
+/// Fully macro-expands a token stream. Substituted tokens inherit the
+/// use-site line so diagnostics point at the access, not the #define.
+std::vector<Token> expand(const std::vector<Token>& in,
+                          const MacroTable& macros, int depth) {
+  if (depth > kMaxMacroDepth) {
+    throw Error("macro expansion exceeds depth limit (recursive #define?)");
+  }
+  std::vector<Token> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const Token& tok = in[i];
+    if (tok.kind != TokenKind::kIdentifier) {
+      out.push_back(tok);
+      continue;
+    }
+    const auto it = macros.find(tok.text);
+    if (it == macros.end()) {
+      out.push_back(tok);
+      continue;
+    }
+    const Macro& macro = it->second;
+    std::vector<Token> body;
+    if (macro.function_like) {
+      if (i + 1 >= in.size() || !in[i + 1].is("(")) {
+        out.push_back(tok);  // name without call: leave verbatim
+        continue;
+      }
+      // Collect comma-separated argument token lists at depth 1.
+      std::vector<std::vector<Token>> args(1);
+      std::size_t j = i + 2;
+      int nesting = 1;
+      for (; j < in.size(); ++j) {
+        if (in[j].is("(")) ++nesting;
+        if (in[j].is(")")) {
+          if (--nesting == 0) break;
+        }
+        if (in[j].is(",") && nesting == 1) {
+          args.emplace_back();
+          continue;
+        }
+        args.back().push_back(in[j]);
+      }
+      if (nesting != 0) {
+        throw Error(str_cat("unterminated macro call '", tok.text,
+                            "' at line ", tok.line));
+      }
+      if (args.size() != macro.params.size()) {
+        throw Error(str_cat("macro '", tok.text, "' expects ",
+                            macro.params.size(), " argument(s), got ",
+                            args.size(), " at line ", tok.line));
+      }
+      for (const Token& bt : macro.body) {
+        bool substituted = false;
+        if (bt.kind == TokenKind::kIdentifier) {
+          for (std::size_t p = 0; p < macro.params.size(); ++p) {
+            if (bt.text == macro.params[p]) {
+              body.insert(body.end(), args[p].begin(), args[p].end());
+              substituted = true;
+              break;
+            }
+          }
+        }
+        if (!substituted) body.push_back(bt);
+      }
+      i = j;  // past the closing ')'
+    } else {
+      body = macro.body;
+    }
+    std::vector<Token> expanded = expand(body, macros, depth + 1);
+    for (Token& t : expanded) t.line = tok.line;
+    out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+               std::make_move_iterator(expanded.end()));
+  }
+  return out;
+}
+
+/// Cursor over the expanded token stream with the small helpers every
+/// recursive-descent parser wants.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>* tokens) : tokens_(tokens) {}
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_->size() ? (*tokens_)[i] : end_token_;
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (pos_ < tokens_->size()) ++pos_;
+    return t;
+  }
+  bool at_end() const {
+    return pos_ >= tokens_->size() ||
+           (*tokens_)[pos_].kind == TokenKind::kEnd;
+  }
+  bool consume(const char* text) {
+    if (peek().is(text)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  void expect(const char* text) {
+    if (!consume(text)) {
+      throw Error(str_cat("expected '", text, "' but found '", peek().text,
+                          "' at line ", peek().line));
+    }
+  }
+  /// Skips one balanced (...) group, cursor on the opening paren.
+  void skip_parens() {
+    expect("(");
+    int nesting = 1;
+    while (nesting > 0) {
+      if (at_end()) throw Error("unbalanced parentheses");
+      const Token& t = next();
+      if (t.is("(")) ++nesting;
+      if (t.is(")")) --nesting;
+    }
+  }
+  /// Skips to just past the next ';' (statement-level error recovery).
+  void skip_statement() {
+    while (!at_end() && !next().is(";")) {
+    }
+  }
+
+ private:
+  const std::vector<Token>* tokens_;
+  std::size_t pos_ = 0;
+  Token end_token_{TokenKind::kEnd, "", 0};
+};
+
+std::int64_t parse_int_literal(const Token& tok) {
+  if (tok.kind != TokenKind::kNumber ||
+      tok.text.find_first_of(".eEfF") != std::string::npos) {
+    throw Error(str_cat("expected integer literal, found '", tok.text,
+                        "' at line ", tok.line));
+  }
+  return std::strtoll(tok.text.c_str(), nullptr, 10);
+}
+
+/// Integer expression parser (the emitted index/bound language):
+///   expr   := term (('+' | '-') term)*
+///   term   := factor ('*' factor)*
+///   factor := INT | IDENT | '-' factor | '(' expr ')' | '(' 'long' ')' factor
+///           | ('max' | 'min') '(' expr ',' expr ')'
+Expr parse_expr(Cursor& cur);
+
+Expr parse_factor(Cursor& cur) {
+  const Token& tok = cur.peek();
+  if (tok.is("-")) {
+    cur.next();
+    return Expr::make(Expr::Kind::kNeg, {parse_factor(cur)});
+  }
+  if (tok.is("(")) {
+    // `(long)<factor>`: the emitter widens the flat global index to
+    // 64-bit device arithmetic (see codegen's GIDX macro).
+    if (cur.peek(1).is("long") && cur.peek(2).is(")")) {
+      cur.next();
+      cur.next();
+      cur.next();
+      return Expr::make(Expr::Kind::kCast64, {parse_factor(cur)});
+    }
+    cur.next();
+    Expr inner = parse_expr(cur);
+    cur.expect(")");
+    return inner;
+  }
+  if (tok.kind == TokenKind::kNumber) {
+    cur.next();
+    return Expr::literal(parse_int_literal(tok));
+  }
+  if (tok.kind == TokenKind::kIdentifier) {
+    cur.next();
+    if (tok.is("max") || tok.is("min")) {
+      cur.expect("(");
+      Expr a = parse_expr(cur);
+      cur.expect(",");
+      Expr b = parse_expr(cur);
+      cur.expect(")");
+      return Expr::make(tok.is("max") ? Expr::Kind::kMax : Expr::Kind::kMin,
+                       {std::move(a), std::move(b)});
+    }
+    return Expr::var(tok.text);
+  }
+  throw Error(str_cat("unexpected token '", tok.text,
+                      "' in integer expression at line ", tok.line));
+}
+
+Expr parse_term(Cursor& cur) {
+  Expr value = parse_factor(cur);
+  while (cur.peek().is("*")) {
+    cur.next();
+    value = Expr::make(Expr::Kind::kMul, {std::move(value), parse_factor(cur)});
+  }
+  return value;
+}
+
+Expr parse_expr(Cursor& cur) {
+  Expr value = parse_term(cur);
+  for (;;) {
+    if (cur.peek().is("+")) {
+      cur.next();
+      value =
+          Expr::make(Expr::Kind::kAdd, {std::move(value), parse_term(cur)});
+    } else if (cur.peek().is("-")) {
+      cur.next();
+      value =
+          Expr::make(Expr::Kind::kSub, {std::move(value), parse_term(cur)});
+    } else {
+      return value;
+    }
+  }
+}
+
+/// Scans right-hand-side tokens up to the terminating ';', collecting
+/// every `array[index]` element read. Float arithmetic between the reads
+/// is irrelevant to the dataflow checks and is skipped.
+std::vector<ArrayRef> scan_loads(Cursor& cur) {
+  std::vector<ArrayRef> loads;
+  while (!cur.at_end() && !cur.peek().is(";")) {
+    const Token& tok = cur.next();
+    if (tok.kind == TokenKind::kIdentifier && cur.peek().is("[")) {
+      cur.next();  // '['
+      ArrayRef ref;
+      ref.array = tok.text;
+      ref.line = tok.line;
+      ref.index = parse_expr(cur);
+      cur.expect("]");
+      loads.push_back(std::move(ref));
+    }
+  }
+  cur.consume(";");
+  return loads;
+}
+
+class KernelParser {
+ public:
+  KernelParser(Cursor& cur, Module* module) : cur_(cur), module_(module) {}
+
+  Stmt parse_statement() {
+    const Token& tok = cur_.peek();
+    if (tok.is("for")) return parse_loop();
+    if (tok.is("barrier")) {
+      Stmt stmt;
+      stmt.kind = Stmt::Kind::kBarrier;
+      stmt.line = tok.line;
+      cur_.next();
+      cur_.skip_parens();
+      cur_.consume(";");
+      return stmt;
+    }
+    if (tok.is("write_pipe_block") || tok.is("read_pipe_block")) {
+      return parse_pipe_call(tok.is("write_pipe_block"));
+    }
+    if (tok.is("float")) return parse_carrier_decl();
+    if (tok.kind == TokenKind::kIdentifier && cur_.peek(1).is("[")) {
+      return parse_store();
+    }
+    // Outside the modeled subset: record and resynchronize at ';'.
+    Stmt stmt;
+    stmt.kind = Stmt::Kind::kOpaque;
+    stmt.line = tok.line;
+    stmt.text = tok.text;
+    module_->unmodeled.push_back(
+        str_cat("statement starting with '", tok.text, "' at line ",
+                tok.line));
+    cur_.skip_statement();
+    return stmt;
+  }
+
+ private:
+  Stmt parse_loop() {
+    Stmt stmt;
+    stmt.kind = Stmt::Kind::kLoop;
+    stmt.line = cur_.peek().line;
+    cur_.expect("for");
+    cur_.expect("(");
+    cur_.expect("int");
+    stmt.var = cur_.next().text;
+    cur_.expect("=");
+    stmt.lo = parse_expr(cur_);
+    cur_.expect(";");
+    const std::string cond_var = cur_.next().text;
+    if (cur_.consume("<")) {
+      stmt.inclusive = false;
+    } else if (cur_.consume("<=")) {
+      stmt.inclusive = true;
+    } else {
+      throw Error(str_cat("unsupported loop condition on '", cond_var,
+                          "' at line ", stmt.line));
+    }
+    stmt.hi = parse_expr(cur_);
+    cur_.expect(";");
+    // `++var` or `var++`.
+    cur_.consume("+");
+    cur_.consume("+");
+    cur_.next();  // the variable (either order leaves it last or first)
+    cur_.consume("+");
+    cur_.consume("+");
+    cur_.expect(")");
+    if (cur_.consume("{")) {
+      while (!cur_.consume("}")) {
+        if (cur_.at_end()) {
+          throw Error(str_cat("unterminated loop body at line ", stmt.line));
+        }
+        stmt.body.push_back(parse_statement());
+      }
+    } else {
+      stmt.body.push_back(parse_statement());
+    }
+    return stmt;
+  }
+
+  Stmt parse_pipe_call(bool is_write) {
+    Stmt stmt;
+    stmt.kind = is_write ? Stmt::Kind::kPipeWrite : Stmt::Kind::kPipeRead;
+    stmt.line = cur_.peek().line;
+    cur_.next();  // the call name
+    cur_.expect("(");
+    stmt.pipe = cur_.next().text;
+    cur_.expect(",");
+    cur_.consume("&");
+    cur_.next();  // carrier variable
+    cur_.expect(")");
+    cur_.consume(";");
+    return stmt;
+  }
+
+  /// `float v = <rhs>;` or `float v;` — the pipe-exchange carriers. The
+  /// loads on the right-hand side are the dataflow-relevant part.
+  Stmt parse_carrier_decl() {
+    Stmt stmt;
+    stmt.kind = Stmt::Kind::kStore;  // store to a scalar: no array target
+    stmt.line = cur_.peek().line;
+    cur_.expect("float");
+    cur_.next();  // carrier name
+    if (cur_.consume(";")) return stmt;
+    if (cur_.consume("=")) {
+      stmt.loads = scan_loads(cur_);
+      return stmt;
+    }
+    stmt.kind = Stmt::Kind::kOpaque;
+    module_->unmodeled.push_back(
+        str_cat("float declaration at line ", stmt.line));
+    cur_.skip_statement();
+    return stmt;
+  }
+
+  Stmt parse_store() {
+    Stmt stmt;
+    stmt.kind = Stmt::Kind::kStore;
+    const Token& target = cur_.next();
+    stmt.line = target.line;
+    ArrayRef ref;
+    ref.array = target.text;
+    ref.line = target.line;
+    cur_.expect("[");
+    ref.index = parse_expr(cur_);
+    cur_.expect("]");
+    stmt.store = std::move(ref);
+    cur_.expect("=");
+    stmt.loads = scan_loads(cur_);
+    return stmt;
+  }
+
+  Cursor& cur_;
+  Module* module_;
+};
+
+void parse_kernel_params(Cursor& cur, Kernel* kernel) {
+  cur.expect("(");
+  while (!cur.consume(")")) {
+    if (cur.at_end()) {
+      throw Error(str_cat("unterminated parameter list of kernel '",
+                          kernel->name, "'"));
+    }
+    const bool is_global = cur.consume("__global");
+    const bool is_const = cur.consume("const");
+    const std::string type = cur.next().text;  // float | int
+    const bool is_pointer = cur.consume("*");
+    cur.consume("restrict");
+    const std::string name = cur.next().text;
+    if (is_global && is_pointer) {
+      (is_const ? kernel->global_inputs : kernel->global_outputs)
+          .push_back(name);
+    } else if (type == "int") {
+      kernel->int_params.push_back(name);
+    }
+    cur.consume(",");
+  }
+}
+
+Kernel parse_kernel(Cursor& cur, Module* module) {
+  Kernel kernel;
+  kernel.line = cur.peek().line;
+  cur.expect("__kernel");
+  while (cur.consume("__attribute__")) cur.skip_parens();
+  cur.expect("void");
+  kernel.name = cur.next().text;
+  parse_kernel_params(cur, &kernel);
+  cur.expect("{");
+  KernelParser parser(cur, module);
+  while (!cur.consume("}")) {
+    if (cur.at_end()) {
+      throw Error(str_cat("kernel '", kernel.name, "' never closes"));
+    }
+    // Local buffer declarations precede the statements.
+    if (cur.peek().is("__local")) {
+      cur.next();
+      cur.expect("float");
+      Buffer buffer;
+      buffer.name = cur.next().text;
+      buffer.line = cur.peek().line;
+      cur.expect("[");
+      buffer.size = parse_expr(cur);
+      cur.expect("]");
+      cur.consume(";");
+      kernel.locals.push_back(std::move(buffer));
+      continue;
+    }
+    kernel.body.push_back(parser.parse_statement());
+  }
+  return kernel;
+}
+
+}  // namespace
+
+Module lower_kernel_source(const std::string& source) {
+  const MacroTable macros = collect_macros(source);
+  const std::vector<Token> raw = scl::frontend::tokenize(source);
+  const std::vector<Token> tokens = expand(raw, macros, 0);
+  Cursor cur(&tokens);
+
+  Module module;
+  while (!cur.at_end()) {
+    const Token& tok = cur.peek();
+    if (tok.is("pipe")) {
+      cur.next();
+      cur.expect("float");
+      PipeChannel pipe;
+      pipe.name = cur.next().text;
+      pipe.line = tok.line;
+      if (cur.consume("__attribute__")) {
+        // ((xcl_reqd_pipe_depth(N))): pull N out of the nested parens.
+        cur.expect("(");
+        cur.expect("(");
+        cur.next();  // xcl_reqd_pipe_depth
+        cur.expect("(");
+        pipe.depth = parse_int_literal(cur.next());
+        cur.expect(")");
+        cur.expect(")");
+        cur.expect(")");
+      }
+      cur.consume(";");
+      module.pipes.push_back(std::move(pipe));
+      continue;
+    }
+    if (tok.is("__kernel")) {
+      module.kernels.push_back(parse_kernel(cur, &module));
+      continue;
+    }
+    module.unmodeled.push_back(str_cat("top-level construct '", tok.text,
+                                       "' at line ", tok.line));
+    cur.skip_statement();
+  }
+  return module;
+}
+
+}  // namespace scl::analysis::ir

@@ -1,0 +1,28 @@
+// Lowers emitted OpenCL kernel source into the analysis IR (ir.hpp).
+//
+// The generator's output is a disciplined subset of OpenCL-C: `#define`
+// index macros, `pipe float` declarations, single-work-item kernels made
+// of counted loop nests over flat array accesses and blocking pipe
+// calls. The lowerer re-reads that text with the *frontend* lexer (the
+// same tokenizer the OpenCL importer uses), expands the emitted macros,
+// and builds the statement IR. It deliberately re-derives nothing from
+// the design config — what is analyzed is what was emitted.
+//
+// Constructs outside the subset do not abort the lowering: they become
+// ir::Stmt::kOpaque leaves / Module::unmodeled entries, which the
+// dataflow pass reports as SCL409 so the analysis is never silently
+// partial. Structurally broken text (unterminated kernels, unbalanced
+// parentheses) throws scl::Error.
+#pragma once
+
+#include <string>
+
+#include "analysis/ir/ir.hpp"
+
+namespace scl::analysis::ir {
+
+/// Lowers one emitted kernel-source file. Throws scl::Error when the
+/// text cannot be tokenized or a kernel never closes.
+Module lower_kernel_source(const std::string& source);
+
+}  // namespace scl::analysis::ir

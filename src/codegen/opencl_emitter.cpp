@@ -71,7 +71,10 @@ std::string render_global_index_macro(const GenContext& ctx) {
   for (int d = 0; d < prog.dims(); ++d) {
     params.push_back(str_cat("i", d));
     if (d == 0) {
-      expr = "(i0)";
+      // The flat index is computed in 64 bits: at paper-scale grids the
+      // row-major product exceeds INT32_MAX and OpenCL `int` wraps on the
+      // device (caught by the SCL405 kernel-IR check).
+      expr = "((long)(i0))";
     } else {
       expr = str_cat("(", expr, " * ", prog.grid_box().extent(d), " + (i", d,
                      "))");

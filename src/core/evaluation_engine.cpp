@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "analysis/analyzer.hpp"
+#include "codegen/opencl_emitter.hpp"
 #include "core/optimizer.hpp"
+#include "core/verify.hpp"
 #include "support/observability/observability.hpp"
 
 namespace scl::core {
@@ -91,10 +93,11 @@ DesignPoint to_point(const DesignConfig& config,
 EvaluationEngine::EvaluationEngine(
     const scl::stencil::StencilProgram& program,
     const fpga::DeviceSpec& device, model::ConeMode cone_mode, int threads,
-    bool analyze_candidates)
+    bool analyze_candidates, bool deep_ir_analysis)
     : program_(&program),
       device_(device),
-      analyze_candidates_(analyze_candidates) {
+      analyze_candidates_(analyze_candidates),
+      deep_ir_analysis_(deep_ir_analysis) {
   const int resolved = ThreadPool::resolve_threads(threads);
   perf_models_.reserve(static_cast<std::size_t>(resolved));
   resource_models_.reserve(static_cast<std::size_t>(resolved));
@@ -122,6 +125,20 @@ CachedEvaluation EvaluationEngine::compute(const DesignConfig& config) const {
   if (analyze_candidates_) {
     eval.analysis_errors =
         analysis::analyze_design(*program_, config, device_).error_count();
+    if (deep_ir_analysis_) {
+      // Deep mode: emit the candidate's actual OpenCL and run the pass-4
+      // IR abstract interpretation over it. A config the emitter cannot
+      // handle at all counts as one error (it could never ship either).
+      try {
+        const codegen::GeneratedCode code =
+            codegen::generate_opencl(*program_, config, device_);
+        support::DiagnosticEngine diags;
+        verify_generated_ir(*program_, config, code, &diags);
+        eval.analysis_errors += diags.error_count();
+      } catch (const Error&) {
+        eval.analysis_errors += 1;
+      }
+    }
   }
   return eval;
 }

@@ -58,9 +58,13 @@ class EvaluationEngine {
   /// evaluation also runs the static design verifier (analysis passes 1
   /// and 2) and records its error count in the DesignPoint; chain
   /// evaluation then drops flagged candidates from the feasible set.
+  /// `deep_ir_analysis` additionally generates each candidate's OpenCL
+  /// and runs the pass-4 kernel-IR checks; its errors share the same
+  /// analysis_errors filter. Requires analyze_candidates.
   EvaluationEngine(const scl::stencil::StencilProgram& program,
                    const fpga::DeviceSpec& device, model::ConeMode cone_mode,
-                   int threads, bool analyze_candidates = false);
+                   int threads, bool analyze_candidates = false,
+                   bool deep_ir_analysis = false);
 
   /// Evaluates one configuration through the cache (always on the calling
   /// thread). Thread-safe.
@@ -113,6 +117,7 @@ class EvaluationEngine {
   const scl::stencil::StencilProgram* program_;
   fpga::DeviceSpec device_;
   bool analyze_candidates_ = false;
+  bool deep_ir_analysis_ = false;
   /// One (PerfModel, ResourceModel) pair per worker slot; slot 0 is the
   /// submitting thread.
   std::vector<model::PerfModel> perf_models_;

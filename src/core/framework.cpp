@@ -48,9 +48,11 @@ SynthesisReport Framework::synthesize() const {
                                         report.device,
                                         report.heterogeneous.resources));
     if (options_.fail_on_analysis_error && report.analysis.has_errors()) {
-      throw Error(str_cat("design verification failed with ",
-                          report.analysis.error_count(), " error(s):\n",
-                          report.analysis.render_text()));
+      throw VerificationError(
+          str_cat("design verification failed with ",
+                  report.analysis.error_count(), " error(s):\n",
+                  report.analysis.render_text()),
+          report.analysis.diagnostics());
     }
     if (report.analysis.warning_count() > 0) {
       SCL_INFO() << "design verification: "
@@ -76,11 +78,15 @@ SynthesisReport Framework::synthesize() const {
     if (options_.analyze) {
       support::DiagnosticEngine sources;
       verify_generated_sources(report.code, &sources);
+      report.ir = verify_generated_ir(*program_, report.heterogeneous.config,
+                                      report.code, &sources);
       report.analysis.merge(sources);
       if (options_.fail_on_analysis_error && sources.has_errors()) {
-        throw Error(str_cat("generated-source validation failed with ",
-                            sources.error_count(), " error(s):\n",
-                            sources.render_text()));
+        throw VerificationError(
+            str_cat("generated-source validation failed with ",
+                    sources.error_count(), " error(s):\n",
+                    sources.render_text()),
+            sources.diagnostics());
       }
     }
   }
@@ -105,6 +111,11 @@ std::string SynthesisReport::to_string() const {
   describe("heterogeneous", heterogeneous, heterogeneous_sim);
   if (speedup > 0.0) {
     out += str_cat("speedup: ", format_speedup(speedup), "\n");
+  }
+  if (ir.ran) {
+    out += str_cat("IR verification: ", ir.kernels_lowered, " kernel(s), ",
+                   ir.pipes_checked, " pipe(s), ", ir.errors, " error(s), ",
+                   ir.warnings, " warning(s)\n");
   }
   if (dse.candidates_evaluated > 0) {
     out += str_cat("DSE: ", format_thousands(dse.candidates_evaluated),

@@ -15,6 +15,7 @@
 #include "codegen/opencl_emitter.hpp"
 #include "core/features.hpp"
 #include "core/optimizer.hpp"
+#include "core/verify.hpp"
 #include "sim/executor.hpp"
 #include "stencil/program.hpp"
 #include "support/diagnostics.hpp"
@@ -64,6 +65,10 @@ struct SynthesisReport {
   /// Design-verification diagnostics over both selected designs and the
   /// generated sources; populated when options.analyze.
   support::DiagnosticEngine analysis;
+
+  /// What the pass-4 kernel-IR verification covered; `ir.ran` is true
+  /// when options.analyze and options.generate_code were both set.
+  IrVerifyStats ir;
 
   /// Multi-line human-readable summary (Table 3-row style).
   std::string to_string() const;

@@ -68,7 +68,7 @@ Optimizer::Optimizer(const StencilProgram& program, OptimizerOptions options)
       options_(std::move(options)),
       space_(program, options_),
       engine_(program, options_.device, options_.cone_mode, options_.threads,
-              options_.analyze_candidates) {
+              options_.analyze_candidates, options_.deep_ir_analysis) {
   SCL_CHECK(options_.resource_fraction > 0.0 &&
                 options_.resource_fraction <= 1.0,
             "resource fraction must be in (0, 1]");

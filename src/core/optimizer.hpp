@@ -61,6 +61,15 @@ struct OptimizerOptions {
   /// candidate spaces are verified clean, so the per-candidate cost only
   /// pays off when exploring hand-extended spaces.
   bool analyze_candidates = false;
+  /// Deep per-candidate verification: additionally generate the
+  /// candidate's OpenCL and run the pass-4 kernel-IR abstract
+  /// interpretation (SCL4xx) on it, folding error diagnostics into the
+  /// same feasibility filter as analyze_candidates. Far more expensive
+  /// (full codegen per candidate); only meaningful together with
+  /// analyze_candidates. The emitted designs verify clean, so with a
+  /// healthy emitter the chosen optimum is bit-identical with this on or
+  /// off (tested in tests/ir_test.cpp).
+  bool deep_ir_analysis = false;
   /// Branch-and-bound pruning for the optimize_* searches: admissible
   /// lower bounds (model/lower_bound.hpp) discard candidates that
   /// provably cannot beat a deterministically chosen incumbent. The

@@ -1,7 +1,10 @@
 #include "core/verify.hpp"
 
+#include "analysis/ir/dataflow.hpp"
+#include "analysis/ir/lower.hpp"
 #include "codegen/validator.hpp"
 #include "support/observability/observability.hpp"
+#include "support/strings.hpp"
 
 namespace scl::core {
 
@@ -64,6 +67,46 @@ void verify_generated_sources(const codegen::GeneratedCode& code,
   append(codegen::validate_kernel_source(code.kernel_source),
          "stencil_kernels.cl");
   append(codegen::validate_host_source(code.host_source), "stencil_host.cpp");
+}
+
+IrVerifyStats verify_generated_ir(const scl::stencil::StencilProgram& program,
+                                  const sim::DesignConfig& config,
+                                  const codegen::GeneratedCode& code,
+                                  support::DiagnosticEngine* diags) {
+  const auto span =
+      support::obs::tracer().span("analysis/verify_ir", "analysis");
+  IrVerifyStats stats;
+  stats.ran = true;
+  support::DiagnosticEngine local;
+  analysis::ir::Module module;
+  bool lowered = false;
+  try {
+    module = analysis::ir::lower_kernel_source(code.kernel_source);
+    lowered = true;
+  } catch (const Error& e) {
+    support::Diagnostic& diag = local.error(
+        "SCL409", str_cat("emitted kernel source could not be lowered to "
+                          "the analysis IR: ",
+                          e.what()));
+    diag.location = {"source", "stencil_kernels.cl", -1};
+  }
+  if (lowered) {
+    stats.kernels_lowered = static_cast<std::int64_t>(module.kernels.size());
+    stats.pipes_checked = static_cast<std::int64_t>(module.pipes.size());
+    stats.unmodeled_constructs =
+        static_cast<std::int64_t>(module.unmodeled.size());
+    const analysis::ir::IrContext ctx =
+        analysis::ir::make_ir_context(program, config);
+    analysis::ir::analyze_module(module, ctx, &local);
+  }
+  stats.errors = local.error_count();
+  stats.warnings = local.warning_count();
+  diags->merge(local);
+  if (support::obs::enabled()) {
+    diagnostics_counter().add(
+        static_cast<std::int64_t>(local.diagnostics().size()));
+  }
+  return stats;
 }
 
 }  // namespace scl::core

@@ -372,6 +372,14 @@ void Daemon::writer_loop(Connection* connection) {
       } else {
         response.status = "error";
         response.error = result.error;
+        // Verification failures carry structured SCL diagnostics; forward
+        // the error-severity entries so the client sees which checks the
+        // design failed (warnings stay server-side).
+        for (const support::Diagnostic& diag : result.diagnostics) {
+          if (diag.severity != support::Severity::kError) continue;
+          response.diagnostics.push_back(
+              {diag.code, support::to_string(diag.severity), diag.message});
+        }
       }
     }
     if (item.admitted) {

@@ -86,6 +86,11 @@ JobResult SynthesisService::wait(const PendingJob& job) {
     result.ok = true;
     result.from_cache = result.artifact->served_from_store;
     result.from_memory = result.artifact->served_from_memory;
+  } catch (const core::VerificationError& e) {
+    result.ok = false;
+    result.error = e.what();
+    result.diagnostics = e.diagnostics();
+    failures_->increment();
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();

@@ -85,6 +85,9 @@ struct JobResult {
   bool from_memory = false;  ///< served from the hot in-memory tier
   bool coalesced = false;    ///< rode an identical in-flight request
   std::string error;        ///< set when !ok
+  /// Structured verifier diagnostics when synthesis failed verification
+  /// (core::VerificationError); empty for other failures and successes.
+  std::vector<support::Diagnostic> diagnostics;
   std::shared_ptr<const SynthesisArtifact> artifact;  ///< set when ok
   double latency_ms = 0.0;  ///< submit-to-completion turnaround
 };

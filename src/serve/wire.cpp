@@ -94,6 +94,17 @@ std::string serialize_response(const WireResponse& response) {
   json.member("id", response.id);
   json.member("status", response.status);
   if (!response.error.empty()) json.member("error", response.error);
+  if (!response.diagnostics.empty()) {
+    json.key("diagnostics").begin_array();
+    for (const WireDiagnostic& diag : response.diagnostics) {
+      json.begin_object();
+      json.member("code", diag.code);
+      json.member("severity", diag.severity);
+      json.member("message", diag.message);
+      json.end_object();
+    }
+    json.end_array();
+  }
   if (!response.key.empty()) json.member("key", response.key);
   if (!response.name.empty()) json.member("name", response.name);
   if (response.ok()) {
@@ -117,6 +128,21 @@ WireResponse parse_response(const std::string& frame) {
     throw Error("wire response: missing \"status\"");
   }
   response.error = v.get_string("error", "");
+  if (const JsonValue* diags = v.find("diagnostics"); diags != nullptr) {
+    if (!diags->is_array()) {
+      throw Error("wire response: \"diagnostics\" must be an array");
+    }
+    for (const JsonValue& entry : diags->items()) {
+      if (!entry.is_object()) {
+        throw Error("wire response: diagnostic entries must be objects");
+      }
+      WireDiagnostic diag;
+      diag.code = entry.get_string("code", "");
+      diag.severity = entry.get_string("severity", "");
+      diag.message = entry.get_string("message", "");
+      response.diagnostics.push_back(std::move(diag));
+    }
+  }
   response.key = v.get_string("key", "");
   response.name = v.get_string("name", "");
   response.from_cache = v.get_bool("from_cache", false);

@@ -38,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace scl::serve {
 
@@ -62,6 +63,16 @@ struct WireRequest {
   std::int64_t timeout_ms = 0;  ///< queue deadline; 0 = none
 };
 
+/// One structured verifier diagnostic in an error response. The daemon
+/// forwards error-severity SCL diagnostics (including the pass-4 kernel-IR
+/// codes SCL4xx) so clients see *why* a synthesis was rejected instead of
+/// one flattened message string.
+struct WireDiagnostic {
+  std::string code;      ///< stable SCL code, e.g. "SCL406"
+  std::string severity;  ///< "error" | "warning" | "note"
+  std::string message;
+};
+
 struct WireResponse {
   std::int64_t id = 0;
   std::string status;  ///< "ok" | "error" | "shed" | "quota" | "rate_limited"
@@ -73,6 +84,9 @@ struct WireResponse {
   bool coalesced = false;
   double speedup = 0.0;
   double latency_ms = 0.0;
+  /// Verifier diagnostics for status "error"; absent from the frame when
+  /// empty (older clients parse responses unchanged).
+  std::vector<WireDiagnostic> diagnostics;
 
   bool ok() const { return status == "ok"; }
 };

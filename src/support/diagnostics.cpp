@@ -17,6 +17,81 @@ const char* to_string(Severity severity) {
   return "unknown";
 }
 
+const std::vector<CatalogEntry>& diagnostic_catalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"SCL001", Severity::kError, "source-structure",
+       "generated source has unbalanced delimiters"},
+      {"SCL002", Severity::kError, "source-structure",
+       "generated source contains an unexpanded template placeholder"},
+      {"SCL010", Severity::kError, "source-structure",
+       "pipe declared but never written"},
+      {"SCL011", Severity::kError, "source-structure",
+       "pipe declared but never read"},
+      {"SCL012", Severity::kError, "source-structure",
+       "pipe written but not declared"},
+      {"SCL013", Severity::kError, "source-structure",
+       "pipe read but not declared"},
+      {"SCL014", Severity::kError, "source-structure",
+       "pipe written by multiple kernels"},
+      {"SCL015", Severity::kError, "source-structure",
+       "pipe read by multiple kernels"},
+      {"SCL016", Severity::kError, "source-structure",
+       "pipe read and written by the same kernel"},
+      {"SCL101", Severity::kError, "pipe-graph",
+       "halo face is never delivered: no pipe from the neighbor tile"},
+      {"SCL102", Severity::kError, "pipe-graph",
+       "pipe FIFO depth is below the boundary-layer volume one exchange "
+       "phase pushes"},
+      {"SCL103", Severity::kError, "pipe-graph",
+       "blocked-write cycle in the pipe schedule deadlocks the region pass"},
+      {"SCL104", Severity::kWarning, "pipe-graph",
+       "pipe carries no boundary data: no stage reads across that face"},
+      {"SCL105", Severity::kError, "pipe-graph",
+       "pipe connects an invalid kernel pair (non-adjacent, duplicate, or "
+       "missing neighbor)"},
+      {"SCL106", Severity::kWarning, "pipe-graph",
+       "pipe depth is not a power of two as xcl_reqd_pipe_depth requires"},
+      {"SCL201", Severity::kError, "halo-bounds",
+       "burst-read bounds escape the grid at some region origin"},
+      {"SCL202", Severity::kError, "halo-bounds",
+       "stage reads a field offset outside the local buffer box"},
+      {"SCL203", Severity::kError, "halo-bounds",
+       "burst write covers cells outside the updatable region"},
+      {"SCL209", Severity::kWarning, "halo-bounds",
+       "loop bound is outside the affine bound language; interval analysis "
+       "skipped it"},
+      {"SCL301", Severity::kError, "resource-model",
+       "declared pipe-channel count disagrees with the resource model"},
+      {"SCL302", Severity::kError, "resource-model",
+       "generated local-buffer elements disagree with the resource model"},
+      {"SCL303", Severity::kError, "resource-model",
+       "charged FIFO elements disagree with the exchange schedule's "
+       "in-flight volume"},
+      {"SCL310", Severity::kWarning, "resource-model",
+       "design demand exceeds the selected device's capacity"},
+      {"SCL401", Severity::kError, "kernel-ir",
+       "local-buffer index provably escapes the buffer extent"},
+      {"SCL402", Severity::kError, "kernel-ir",
+       "global-memory index provably escapes [0, grid cells)"},
+      {"SCL403", Severity::kError, "kernel-ir",
+       "local-buffer read no store can have initialized"},
+      {"SCL404", Severity::kError, "kernel-ir",
+       "local buffer is stored but never loaded (dead stores)"},
+      {"SCL405", Severity::kError, "kernel-ir",
+       "index arithmetic overflows 32-bit signed int"},
+      {"SCL406", Severity::kError, "kernel-ir",
+       "pipe writes and reads are unbalanced over one region pass"},
+      {"SCL407", Severity::kWarning, "kernel-ir",
+       "loop body never executes at any sampled region origin"},
+      {"SCL408", Severity::kError, "kernel-ir",
+       "__global output buffer is never stored"},
+      {"SCL409", Severity::kWarning, "kernel-ir",
+       "kernel-IR analysis incomplete: construct outside the modeled "
+       "subset (error when lowering fails entirely)"},
+  };
+  return kCatalog;
+}
+
 Diagnostic& DiagnosticEngine::add(std::string code, Severity severity,
                                   std::string message) {
   Diagnostic diag;

@@ -12,6 +12,12 @@
 //   SCL2xx — halo & bounds interval analysis (out-of-grid bursts,
 //            local-buffer overruns, neighbor reads outside the buffer box)
 //   SCL3xx — resource feasibility (model/codegen drift)
+//   SCL4xx — kernel-IR dataflow (abstract interpretation over the emitted
+//            OpenCL: index bounds, uninitialized reads, dead stores,
+//            int32 overflow, pipe token balance)
+//
+// diagnostic_catalog() is the single registry of every code above; tests
+// enumerate it to guarantee each code stays exercised by a golden test.
 //
 // The engine collects diagnostics in emission order and renders them either
 // as human-readable text (one "code severity: message" block per entry,
@@ -45,6 +51,22 @@ struct Diagnostic {
   DiagLocation location;
   std::vector<std::string> notes;  ///< explanatory chain, most causal first
 };
+
+/// One registered diagnostic code. `default_severity` is the severity the
+/// emitting pass uses on its primary path (a few codes escalate in corner
+/// cases, e.g. SCL409 becomes an error when lowering fails outright).
+struct CatalogEntry {
+  const char* code;
+  Severity default_severity;
+  const char* pass;     ///< emitting pass, e.g. "pipe-graph", "kernel-ir"
+  const char* meaning;  ///< one-line description of what the code reports
+};
+
+/// The full registry of SCL codes, in ascending code order. Every code any
+/// pass can emit appears here exactly once; tests/scl_codes_test.cpp fails
+/// when a code is emitted from src/ but missing here, or listed here but
+/// not exercised by a golden test.
+const std::vector<CatalogEntry>& diagnostic_catalog();
 
 /// Collects diagnostics and renders them. Emission order is preserved, and
 /// the analyses emit in deterministic (kernel, dimension, side) order, so

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/interval.hpp"
@@ -129,6 +131,42 @@ TEST(IntervalTest, RejectsUnknownVariableAndSyntaxErrors) {
   EXPECT_THROW(eval_bound_expr("1 ? 2 : 3", env), Error);
 }
 
+// Analysis inputs are untrusted (seeded-defect tests feed absurd
+// magnitudes); wrapping at the int64 edges would be UB and could flip an
+// out-of-bounds interval back into range, masking the defect.
+TEST(IntervalTest, ArithmeticSaturatesAtInt64Edges) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const Interval top = Interval::point(kMax);
+  const Interval bottom = Interval::point(kMin);
+  EXPECT_EQ(top + Interval::point(1), Interval::point(kMax));
+  EXPECT_EQ(bottom + Interval::point(-1), Interval::point(kMin));
+  EXPECT_EQ(bottom - Interval::point(1), Interval::point(kMin));
+  EXPECT_EQ(top - Interval::point(-1), Interval::point(kMax));
+  EXPECT_EQ(top * Interval::point(2), Interval::point(kMax));
+  EXPECT_EQ(top * Interval::point(-2), Interval::point(kMin));
+  EXPECT_EQ(bottom * Interval::point(2), Interval::point(kMin));
+  EXPECT_EQ(bottom * Interval::point(-2), Interval::point(kMax));
+  // Saturation must keep lo <= hi on mixed-sign wide intervals.
+  const Interval wide{kMin, kMax};
+  const Interval squared = wide * wide;
+  EXPECT_LE(squared.lo, squared.hi);
+  EXPECT_EQ(squared.hi, kMax);
+}
+
+TEST(IntervalTest, OverlongLiteralSaturatesInsteadOfWrapping) {
+  IntervalEnv env;
+  // 2^63 - 1 is the largest parseable value; one digit more must clamp,
+  // not wrap negative.
+  const Interval v =
+      eval_bound_expr("99999999999999999999999", env);
+  EXPECT_EQ(v, Interval::point(std::numeric_limits<std::int64_t>::max()));
+  const Interval product = eval_bound_expr(
+      "9223372036854775807 * 9223372036854775807", env);
+  EXPECT_EQ(product,
+            Interval::point(std::numeric_limits<std::int64_t>::max()));
+}
+
 // --- golden diagnostics on seeded broken designs ----------------------------
 
 TEST(AnalyzerTest, UndersizedFifoDepthIsReported) {
@@ -214,6 +252,50 @@ TEST(AnalyzerTest, UnparsableBoundDowngradesToWarning) {
   check_buffer_bounds(input, 0, bounds, &diags);
   EXPECT_TRUE(has_code(diags, "SCL209"));
   EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, OwnedWriteOutsideUpdatableRegionIsReported) {
+  const AnalysisInput input = jacobi2d_input();
+  // Jacobi's border is Dirichlet: the updatable region starts at 1, so a
+  // burst write covering [0, 10) along dim 0 touches boundary cells.
+  codegen::LoopBounds bounds;
+  bounds.lo = {"0", "1", "0"};
+  bounds.hi = {"10", "2", "1"};
+  DiagnosticEngine diags;
+  check_owned_bounds(input, 0, 0, bounds, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL203"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, HealthyOwnedBoundsStayClean) {
+  const AnalysisInput input = jacobi2d_input();
+  DiagnosticEngine diags;
+  check_owned_bounds(input, 0, 0, codegen::owned_bounds(input.ctx, 0, 0),
+                     &diags);
+  EXPECT_TRUE(diags.empty()) << diags.render_text();
+}
+
+TEST(AnalyzerTest, StageAccessOutsideBufferBoxIsReported) {
+  const AnalysisInput input = jacobi2d_input();
+  // Compute bounds widened far past the kernel's local-buffer box: the
+  // ±1 neighbor reads then land outside both the dynamic window and the
+  // static array extent.
+  codegen::LoopBounds bounds;
+  bounds.lo = {"r0 - 200", "1", "0"};
+  bounds.hi = {"r0 + 300", "2", "1"};
+  DiagnosticEngine diags;
+  check_stage_accesses(input, 0, 0, bounds, &diags);
+  EXPECT_TRUE(has_code(diags, "SCL202"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AnalyzerTest, HealthyStageAccessesStayClean) {
+  const AnalysisInput input = jacobi2d_input();
+  DiagnosticEngine diags;
+  check_stage_accesses(input, 0, 0,
+                       codegen::stage_compute_bounds(input.ctx, 0, 0),
+                       &diags);
+  EXPECT_TRUE(diags.empty()) << diags.render_text();
 }
 
 // --- resource cross-check ---------------------------------------------------

@@ -293,6 +293,35 @@ TEST(ValidatorTest, DetectsSameKernelReadWrite) {
   EXPECT_NE(issues[0].message.find("same"), std::string::npos);
 }
 
+TEST(ValidatorTest, DetectsOrphanDeclaredPipes) {
+  // Declared but used in neither direction: both orphan codes fire.
+  const std::string src =
+      "pipe float p __attribute__((xcl_reqd_pipe_depth(16)));\n"
+      "__kernel void k0() { }\n";
+  const auto issues = validate_kernel_source(src);
+  bool unwritten = false, unread = false;
+  for (const auto& i : issues) {
+    if (i.code == "SCL010") unwritten = true;
+    if (i.code == "SCL011") unread = true;
+  }
+  EXPECT_TRUE(unwritten);
+  EXPECT_TRUE(unread);
+}
+
+TEST(ValidatorTest, DetectsUndeclaredPipeUse) {
+  const std::string src =
+      "__kernel void k0() { float v; write_pipe_block(ghost_w, &v); }\n"
+      "__kernel void k1() { float v; read_pipe_block(ghost_r, &v); }\n";
+  const auto issues = validate_kernel_source(src);
+  bool write_undeclared = false, read_undeclared = false;
+  for (const auto& i : issues) {
+    if (i.code == "SCL012") write_undeclared = true;
+    if (i.code == "SCL013") read_undeclared = true;
+  }
+  EXPECT_TRUE(write_undeclared);
+  EXPECT_TRUE(read_undeclared);
+}
+
 TEST(ValidatorTest, DetectsMultipleWritersAndReaders) {
   const std::string src =
       "pipe float p __attribute__((xcl_reqd_pipe_depth(16)));\n"

@@ -1,0 +1,103 @@
+// Registry coverage: every SCL code any pass can emit must be declared in
+// support::diagnostic_catalog(), and every cataloged code must be
+// exercised by at least one golden test. This is the enforcement arm of
+// the catalog — adding a diagnostic without registering it, or
+// registering one without a test that makes it fire, fails here.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace scl::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// All `SCL<ddd>` occurrences in one string.
+std::set<std::string> scl_codes_in(const std::string& text) {
+  std::set<std::string> codes;
+  for (std::size_t pos = text.find("SCL"); pos != std::string::npos;
+       pos = text.find("SCL", pos + 3)) {
+    if (pos + 6 <= text.size() && std::isdigit(text[pos + 3]) &&
+        std::isdigit(text[pos + 4]) && std::isdigit(text[pos + 5]) &&
+        (pos + 6 == text.size() || !std::isdigit(text[pos + 6]))) {
+      codes.insert(text.substr(pos, 6));
+    }
+  }
+  return codes;
+}
+
+std::set<std::string> scl_codes_under(const fs::path& root) {
+  std::set<std::string> codes;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    const std::set<std::string> found = scl_codes_in(read_file(entry.path()));
+    codes.insert(found.begin(), found.end());
+  }
+  return codes;
+}
+
+TEST(SclCatalogTest, IsNonEmptySortedAndUnique) {
+  const auto& catalog = diagnostic_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const CatalogEntry& entry = catalog[i];
+    EXPECT_EQ(std::string(entry.code).size(), 6u) << entry.code;
+    EXPECT_EQ(std::string(entry.code).substr(0, 3), "SCL") << entry.code;
+    EXPECT_FALSE(std::string(entry.pass).empty()) << entry.code;
+    EXPECT_FALSE(std::string(entry.meaning).empty()) << entry.code;
+    if (i > 0) {
+      EXPECT_LT(std::string(catalog[i - 1].code), std::string(entry.code))
+          << "catalog must be in strictly ascending code order";
+    }
+  }
+}
+
+TEST(SclCatalogTest, EveryCodeEmittedFromSrcIsCataloged) {
+  const fs::path src = fs::path(SCL_REPO_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src));
+  std::set<std::string> cataloged;
+  for (const CatalogEntry& entry : diagnostic_catalog()) {
+    cataloged.insert(entry.code);
+  }
+  for (const std::string& code : scl_codes_under(src)) {
+    EXPECT_TRUE(cataloged.count(code))
+        << code << " appears in src/ but is not in diagnostic_catalog()";
+  }
+}
+
+TEST(SclCatalogTest, EveryCatalogedCodeHasAGoldenTest) {
+  const fs::path tests = fs::path(SCL_REPO_DIR) / "tests";
+  ASSERT_TRUE(fs::exists(tests));
+  const std::set<std::string> tested = scl_codes_under(tests);
+  for (const CatalogEntry& entry : diagnostic_catalog()) {
+    EXPECT_TRUE(tested.count(entry.code))
+        << entry.code << " (" << entry.meaning
+        << ") is cataloged but no test under tests/ mentions it";
+  }
+}
+
+TEST(SclCatalogTest, SeverityRenderingIsStable) {
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kWarning), "warning");
+  EXPECT_STREQ(to_string(Severity::kNote), "note");
+}
+
+}  // namespace
+}  // namespace scl::support

@@ -100,6 +100,33 @@ TEST(WireTest, ResponseRoundTripProperty) {
   }
 }
 
+TEST(WireTest, ResponseDiagnosticsRoundTripAndStayAbsentWhenEmpty) {
+  WireResponse response;
+  response.id = 7;
+  response.status = "error";
+  response.error = "static verification failed";
+  response.diagnostics.push_back(
+      {"SCL406", "error", "pipe 'p_k0_k1' is unbalanced: 4 writes, 3 reads"});
+  response.diagnostics.push_back(
+      {"SCL409", "warning", "analysis incomplete: 1 construct skipped"});
+
+  const WireResponse parsed = parse_response(serialize_response(response));
+  ASSERT_EQ(parsed.diagnostics.size(), 2u);
+  EXPECT_EQ(parsed.diagnostics[0].code, "SCL406");
+  EXPECT_EQ(parsed.diagnostics[0].severity, "error");
+  EXPECT_EQ(parsed.diagnostics[0].message,
+            "pipe 'p_k0_k1' is unbalanced: 4 writes, 3 reads");
+  EXPECT_EQ(parsed.diagnostics[1].code, "SCL409");
+  EXPECT_EQ(parsed.diagnostics[1].severity, "warning");
+
+  // Older clients parse error frames unchanged: no diagnostics => the key
+  // is not emitted at all.
+  response.diagnostics.clear();
+  const std::string frame = serialize_response(response);
+  EXPECT_EQ(frame.find("diagnostics"), std::string::npos);
+  EXPECT_TRUE(parse_response(frame).diagnostics.empty());
+}
+
 TEST(WireTest, ParseRejectsMalformedRequests) {
   // Every rejection is a structured Error, never a crash or a silent
   // default.
