@@ -2,9 +2,10 @@
 // speedup of the evaluation engine.
 //
 // For every benchmark of Table 2 at the paper's input scale, runs the
-// full DSE (baseline search + heterogeneous search under the baseline's
-// budget) serially and at increasing thread counts. Each thread count
-// gets two rows:
+// full DSE across both design families — the pipe-tiling searches
+// (baseline + heterogeneous under the baseline's budget) and the
+// temporal-blocked shift-register search — serially and at increasing
+// thread counts. Each (thread count, family) pair gets two rows:
 //
 //   cold — a fresh optimizer (empty eval cache): the real search cost.
 //   warm — the same searches replayed on the same optimizer, so every
@@ -12,13 +13,14 @@
 //          memoization ceiling, and the row whose cache_hit_rate
 //          actually exercises the hit path (a cold run is ~all misses).
 //
-// Before any timing is trusted, the chosen designs are asserted
-// bit-identical across thread counts AND with branch-and-bound pruning
-// disabled — the two halves of the determinism contract.
+// Before any timing is trusted, the chosen designs — in both families —
+// are asserted bit-identical across thread counts AND with
+// branch-and-bound pruning disabled — the two halves of the determinism
+// contract.
 //
 // Output: a human-readable table on stdout plus one JSON row per
-// (kernel, thread count, mode) appended to BENCH_dse.json in the
-// working directory, for the benchmark trajectory.
+// (kernel, thread count, mode, family) appended to BENCH_dse.json in
+// the working directory, for the benchmark trajectory.
 //
 //   --json <file>      write rows there instead, truncating first (the
 //                      perf-gate baselines want a fresh file per run)
@@ -41,7 +43,9 @@ namespace {
 struct DseRun {
   scl::core::DesignPoint baseline;
   scl::core::DesignPoint heterogeneous;
-  scl::core::DseStats stats;
+  scl::core::DesignPoint temporal;
+  scl::core::DseStats spatial_stats;   // baseline + heterogeneous searches
+  scl::core::DseStats temporal_stats;  // temporal cascade search
 };
 
 scl::core::DseStats diff(const scl::core::DseStats& after,
@@ -55,38 +59,46 @@ scl::core::DseStats diff(const scl::core::DseStats& after,
   return d;
 }
 
-/// One full DSE on `optimizer`, reporting only this run's stat deltas —
-/// the counters (and the cache) accumulate across runs, which is exactly
-/// what the warm-replay row wants.
+/// One full DSE on `optimizer` — both families — reporting only this
+/// run's stat deltas, split per family. The counters (and the cache)
+/// accumulate across runs, which is exactly what the warm-replay row
+/// wants.
 DseRun run_searches(const scl::core::Optimizer& optimizer) {
-  const scl::core::DseStats before = optimizer.dse_stats();
+  scl::core::DseStats mark = optimizer.dse_stats();
   DseRun run;
   run.baseline = optimizer.optimize_baseline();
   run.heterogeneous = optimizer.optimize_heterogeneous(run.baseline);
-  run.stats = diff(optimizer.dse_stats(), before);
+  run.spatial_stats = diff(optimizer.dse_stats(), mark);
+  mark = optimizer.dse_stats();
+  run.temporal = optimizer.optimize_temporal();
+  run.temporal_stats = diff(optimizer.dse_stats(), mark);
   return run;
 }
 
 bool same_designs(const DseRun& a, const DseRun& b) {
   return a.baseline.config == b.baseline.config &&
          a.heterogeneous.config == b.heterogeneous.config &&
+         a.temporal.config == b.temporal.config &&
          a.baseline.prediction.total_cycles ==
              b.baseline.prediction.total_cycles &&
          a.heterogeneous.prediction.total_cycles ==
-             b.heterogeneous.prediction.total_cycles;
+             b.heterogeneous.prediction.total_cycles &&
+         a.temporal.prediction.total_cycles ==
+             b.temporal.prediction.total_cycles;
 }
 
 std::string json_row(const std::string& kernel, const char* mode,
-                     const DseRun& run, double speedup) {
+                     const char* family, const scl::core::DseStats& stats,
+                     double speedup) {
   return scl::str_cat(
       "{\"bench\":\"dse\",\"kernel\":\"", kernel, "\",\"mode\":\"", mode,
-      "\",\"threads\":", run.stats.threads,
-      ",\"candidates\":", run.stats.candidates_evaluated,
-      ",\"pruned\":", run.stats.candidates_pruned,
-      ",\"cache_hit_rate\":", scl::format_fixed(run.stats.cache_hit_rate(), 4),
-      ",\"wall_seconds\":", scl::format_fixed(run.stats.wall_seconds, 4),
+      "\",\"family\":\"", family, "\",\"threads\":", stats.threads,
+      ",\"candidates\":", stats.candidates_evaluated,
+      ",\"pruned\":", stats.candidates_pruned,
+      ",\"cache_hit_rate\":", scl::format_fixed(stats.cache_hit_rate(), 4),
+      ",\"wall_seconds\":", scl::format_fixed(stats.wall_seconds, 4),
       ",\"candidates_per_sec\":",
-      scl::format_fixed(run.stats.candidates_per_sec(), 1),
+      scl::format_fixed(stats.candidates_per_sec(), 1),
       ",\"speedup_vs_serial\":", scl::format_fixed(speedup, 3), "}");
 }
 
@@ -125,9 +137,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "hardware threads available: " << max_threads << "\n\n";
 
-  scl::TableWriter table({"Benchmark", "Threads", "Mode", "Candidates",
-                          "Pruned", "Cache hits", "Wall (s)", "Cand./s",
-                          "Speedup"});
+  scl::TableWriter table({"Benchmark", "Threads", "Mode", "Family",
+                          "Candidates", "Pruned", "Cache hits", "Wall (s)",
+                          "Cand./s", "Speedup"});
   std::ofstream json(json_path.empty() ? "BENCH_dse.json" : json_path,
                      json_path.empty() ? std::ios::app : std::ios::trunc);
   bool deterministic = true;
@@ -179,24 +191,32 @@ int main(int argc, char** argv) {
         }
       }
       // Speedups compare like with like: cold vs serial cold, warm vs
-      // serial warm.
-      auto speedup_vs = [](const DseRun& run, const DseRun& base) {
-        return run.stats.wall_seconds > 0.0
-                   ? base.stats.wall_seconds / run.stats.wall_seconds
-                   : 0.0;
+      // serial warm — per family, since the two searches sweep spaces of
+      // very different sizes.
+      auto speedup_vs = [](const scl::core::DseStats& run,
+                           const scl::core::DseStats& base) {
+        return run.wall_seconds > 0.0 ? base.wall_seconds / run.wall_seconds
+                                      : 0.0;
       };
       const struct {
         const char* mode;
-        const DseRun* run;
+        const char* family;
+        const scl::core::DseStats* stats;
         double speedup;
       } rows[] = {
-          {"cold", &cold, speedup_vs(cold, serial_cold)},
-          {"warm", &warm, speedup_vs(warm, serial_warm)},
+          {"cold", "pipe-tiling", &cold.spatial_stats,
+           speedup_vs(cold.spatial_stats, serial_cold.spatial_stats)},
+          {"cold", "temporal-shift", &cold.temporal_stats,
+           speedup_vs(cold.temporal_stats, serial_cold.temporal_stats)},
+          {"warm", "pipe-tiling", &warm.spatial_stats,
+           speedup_vs(warm.spatial_stats, serial_warm.spatial_stats)},
+          {"warm", "temporal-shift", &warm.temporal_stats,
+           speedup_vs(warm.temporal_stats, serial_warm.temporal_stats)},
       };
       for (const auto& row : rows) {
-        const scl::core::DseStats& stats = row.run->stats;
+        const scl::core::DseStats& stats = *row.stats;
         table.add_row(
-            {info.name, std::to_string(threads), row.mode,
+            {info.name, std::to_string(threads), row.mode, row.family,
              std::to_string(stats.candidates_evaluated),
              std::to_string(stats.candidates_pruned),
              scl::str_cat(scl::format_fixed(100.0 * stats.cache_hit_rate(), 1),
@@ -206,7 +226,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(stats.candidates_per_sec())),
              scl::format_speedup(row.speedup)});
         if (json) {
-          json << json_row(info.name, row.mode, *row.run, row.speedup)
+          json << json_row(info.name, row.mode, row.family, stats,
+                           row.speedup)
                << "\n";
         }
       }

@@ -3,6 +3,9 @@
 //   stencil_compiler <input.stencil | input.cl | benchmark-name> [options]
 //
 //   --device <name>       target device (xc7vx690t | xc7vx485t | xcku115)
+//   --family <name>       design-family policy: auto (default; search both
+//                         and emit the predicted winner), pipe-tiling, or
+//                         temporal-shift
 //   --grid <n0[,n1[,n2]]> grid extents (required for .cl inputs)
 //   --iterations <H>      iteration count (required for .cl inputs)
 //   --init <field=spec>   initializer for a field (repeatable; .cl inputs)
@@ -55,7 +58,8 @@ namespace {
 int usage() {
   std::cerr
       << "usage: stencil_compiler <input.stencil | benchmark-name> "
-         "[--device <name>] [--emit <dir>] [--no-sim] [--analyze] "
+         "[--device <name>] [--family auto|pipe-tiling|temporal-shift] "
+         "[--emit <dir>] [--no-sim] [--analyze] "
          "[--analyze-json] [--deep-ir] [--dump-stencil] [--list] "
          "[--trace-out <file>] [--metrics-out <file>]\n";
   return 2;
@@ -122,6 +126,7 @@ scl::stencil::StencilProgram load_program(
 struct ToolConfig {
   std::string input;
   std::string device_name = "xc7vx690t";
+  scl::core::FamilySelection family = scl::core::FamilySelection::kAuto;
   std::optional<std::string> emit_dir;
   std::optional<std::string> report_path;
   bool simulate = true;
@@ -150,6 +155,7 @@ int run_tool(const ToolConfig& cfg) {
 
   scl::core::FrameworkOptions options;
   options.optimizer.device = scl::fpga::find_device(cfg.device_name);
+  options.family = cfg.family;
   options.simulate = cfg.simulate && !cfg.analyze && !cfg.analyze_json;
   options.generate_code = true;
   if (cfg.deep_ir) {
@@ -167,8 +173,14 @@ int run_tool(const ToolConfig& cfg) {
     json.begin_object();
     // Bumped whenever the document layout changes; see
     // docs/ARCHITECTURE.md §8 for the history. v2 added
-    // "schema_version" itself and the "ir" section.
-    json.member("schema_version", 2);
+    // "schema_version" itself and the "ir" section; v3 added the
+    // "family" section and the per-frontier-point "family" member.
+    json.member("schema_version", 3);
+    json.key("family").begin_object();
+    json.member("requested", scl::core::to_string(options.family));
+    json.member("selected", scl::arch::to_string(report.selected_family));
+    json.member("temporal_searched", report.temporal.has_value());
+    json.end_object();
     json.key("analysis").raw(report.analysis.render_json());
     json.key("ir").begin_object();
     json.member("ran", report.ir.ran);
@@ -186,6 +198,7 @@ int run_tool(const ToolConfig& cfg) {
     json.key("frontier").begin_array();
     for (const scl::core::DesignPoint& point : report.frontier) {
       json.begin_object();
+      json.member("family", scl::arch::to_string(point.config.family));
       json.member("config", point.config.summary(program.dims()));
       json.member("predicted_cycles", point.prediction.total_cycles);
       json.member("bram18", point.resources.total.bram18);
@@ -268,6 +281,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--device") {
       if (++i >= argc) return usage();
       cfg.device_name = argv[i];
+    } else if (flag_with_value(arg, "--family", argc, argv, i, &value)) {
+      if (value == "auto") {
+        cfg.family = scl::core::FamilySelection::kAuto;
+      } else if (value == "pipe-tiling") {
+        cfg.family = scl::core::FamilySelection::kPipeTiling;
+      } else if (value == "temporal-shift") {
+        cfg.family = scl::core::FamilySelection::kTemporalShift;
+      } else {
+        std::cerr << "unknown family '" << value << "'\n";
+        return usage();
+      }
     } else if (arg == "--emit") {
       if (++i >= argc) return usage();
       cfg.emit_dir = argv[i];

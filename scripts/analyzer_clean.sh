@@ -40,6 +40,17 @@ for device in "${DEVICES[@]}"; do
   done
 done
 
+# Family matrix on the default device: force each design family so BOTH
+# architectures' emitted kernels are verified for every benchmark — the
+# auto policy above only ever checks the predicted winner.
+for family in pipe-tiling temporal-shift; do
+  for input in "${BENCHMARKS[@]}"; do
+    echo "family-matrix: $input --family $family"
+    "$COMPILER" "$input" --family "$family" --analyze --no-sim > /dev/null
+    checked=$((checked + 1))
+  done
+done
+
 # Deep candidate sweep on one device: every evaluated DSE candidate's
 # emitted kernels go through the kernel-IR analysis, not just the
 # optimum. One device keeps the job inside CI budget; the per-device

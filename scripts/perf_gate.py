@@ -5,7 +5,8 @@ Compares the JSONL rows a fresh bench run produced against the committed
 baseline rows and fails when a tracked metric regressed by more than the
 threshold (default 25%). Tracked metrics:
 
-  bench=dse      key (kernel, threads, mode)  metric candidates_per_sec
+  bench=dse      key (kernel, threads, mode, family)
+                                              metric candidates_per_sec
                  plus, for rows with threads > 1, a second gated metric
                  speedup_vs_serial under the same key + "/speedup" — a
                  multi-thread run that silently collapses to serial-level
@@ -15,7 +16,10 @@ threshold (default 25%). Tracked metrics:
 
 The mode suffix ("", "/warm") distinguishes bench_dse's cold rows (fresh
 eval cache) from warm replays (fully cached); rows without a mode field
-are treated as cold, so pre-refactor baselines keep their keys. Service
+are treated as cold, so pre-refactor baselines keep their keys. The
+family suffix works the same way: pipe-tiling rows (and rows predating
+the design-family split, which were all pipe-tiling) keep the
+historical key, temporal-shift rows append "/temporal-shift". Service
 rows use the suffix the same way: batch rows carry no mode and keep
 their historical key, daemon-over-the-wire rows append "/daemon".
 
@@ -85,6 +89,11 @@ def keyed_metrics(rows):
             mode = row.get("mode", "cold")
             if mode != "cold":
                 key = f"{key}/{mode}"
+            # Rows without a family predate the design-family split and
+            # were all pipe-tiling; same unsuffixed-key compatibility.
+            family = row.get("family", "pipe-tiling")
+            if family != "pipe-tiling":
+                key = f"{key}/{family}"
             value = row.get("candidates_per_sec")
             if value is not None:
                 metrics[key] = ("candidates_per_sec", float(value), wall)

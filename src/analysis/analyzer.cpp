@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/interval.hpp"
+#include "arch/temporal_layout.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -553,12 +554,19 @@ void analyze_resources(const AnalysisInput& input,
     if (prog.stage_needs_double_buffer(s)) ++shadow_stages;
   }
   std::int64_t buffer_elements = 0;
-  for (int k = 0; k < ctx.kernel_count(); ++k) {
-    std::int64_t cells = 1;
-    for (int d = 0; d < prog.dims(); ++d) {
-      cells *= static_buffer_extent(ctx, k, d);
+  if (ctx.config.family == arch::DesignFamily::kTemporalShift) {
+    // The cascade kernel's on-chip state is its shift registers, not
+    // tile-shaped line buffers; recompute from the emitter's layout.
+    buffer_elements =
+        arch::make_temporal_layout(prog, ctx.config).sr_elements;
+  } else {
+    for (int k = 0; k < ctx.kernel_count(); ++k) {
+      std::int64_t cells = 1;
+      for (int d = 0; d < prog.dims(); ++d) {
+        cells *= static_buffer_extent(ctx, k, d);
+      }
+      buffer_elements += cells * (prog.field_count() + shadow_stages);
     }
-    buffer_elements += cells * (prog.field_count() + shadow_stages);
   }
   if (buffer_elements != charged.buffer_elements) {
     support::Diagnostic& diag = diags->error(

@@ -63,6 +63,12 @@ std::string Expr::to_string() const {
                      ")");
     case Kind::kCast64:
       return str_cat("(long)", args[0].to_string());
+    case Kind::kDiv:
+      return str_cat("(", args[0].to_string(), " / ", args[1].to_string(),
+                     ")");
+    case Kind::kMod:
+      return str_cat("(", args[0].to_string(), " % ", args[1].to_string(),
+                     ")");
   }
   return "<expr>";
 }
@@ -131,6 +137,30 @@ Interval eval_impl(const Expr& expr, const IntervalEnv& env,
     case Expr::Kind::kMax:
       v = {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
       break;
+    case Expr::Kind::kDiv:
+    case Expr::Kind::kMod: {
+      // The emitter's only use is the linear-cell decomposition of the
+      // temporal-shift walk, whose divisor is a compile-time strip
+      // extent; anything more general is outside the modeled language.
+      if (b.lo != b.hi || b.lo <= 0) {
+        throw Error(
+            "non-constant or non-positive divisor in emitted expression");
+      }
+      const std::int64_t c = b.lo;
+      if (expr.kind == Expr::Kind::kDiv) {
+        // C truncating division is monotone in the numerator for a
+        // positive divisor.
+        v = {a.lo / c, a.hi / c};
+      } else if (a.lo >= 0 && a.lo / c == a.hi / c) {
+        // Same quotient block: remainder is monotone within it.
+        v = {a.lo % c, a.hi % c};
+      } else if (a.lo >= 0) {
+        v = {0, c - 1};
+      } else {
+        v = {-(c - 1), c - 1};
+      }
+      break;
+    }
     default:
       throw Error("malformed IR expression");
   }

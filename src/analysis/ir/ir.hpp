@@ -44,6 +44,8 @@ struct Expr {
     kMin,      ///< min(args[0], args[1])
     kMax,      ///< max(args[0], args[1])
     kCast64,   ///< (long)args[0]: widens to 64-bit device arithmetic
+    kDiv,      ///< args[0] / args[1] (C truncating; constant divisor > 0)
+    kMod,      ///< args[0] % args[1] (C remainder; constant divisor > 0)
   };
 
   Kind kind = Kind::kLiteral;

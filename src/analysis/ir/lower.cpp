@@ -217,7 +217,7 @@ std::int64_t parse_int_literal(const Token& tok) {
 
 /// Integer expression parser (the emitted index/bound language):
 ///   expr   := term (('+' | '-') term)*
-///   term   := factor ('*' factor)*
+///   term   := factor (('*' | '/' | '%') factor)*
 ///   factor := INT | IDENT | '-' factor | '(' expr ')' | '(' 'long' ')' factor
 ///           | ('max' | 'min') '(' expr ',' expr ')'
 Expr parse_expr(Cursor& cur);
@@ -265,11 +265,20 @@ Expr parse_factor(Cursor& cur) {
 
 Expr parse_term(Cursor& cur) {
   Expr value = parse_factor(cur);
-  while (cur.peek().is("*")) {
+  for (;;) {
+    Expr::Kind kind;
+    if (cur.peek().is("*")) {
+      kind = Expr::Kind::kMul;
+    } else if (cur.peek().is("/")) {
+      kind = Expr::Kind::kDiv;
+    } else if (cur.peek().is("%")) {
+      kind = Expr::Kind::kMod;
+    } else {
+      return value;
+    }
     cur.next();
-    value = Expr::make(Expr::Kind::kMul, {std::move(value), parse_factor(cur)});
+    value = Expr::make(kind, {std::move(value), parse_factor(cur)});
   }
-  return value;
 }
 
 Expr parse_expr(Cursor& cur) {

@@ -1,0 +1,257 @@
+// Temporal-blocked shift-register pipeline layout (family kTemporalShift).
+//
+// The grid is cut into strips along the innermost (stride-1) dimension;
+// every other dimension keeps its full extent, so the strip is a
+// contiguous slab of rows. One pass streams each strip — padded by
+// T x radius of redundant halo along the strip dimension — through a
+// single deep pipeline of T chained stage groups, executing T fused time
+// steps with no inter-kernel pipes, no barriers and no __local tile
+// buffer: all reuse lives in per-(field, time-state) shift registers.
+//
+// Walk-tick calculus. The kernel is one loop over walk ticks p. At tick
+// p the input streams (state 0) are fed cell p of the padded strip. The
+// stage group computing fused step t, stage s emits its carrier for cell
+// p - D(t, s), where the compute delay is
+//
+//     D(t, s) = (t - 1) * step_delay + sum_{s' <= s} stage_span[s']
+//
+// and stage_span[s] = max(0, max forward linearized read offset of stage
+// s). A span of P ticks is exactly what stage s must wait after its
+// newest input arrives before the farthest-forward neighbor of its cell
+// is available; summing spans over the stage list and steps gives the
+// admissible schedule with the shortest registers. The last store drains
+// max_store_delay = max_f D(T, writing_stage(f)) ticks after the final
+// feed, so one walk runs cells + max_store_delay ticks.
+//
+// Registers. Stream (field f, state k) holds the step-k values of f in
+// flight (state 0 = the global-memory feed). Its head is fed at delay
+// head_delay(k, f) — 0 for state 0, D(k, writing_stage(f)) otherwise —
+// and a reader at (t, s) accessing offset `off` taps
+//
+//     depth = D(t, s) - head_delay - linear_offset(off)
+//
+// elements behind the head (provably >= 0 given the span definition).
+// A register is materialized iff it has at least one reader; the
+// boundary passthrough (a cell outside its field's updatable region
+// carries the previous state forward unchanged) reads (f, t-1) at offset
+// 0, which keeps states 0..T-1 of every mutable field alive. The
+// register lengths here are the single source of truth shared by the
+// OpenCL emitter (codegen/temporal_gen), the resource model, the
+// analyzer's pass-3 recomputation and the simulator.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/design.hpp"
+#include "stencil/program.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace scl::arch {
+
+/// One materialized shift-register stream: state-`state` values of field
+/// `field` (state 0 = input feed, state k >= 1 = output of fused step k).
+struct TemporalReg {
+  int field = 0;
+  int state = 0;
+  std::int64_t head_delay = 0;  ///< walk tick offset at which cell 0 is fed
+  std::int64_t len = 0;         ///< array length (max tap depth + 1)
+};
+
+struct TemporalLayout {
+  int dims = 1;
+  int temporal_degree = 1;  ///< T: fused time steps per pass
+  int vector_width = 1;     ///< V: cells entering the pipeline per cycle
+  int strip_dim = 0;        ///< always dims - 1 (the stride-1 dimension)
+
+  std::array<std::int64_t, 3> strip{1, 1, 1};   ///< owned strip extents
+  std::array<std::int64_t, 3> pad_lo{0, 0, 0};  ///< halo below (T * radius)
+  std::array<std::int64_t, 3> pad_hi{0, 0, 0};  ///< halo above
+  std::array<std::int64_t, 3> ext{1, 1, 1};     ///< padded walk extents
+
+  std::int64_t cells = 0;        ///< padded strip cells = one walk's feeds
+  std::int64_t owned_cells = 0;  ///< cells the strip owns and stores
+
+  std::vector<std::int64_t> stage_span;  ///< P_s per stage, in walk ticks
+  std::int64_t step_delay = 0;           ///< sum of stage spans
+  std::int64_t max_store_delay = 0;      ///< drain after the last feed
+  std::int64_t walk_ticks = 0;           ///< cells + max_store_delay
+
+  std::vector<TemporalReg> regs;  ///< materialized registers only
+  std::int64_t sr_elements = 0;   ///< total shift-register floats
+
+  std::int64_t n_strips = 0;  ///< strips per pass: ceil(N / strip width)
+  std::int64_t n_passes = 0;  ///< global-memory passes: ceil(H / T)
+
+  /// Walk-order stride of dimension d over the padded strip.
+  std::int64_t stride(int d) const {
+    std::int64_t s = 1;
+    for (int d2 = d + 1; d2 < dims; ++d2) s *= ext[static_cast<std::size_t>(d2)];
+    return s;
+  }
+
+  /// Linearized walk-tick distance of a stencil offset (negative = behind).
+  std::int64_t linear_offset(const stencil::Offset& off) const {
+    std::int64_t l = 0;
+    for (int d = 0; d < dims; ++d) l += off[static_cast<std::size_t>(d)] * stride(d);
+    return l;
+  }
+
+  /// Compute delay D(t, s) of fused step t (1-based), stage s (0-based).
+  std::int64_t compute_delay(int t, int s) const {
+    std::int64_t d = static_cast<std::int64_t>(t - 1) * step_delay;
+    for (int s2 = 0; s2 <= s; ++s2) d += stage_span[static_cast<std::size_t>(s2)];
+    return d;
+  }
+
+  /// Time state a reader in fused step t, stage s sees for field g: the
+  /// latest committed value under the in-order stage schedule.
+  int source_state(int t, int s, const stencil::StencilProgram& program,
+                   int g) const {
+    const int wg = program.writing_stage(g);
+    if (wg < 0) return 0;                // constant field: the input feed
+    return wg < s ? t : t - 1;           // own/later output: previous step
+  }
+
+  /// Tap depth behind the head of a stream with the given head delay for
+  /// a reader at (t, s) accessing offset `off`. Always >= 0 for modeled
+  /// programs.
+  std::int64_t tap_depth(int t, int s, std::int64_t head_delay,
+                         const stencil::Offset& off) const {
+    return compute_delay(t, s) - head_delay - linear_offset(off);
+  }
+
+  /// Index into regs of stream (field, state), or -1 if not materialized.
+  int reg_index(int field, int state) const {
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      if (regs[i].field == field && regs[i].state == state)
+        return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// The spatial-tiling view of a temporal config: identical geometry
+/// fields with family kPipeTiling. Because a temporal config constrains
+/// kind = kBaseline, parallelism {1,1,1} and no edge balancing, the twin
+/// is a valid single-tile baseline design covering the same region — the
+/// functional simulator executes it for bit-exact field results, and the
+/// analyzer's pipe/bounds passes (which see codegen's tile placements,
+/// not the emitted text) verify the temporal design through it.
+inline sim::DesignConfig spatial_twin(const sim::DesignConfig& config) {
+  sim::DesignConfig twin = config;
+  twin.family = DesignFamily::kPipeTiling;
+  return twin;
+}
+
+/// Derives the full walk/register layout of a validated kTemporalShift
+/// config. Throws ContractError on a config of the wrong family.
+inline TemporalLayout make_temporal_layout(
+    const stencil::StencilProgram& program, const sim::DesignConfig& config) {
+  if (config.family != DesignFamily::kTemporalShift)
+    throw ContractError("make_temporal_layout: config is not temporal-shift");
+
+  TemporalLayout lay;
+  lay.dims = program.dims();
+  lay.temporal_degree = static_cast<int>(config.fused_iterations);
+  lay.vector_width = config.unroll;
+  lay.strip_dim = lay.dims - 1;
+
+  const auto& radii = program.iter_radii();
+  for (int d = 0; d < 3; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    lay.strip[ds] = d < lay.dims ? config.tile_size[ds] : 1;
+    if (d == lay.strip_dim) {
+      lay.pad_lo[ds] = lay.temporal_degree * radii[ds][0];
+      lay.pad_hi[ds] = lay.temporal_degree * radii[ds][1];
+    }
+    lay.ext[ds] = lay.strip[ds] + lay.pad_lo[ds] + lay.pad_hi[ds];
+  }
+  lay.cells = lay.ext[0] * lay.ext[1] * lay.ext[2];
+  lay.owned_cells = lay.strip[0] * lay.strip[1] * lay.strip[2];
+
+  // Stage spans and the per-step delay.
+  const int stage_count = program.stage_count();
+  lay.stage_span.resize(static_cast<std::size_t>(stage_count), 0);
+  for (int s = 0; s < stage_count; ++s) {
+    std::int64_t span = 0;
+    for (const auto& read : program.stage(s).reads)
+      span = std::max(span, lay.linear_offset(read.offset));
+    lay.stage_span[static_cast<std::size_t>(s)] = span;
+  }
+  lay.step_delay = 0;
+  for (const auto p : lay.stage_span) lay.step_delay += p;
+
+  const int t_deg = lay.temporal_degree;
+  lay.max_store_delay = 0;
+  for (int f = 0; f < program.field_count(); ++f) {
+    const int wf = program.writing_stage(f);
+    if (wf < 0) continue;
+    lay.max_store_delay =
+        std::max(lay.max_store_delay, lay.compute_delay(t_deg, wf));
+  }
+  lay.walk_ticks = lay.cells + lay.max_store_delay;
+
+  // Register materialization: walk every reader (the declared stage reads
+  // plus the boundary passthrough of each stage's output field) and grow
+  // the source stream to cover the deepest tap.
+  const auto head_delay_of = [&](int field, int state) -> std::int64_t {
+    if (state == 0) return 0;
+    return lay.compute_delay(state, program.writing_stage(field));
+  };
+  struct Len {
+    bool used = false;
+    std::int64_t max_depth = 0;
+  };
+  std::vector<Len> lens(static_cast<std::size_t>(program.field_count() *
+                                                 (t_deg + 1)));
+  const auto slot = [&](int field, int state) -> Len& {
+    return lens[static_cast<std::size_t>(field * (t_deg + 1) + state)];
+  };
+  const auto record = [&](int t, int s, int field,
+                          const stencil::Offset& off) {
+    const int state = lay.source_state(t, s, program, field);
+    const std::int64_t depth =
+        lay.tap_depth(t, s, head_delay_of(field, state), off);
+    if (depth < 0)
+      throw ContractError("temporal layout: negative tap depth");
+    Len& l = slot(field, state);
+    l.used = true;
+    l.max_depth = std::max(l.max_depth, depth);
+  };
+  const stencil::Offset zero{0, 0, 0};
+  for (int t = 1; t <= t_deg; ++t) {
+    for (int s = 0; s < stage_count; ++s) {
+      for (const auto& read : program.stage(s).reads)
+        record(t, s, read.field, read.offset);
+      record(t, s, program.stage(s).output_field, zero);  // passthrough
+    }
+  }
+
+  lay.sr_elements = 0;
+  for (int f = 0; f < program.field_count(); ++f) {
+    for (int k = 0; k <= t_deg; ++k) {
+      const Len& l = slot(f, k);
+      if (!l.used) continue;
+      TemporalReg reg;
+      reg.field = f;
+      reg.state = k;
+      reg.head_delay = head_delay_of(f, k);
+      reg.len = l.max_depth + 1;
+      lay.sr_elements += reg.len;
+      lay.regs.push_back(reg);
+    }
+  }
+
+  const auto sd = static_cast<std::size_t>(lay.strip_dim);
+  lay.n_strips = ceil_div(program.grid_box().extent(lay.strip_dim),
+                          lay.strip[sd]);
+  lay.n_passes = ceil_div(program.iterations(),
+                          static_cast<std::int64_t>(t_deg));
+  return lay;
+}
+
+}  // namespace scl::arch

@@ -3,6 +3,7 @@
 #include "codegen/boundary_gen.hpp"
 #include "codegen/fused_op_gen.hpp"
 #include "codegen/pipe_gen.hpp"
+#include "codegen/temporal_gen.hpp"
 #include "support/observability/observability.hpp"
 #include "support/strings.hpp"
 
@@ -337,13 +338,20 @@ GeneratedCode generate_opencl(const StencilProgram& program,
                  config.summary(program.dims()), "\n// Target device: ",
                  device.name, "\n\n");
   src += render_global_index_macro(ctx);
-  src += "\n// data-sharing pipes (one read + one write pipe per adjacent "
-         "kernel pair)\n";
-  src += render_pipe_declarations(pipes);
-  src += "\n";
-  for (int k = 0; k < ctx.kernel_count(); ++k) {
-    src += render_kernel(ctx, k);
+  if (config.family == arch::DesignFamily::kTemporalShift) {
+    // Single pipe-free cascade kernel; the host sweep is unchanged.
     src += "\n";
+    src += render_temporal_kernel(ctx);
+    src += "\n";
+  } else {
+    src += "\n// data-sharing pipes (one read + one write pipe per adjacent "
+           "kernel pair)\n";
+    src += render_pipe_declarations(pipes);
+    src += "\n";
+    for (int k = 0; k < ctx.kernel_count(); ++k) {
+      src += render_kernel(ctx, k);
+      src += "\n";
+    }
   }
   out.kernel_source = std::move(src);
   out.host_source = render_host(ctx, pipes);

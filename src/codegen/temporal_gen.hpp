@@ -1,0 +1,30 @@
+// Temporal-blocked shift-register kernel generator (family
+// kTemporalShift, see arch/temporal_layout.hpp).
+//
+// Emits the single deep-pipeline kernel of the temporal family: one walk
+// loop over the padded strip in which every (field, time-state) shift
+// register advances by one cell, the state-0 streams are fed from global
+// memory, each of the T fused steps computes its stage carriers from
+// constant-depth taps, and the final-state carriers drain to the output
+// arrays. The kernel keeps the exact signature of the pipe-tiling
+// family's stencil_k0 (per-field globals, r0..r2, pass_h), so the
+// generated host program, region sweep and build script are shared.
+//
+// Everything emitted stays inside the kernel-IR analyzable subset
+// (analysis/ir/lower): counted loops, `float` carriers, flat array
+// stores, and index expressions over +,-,*,/,%,min,max with the
+// constant-divisor strip decomposition.
+#pragma once
+
+#include <string>
+
+#include "codegen/context.hpp"
+
+namespace scl::codegen {
+
+/// Renders the complete cascade kernel (defines + __kernel function) for
+/// a validated kTemporalShift config. Throws scl::Error when a stage
+/// lacks a symbolic formula.
+std::string render_temporal_kernel(const GenContext& ctx);
+
+}  // namespace scl::codegen

@@ -150,6 +150,52 @@ std::vector<CandidateChain> CandidateSpace::chains(DesignKind kind) const {
   return out;
 }
 
+std::vector<std::int64_t> CandidateSpace::strip_candidates() const {
+  const int sd = program_->dims() - 1;
+  std::vector<std::int64_t> out = tile_candidates_for_dim(sd);
+  out.push_back(program_->grid_box().extent(sd));  // monotile
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::int64_t> CandidateSpace::temporal_degree_candidates() const {
+  std::vector<std::int64_t> out;
+  for (const std::int64_t h : fusion_candidates()) {
+    if (program_->iterations() % h == 0) out.push_back(h);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+std::vector<CandidateChain> CandidateSpace::temporal_chains() const {
+  const auto strips = strip_candidates();
+  const auto degrees = temporal_degree_candidates();
+  std::vector<CandidateChain> out;
+  out.reserve(options_->unroll_candidates.size() * strips.size());
+  for (const int unroll : options_->unroll_candidates) {
+    for (const std::int64_t strip : strips) {
+      DesignConfig config;
+      config.family = arch::DesignFamily::kTemporalShift;
+      config.kind = DesignKind::kBaseline;
+      config.unroll = unroll;
+      for (int d = 0; d < program_->dims(); ++d) {
+        config.tile_size[static_cast<std::size_t>(d)] =
+            program_->grid_box().extent(d);
+      }
+      config.tile_size[static_cast<std::size_t>(program_->dims() - 1)] = strip;
+      CandidateChain chain;
+      chain.configs.reserve(degrees.size());
+      for (const std::int64_t t : degrees) {
+        config.fused_iterations = t;
+        chain.configs.push_back(config);
+      }
+      out.push_back(std::move(chain));
+    }
+  }
+  return out;
+}
+
 std::vector<DesignConfig> CandidateSpace::heterogeneous_candidates(
     const DesignConfig& baseline) const {
   std::vector<DesignConfig> out;

@@ -11,6 +11,18 @@
 // parallelism-major, then unroll, then tile shape, with fusion depth
 // ascending inside each chain. The serial and the parallel evaluation
 // paths both consume this exact order.
+//
+// Cross-family tie-break. With two design families in the space
+// (arch/family.hpp), order stability must also hold *across* families:
+// when a pipe-tiling and a temporal-shift design predict identical cost
+// vectors, the winner must not depend on which family's search ran
+// first or on evaluation thread count. The contract is: the family word
+// leads the DesignKey (sim/design.cpp), kPipeTiling = 0 before
+// kTemporalShift = 1, so the deterministic ordering
+// (core::design_order's final key comparison) always prefers the
+// pipe-tiling design on exact ties. temporal_chains() follows the same
+// per-family shape as chains(): unroll-major (vector width V), then
+// strip width ascending, temporal degree T ascending inside each chain.
 #pragma once
 
 #include <array>
@@ -55,6 +67,21 @@ class CandidateSpace {
   /// Every (parallelism, unroll, tile-shape) combination of `kind` as a
   /// chain over the fusion depths, in the contract enumeration order.
   std::vector<CandidateChain> chains(sim::DesignKind kind) const;
+
+  /// Strip widths for the temporal-shift family: the innermost-dimension
+  /// tile candidates plus the full grid extent (the StencilStream
+  /// "monotile" point), ascending.
+  std::vector<std::int64_t> strip_candidates() const;
+
+  /// Temporal degrees T: the fusion depths restricted to divisors of the
+  /// iteration count (a fixed-depth cascade cannot run a partial pass).
+  std::vector<std::int64_t> temporal_degree_candidates() const;
+
+  /// The temporal-shift family (arch/family.hpp): every (vector width,
+  /// strip width) combination as a chain over the temporal degrees,
+  /// ascending. Shift-register size and unroll grow monotonically with T,
+  /// so the evaluator's first-over-budget chain cut stays valid.
+  std::vector<CandidateChain> temporal_chains() const;
 
   /// The heterogeneous search derived from a chosen baseline (§5.4):
   /// parallelism/unroll/tile pinned, fusion depth x balancing shrink

@@ -8,6 +8,18 @@
 
 namespace scl::core {
 
+std::string to_string(FamilySelection family) {
+  switch (family) {
+    case FamilySelection::kAuto:
+      return "auto";
+    case FamilySelection::kPipeTiling:
+      return "pipe-tiling";
+    case FamilySelection::kTemporalShift:
+      return "temporal-shift";
+  }
+  return "?";
+}
+
 Framework::Framework(const scl::stencil::StencilProgram& program,
                      FrameworkOptions options)
     : program_(&program),
@@ -35,11 +47,33 @@ SynthesisReport Framework::synthesize() const {
   }
   SCL_INFO() << "heterogeneous: "
              << report.heterogeneous.config.summary(program_->dims());
+
+  if (options_.family != FamilySelection::kPipeTiling) {
+    const auto span = support::obs::tracer().span("dse/temporal", "dse");
+    try {
+      report.temporal = optimizer_.optimize_temporal();
+      SCL_INFO() << "temporal: "
+                 << report.temporal->config.summary(program_->dims());
+    } catch (const ResourceError&) {
+      // No cascade fits the device. Under kAuto the pipe-tiling winner
+      // simply stands; a forced temporal-only flow must fail loudly.
+      if (options_.family == FamilySelection::kTemporalShift) throw;
+    }
+  }
+  // kAuto selects the family by predicted cycles, breaking ties toward
+  // the paper's pipe-tiling architecture.
+  if (report.temporal &&
+      (options_.family == FamilySelection::kTemporalShift ||
+       report.temporal->prediction.total_cycles <
+           report.heterogeneous.prediction.total_cycles)) {
+    report.selected_family = arch::DesignFamily::kTemporalShift;
+  }
+  SCL_INFO() << "selected family: " << arch::to_string(report.selected_family);
   report.dse = optimizer_.dse_stats();
   report.frontier = optimizer_.retained_frontier();
 
   if (options_.analyze) {
-    // Verify both selected designs before spending time on simulation;
+    // Verify every selected design before spending time on simulation;
     // generated-source diagnostics are appended below once code exists.
     report.analysis.merge(verify_design(*program_, report.baseline.config,
                                         report.device,
@@ -47,6 +81,11 @@ SynthesisReport Framework::synthesize() const {
     report.analysis.merge(verify_design(*program_, report.heterogeneous.config,
                                         report.device,
                                         report.heterogeneous.resources));
+    if (report.temporal) {
+      report.analysis.merge(verify_design(*program_, report.temporal->config,
+                                          report.device,
+                                          report.temporal->resources));
+    }
     if (options_.fail_on_analysis_error && report.analysis.has_errors()) {
       throw VerificationError(
           str_cat("design verification failed with ",
@@ -67,18 +106,23 @@ SynthesisReport Framework::synthesize() const {
                                    sim::SimMode::kTimingOnly);
     report.heterogeneous_sim = exec.run(*program_, report.heterogeneous.config,
                                         sim::SimMode::kTimingOnly);
+    if (report.temporal) {
+      report.temporal_sim = exec.run(*program_, report.temporal->config,
+                                     sim::SimMode::kTimingOnly);
+    }
     report.speedup =
         static_cast<double>(report.baseline_sim.total_cycles) /
         static_cast<double>(report.heterogeneous_sim.total_cycles);
   }
 
   if (options_.generate_code) {
-    report.code = codegen::generate_opencl(
-        *program_, report.heterogeneous.config, options_.optimizer.device);
+    const sim::DesignConfig& emitted = report.selected().config;
+    report.code =
+        codegen::generate_opencl(*program_, emitted, options_.optimizer.device);
     if (options_.analyze) {
       support::DiagnosticEngine sources;
       verify_generated_sources(report.code, &sources);
-      report.ir = verify_generated_ir(*program_, report.heterogeneous.config,
+      report.ir = verify_generated_ir(*program_, emitted,
                                       report.code, &sources);
       report.analysis.merge(sources);
       if (options_.fail_on_analysis_error && sources.has_errors()) {
@@ -109,6 +153,10 @@ std::string SynthesisReport::to_string() const {
   };
   describe("baseline", baseline, baseline_sim);
   describe("heterogeneous", heterogeneous, heterogeneous_sim);
+  if (temporal) {
+    describe("temporal", *temporal, temporal_sim);
+  }
+  out += str_cat("selected family: ", arch::to_string(selected_family), "\n");
   if (speedup > 0.0) {
     out += str_cat("speedup: ", format_speedup(speedup), "\n");
   }

@@ -10,8 +10,10 @@
 //      (the stand-in for the board measurement) and reports the speedup.
 #pragma once
 
+#include <optional>
 #include <string>
 
+#include "arch/family.hpp"
 #include "codegen/opencl_emitter.hpp"
 #include "core/features.hpp"
 #include "core/optimizer.hpp"
@@ -22,8 +24,22 @@
 
 namespace scl::core {
 
+/// Which design families the flow searches; the generated code and the
+/// IR verification always follow the winning family.
+enum class FamilySelection {
+  kAuto,           ///< search both, emit the fewer-predicted-cycles winner
+  kPipeTiling,     ///< the paper's spatial tiling family only
+  kTemporalShift,  ///< the temporal-blocked shift-register family only
+};
+
+std::string to_string(FamilySelection family);
+
 struct FrameworkOptions {
   OptimizerOptions optimizer;
+  /// Family policy. kAuto breaks a predicted-cycles tie toward the
+  /// pipe-tiling family (the paper's architecture, and the cheaper
+  /// host-side sweep).
+  FamilySelection family = FamilySelection::kAuto;
   /// Run the discrete-event simulation of both designs (timing-only).
   bool simulate = true;
   /// Emit OpenCL kernel + host sources for the heterogeneous design.
@@ -44,6 +60,21 @@ struct SynthesisReport {
   DesignPoint baseline;
   DesignPoint heterogeneous;
 
+  /// Best temporal-shift design; populated when options.family admits
+  /// the family and some temporal candidate fits the device budget.
+  std::optional<DesignPoint> temporal;
+
+  /// Family of the winning design — the one that is code-generated,
+  /// IR-verified and reported as the flow's output.
+  arch::DesignFamily selected_family = arch::DesignFamily::kPipeTiling;
+
+  /// The winning design per selected_family.
+  const DesignPoint& selected() const {
+    return selected_family == arch::DesignFamily::kTemporalShift && temporal
+               ? *temporal
+               : heterogeneous;
+  }
+
   /// DSE evaluation counters over both searches: candidates evaluated,
   /// pruned, cache hit rate, throughput, wall-clock, worker threads.
   DseStats dse;
@@ -57,6 +88,7 @@ struct SynthesisReport {
   // Measured (simulated) results; valid when options.simulate.
   sim::SimResult baseline_sim;
   sim::SimResult heterogeneous_sim;
+  sim::SimResult temporal_sim;  ///< valid when `temporal` is populated
   double speedup = 0.0;  ///< baseline cycles / heterogeneous cycles
 
   // Generated sources; valid when options.generate_code.

@@ -221,6 +221,34 @@ DesignPoint Optimizer::optimize_baseline() const {
   return *best;
 }
 
+std::vector<DesignPoint> Optimizer::explore_temporal() const {
+  return engine_.evaluate_chains(space_.temporal_chains(), budget());
+}
+
+DesignPoint Optimizer::optimize_temporal() const {
+  const DseStats before = engine_.stats();
+  std::optional<DesignPoint> best;
+  if (options_.prune) {
+    best = branch_and_bound(space_.temporal_chains(), budget());
+  } else {
+    const std::vector<DesignPoint> feasible = explore_temporal();
+    for (const DesignPoint& point : feasible) retained_.insert(point);
+    if (!feasible.empty()) best = select_best(feasible);
+  }
+  const DseStats after = engine_.stats();
+  SCL_INFO() << "temporal DSE for " << program_->name() << ": "
+             << after.candidates_evaluated - before.candidates_evaluated
+             << " candidates evaluated, "
+             << after.candidates_pruned - before.candidates_pruned
+             << " pruned on " << engine_.threads() << " thread(s)";
+  if (!best) {
+    throw ResourceError(
+        str_cat("no temporal-shift design for '", program_->name(),
+                "' fits the device budget ", budget().to_string()));
+  }
+  return *best;
+}
+
 DesignPoint Optimizer::optimize_heterogeneous(
     const DesignPoint& baseline) const {
   // Paper §5.4: the heterogeneous design is constrained by the baseline's

@@ -92,6 +92,17 @@ class Optimizer {
   /// parallelism/unroll and at most the baseline's resources.
   DesignPoint optimize_heterogeneous(const DesignPoint& baseline) const;
 
+  /// Best temporal-blocked shift-register design (arch/family.hpp)
+  /// fitting the device budget: vector width x strip width x temporal
+  /// degree, searched with the same branch-and-bound machinery and the
+  /// same determinism contract as optimize_baseline. Throws
+  /// scl::ResourceError when nothing fits.
+  DesignPoint optimize_temporal() const;
+
+  /// Every budget-feasible temporal-shift design, in enumeration order
+  /// (the temporal counterpart of explore()).
+  std::vector<DesignPoint> explore_temporal() const;
+
   /// Evaluates one configuration (prediction + resources) without
   /// feasibility filtering. Useful for sweeps and ablation studies.
   /// Memoized: repeated calls with the same config hit the eval cache.

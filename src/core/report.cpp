@@ -56,6 +56,12 @@ std::string render_markdown_report(const SynthesisReport& report,
                  describe_config(report.baseline.config, dims), "\n");
   out += str_cat("- **Heterogeneous design:** ",
                  describe_config(report.heterogeneous.config, dims), "\n");
+  if (report.temporal) {
+    out += str_cat("- **Temporal design:** ",
+                   describe_config(report.temporal->config, dims), "\n");
+  }
+  out += str_cat("- **Selected family:** ",
+                 arch::to_string(report.selected_family), "\n");
   if (report.speedup > 0.0) {
     out += str_cat("- **Simulated speedup:** ",
                    format_speedup(report.speedup), "\n");
@@ -75,6 +81,9 @@ std::string render_markdown_report(const SynthesisReport& report,
     };
     row("baseline", report.baseline, report.baseline_sim);
     row("heterogeneous", report.heterogeneous, report.heterogeneous_sim);
+    if (report.temporal) {
+      row("temporal", *report.temporal, report.temporal_sim);
+    }
     out += table.to_markdown();
   }
   if (report.heterogeneous_sim.total_cycles > 0) {
@@ -160,13 +169,14 @@ std::string render_markdown_report(const SynthesisReport& report,
            "10% above the incumbent were discarded unevaluated, so the "
            "high-latency/low-BRAM tail is intentionally absent.\n\n";
     constexpr std::size_t kMaxFrontierRows = 12;
-    TableWriter table({"config", "predicted cycles", "BRAM18"});
+    TableWriter table({"family", "config", "predicted cycles", "BRAM18"});
     const std::size_t rows =
         std::min(report.frontier.size(), kMaxFrontierRows);
     for (std::size_t i = 0; i < rows; ++i) {
       const DesignPoint& point = report.frontier[i];
       table.add_row(
-          {describe_config(point.config, dims),
+          {arch::to_string(point.config.family),
+           describe_config(point.config, dims),
            format_thousands(
                static_cast<long long>(point.prediction.total_cycles)),
            format_thousands(point.resources.total.bram18)});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/temporal_layout.hpp"
 #include "support/error.hpp"
 
 namespace scl::core {
@@ -15,6 +16,25 @@ DesignResources estimate_design_resources(const StencilProgram& program,
                                           const fpga::ResourceModel& model) {
   config.validate(program);
   DesignResources out;
+
+  if (config.family == arch::DesignFamily::kTemporalShift) {
+    // One deep pipeline, no pipes, no tile buffer: the whole on-chip
+    // state is the shift registers, and the datapath is replicated
+    // T x V times (T chained stage groups, V vector lanes each). Both
+    // grow monotonically with the temporal degree, which keeps the
+    // evaluator's first-over-budget chain cut valid for T-ascending
+    // chains.
+    const arch::TemporalLayout layout =
+        arch::make_temporal_layout(program, config);
+    fpga::KernelShape shape;
+    shape.local_buffer_elements = layout.sr_elements;
+    shape.unroll = layout.temporal_degree * layout.vector_width;
+    const fpga::ResourceVector kernel = model.estimate_kernel(program, shape);
+    out.total = kernel;
+    out.buffer_elements_total = layout.sr_elements;
+    out.worst_kernel = kernel;
+    return out;
+  }
 
   std::array<std::vector<std::int64_t>, 3> extents;
   for (int d = 0; d < 3; ++d) {

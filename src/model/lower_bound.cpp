@@ -28,6 +28,15 @@ LowerBoundModel::LowerBoundModel(const StencilProgram& program,
   }
 }
 
+double LowerBoundModel::ii_max(int unroll) const {
+  double m = 1.0;
+  for (int s = 0; s < program_->stage_count(); ++s) {
+    m = std::max(m, static_cast<double>(
+                        fpga::estimate_stage(program_->stage(s), unroll).ii));
+  }
+  return m;
+}
+
 double LowerBoundModel::ii_sum(int unroll) const {
   if (unroll >= 1 && unroll < static_cast<int>(ii_sum_by_unroll_.size())) {
     return ii_sum_by_unroll_[static_cast<std::size_t>(unroll)];
@@ -42,6 +51,9 @@ double LowerBoundModel::ii_sum(int unroll) const {
 
 LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
   const StencilProgram& prog = *program_;
+  if (config.family == scl::arch::DesignFamily::kTemporalShift) {
+    return temporal_bound(config);
+  }
   const double h = static_cast<double>(config.fused_iterations);
   const double k = static_cast<double>(config.total_kernels());
   const auto& radii = prog.iter_radii();
@@ -103,6 +115,70 @@ LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
   lb.bram18 = config.total_kernels() * resource_model_.bram_blocks_for(
                                            std::max<std::int64_t>(
                                                elements_lb, 1));
+  return lb;
+}
+
+LowerBound LowerBoundModel::temporal_bound(const DesignConfig& config) const {
+  const StencilProgram& prog = *program_;
+  const std::int64_t t_deg = config.fused_iterations;
+  const auto& radii = prog.iter_radii();
+  const int strip_dim = prog.dims() - 1;
+
+  // N_region is exact for this family too: passes x strips.
+  std::int64_t n_region = ceil_div(prog.iterations(), t_deg);
+  for (int d = 0; d < prog.dims(); ++d) {
+    n_region *= ceil_div(prog.grid_box().extent(d), config.region_extent(d));
+  }
+
+  // Owned strip cells only: the exact model walks the padded strip
+  // (>= owned) and adds the store drain (>= 0); memory moves at least the
+  // owned cells once in each direction (the feed covers the halo too).
+  double owned = 1.0;
+  std::array<std::int64_t, 3> ext{1, 1, 1};
+  for (int d = 0; d < prog.dims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    owned *= static_cast<double>(config.tile_size[ds]);
+    ext[ds] = config.tile_size[ds];
+    if (d == strip_dim) ext[ds] += t_deg * (radii[ds][0] + radii[ds][1]);
+  }
+  const double l_comp_lb = ii_max(config.unroll) * owned /
+                           static_cast<double>(config.unroll);
+  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
+                                   device_.mem_bytes_per_cycle);
+  const double l_mem_lb =
+      owned *
+      static_cast<double>(prog.field_count() + prog.mutable_field_count()) *
+      StencilProgram::element_bytes() / bw_share;
+
+  LowerBound lb;
+  lb.cycles =
+      static_cast<double>(n_region) * std::max(l_comp_lb, l_mem_lb);
+
+  // BRAM: every mutable field keeps states 1..T-1 in registers of length
+  // >= step_delay + 1 (the boundary passthrough taps each state one full
+  // step behind its head) plus at least the state-0 head element; the
+  // pooled rounding bram_blocks_for(sum) never exceeds the layout's
+  // per-register total. step_delay is recomputed allocation-free here.
+  std::int64_t step_delay = 0;
+  for (int s = 0; s < prog.stage_count(); ++s) {
+    std::int64_t span = 0;
+    for (const auto& read : prog.stage(s).reads) {
+      std::int64_t lin = 0;
+      for (int d = 0; d < prog.dims(); ++d) {
+        std::int64_t stride = 1;
+        for (int d2 = d + 1; d2 < prog.dims(); ++d2) {
+          stride *= ext[static_cast<std::size_t>(d2)];
+        }
+        lin += read.offset[static_cast<std::size_t>(d)] * stride;
+      }
+      span = std::max(span, lin);
+    }
+    step_delay += span;
+  }
+  const std::int64_t elements_lb =
+      prog.mutable_field_count() * ((t_deg - 1) * (step_delay + 1) + 1);
+  lb.bram18 =
+      resource_model_.bram_blocks_for(std::max<std::int64_t>(elements_lb, 1));
   return lb;
 }
 

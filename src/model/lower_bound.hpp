@@ -61,8 +61,19 @@ class LowerBoundModel {
   /// the whole candidate space cheaper than evaluating a fraction of it.
   LowerBound bound(const sim::DesignConfig& config) const;
 
+  // Temporal-shift bounds (same admissibility contract): the walk covers
+  // at least the strip's owned cells at II_max/V; memory moves at least
+  // the owned cells once per direction; every mutable field keeps states
+  // 1..T-1 alive at length >= step_delay + 1 (the boundary passthrough
+  // reads each state one full step after it is produced) plus the state-0
+  // head — all three are dropped-term relaxations of the exact temporal
+  // model/estimator, so the branch-and-bound optimum stays bit-identical
+  // with pruning on or off.
+
  private:
   double ii_sum(int unroll) const;
+  double ii_max(int unroll) const;
+  LowerBound temporal_bound(const sim::DesignConfig& config) const;
 
   const scl::stencil::StencilProgram* program_;
   fpga::DeviceSpec device_;

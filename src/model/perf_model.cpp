@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "arch/temporal_layout.hpp"
 #include "fpga/hls.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -170,6 +171,41 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
   for (int d = 0; d < prog.dims(); ++d) {
     out.n_region *= ceil_div(prog.grid_box().extent(d),
                              config.region_extent(d));
+  }
+
+  if (config.family == arch::DesignFamily::kTemporalShift) {
+    // Temporal-shift family (Zohouri FPGA'18): one strip streams through
+    // the T-deep cascade per region execution. The stage groups are
+    // separate hardware stations of one pipeline, so the walk's II is the
+    // *max* per-stage II, not the sum — that is the family's compute
+    // advantage — and memory transfers overlap the walk (streaming), so
+    // the region latency is max(L_comp, L_mem), not the sum. The walk
+    // always covers the full padded strip (redundant T x radius halo),
+    // which is the family's redundant-compute cost, plus the drain of the
+    // deepest store.
+    const arch::TemporalLayout layout =
+        arch::make_temporal_layout(prog, config);
+    double ii_walk = 1.0;
+    for (int s = 0; s < prog.stage_count(); ++s) {
+      ii_walk = std::max(
+          ii_walk, static_cast<double>(
+                       fpga::estimate_stage(prog.stage(s), config.unroll).ii));
+    }
+    const std::int64_t v = layout.vector_width;
+    out.l_comp = ii_walk * static_cast<double>(ceil_div(layout.cells, v) +
+                                               layout.max_store_delay);
+    const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
+                                     device_.mem_bytes_per_cycle);
+    const double bytes = StencilProgram::element_bytes();
+    out.l_mem =
+        (static_cast<double>(layout.cells * prog.field_count()) +
+         static_cast<double>(layout.owned_cells *
+                             prog.mutable_field_count())) *
+        bytes / bw_share;
+    out.l_tile = std::max(out.l_comp, out.l_mem);
+    out.total_cycles = static_cast<double>(out.n_region) * out.l_tile;
+    out.total_ms = device_.cycles_to_ms(out.total_cycles);
+    return out;
   }
 
   // Per-stage IIs depend only on (stage, unroll): hoist them out of the

@@ -226,6 +226,23 @@ ArtifactStoreStats ArtifactStore::stats() const {
   return stats_;
 }
 
+std::vector<ArtifactStore::RecencyEntry> ArtifactStore::recency() const {
+  std::vector<RecencyEntry> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(path_for(key), ec);
+    if (ec) continue;
+    out.push_back({key, entry.bytes, mtime});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecencyEntry& a, const RecencyEntry& b) {
+              return a.mtime != b.mtime ? a.mtime > b.mtime : a.key < b.key;
+            });
+  return out;
+}
+
 void ArtifactStore::evict_locked() {
   if (options_.capacity_bytes <= 0) return;
   while (total_bytes_ > options_.capacity_bytes && !entries_.empty()) {

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace scl::serve {
 
@@ -76,6 +77,20 @@ class ArtifactStore {
   std::int64_t total_bytes() const;
   ArtifactStoreStats stats() const;
   const std::string& root() const { return options_.root; }
+
+  /// One row of recency(): a stored artifact with its whole-file byte
+  /// count and on-disk mtime.
+  struct RecencyEntry {
+    std::string key;
+    std::int64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+  };
+
+  /// Stored artifacts ordered most-recently-used first (by file mtime,
+  /// key as the tie-break). mtimes survive restarts, so the tiered
+  /// store's hot-tier warmup uses this to rebuild yesterday's working
+  /// set. Entries whose file vanished underneath the index are skipped.
+  std::vector<RecencyEntry> recency() const;
 
  private:
   struct Entry {

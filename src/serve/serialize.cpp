@@ -159,6 +159,7 @@ std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
 
 void write_design_config(JsonWriter* json, const sim::DesignConfig& config) {
   json->begin_object();
+  json->member("family", arch::to_string(config.family));
   json->member("kind", sim::to_string(config.kind));
   json->member("fused_iterations", config.fused_iterations);
   write_int_triple(json, "parallelism", config.parallelism[0],
@@ -173,6 +174,15 @@ void write_design_config(JsonWriter* json, const sim::DesignConfig& config) {
 
 sim::DesignConfig parse_design_config(const JsonValue& v) {
   sim::DesignConfig config;
+  const std::string& family = v.at("family").as_string();
+  if (family == arch::to_string(arch::DesignFamily::kPipeTiling)) {
+    config.family = arch::DesignFamily::kPipeTiling;
+  } else if (family ==
+             arch::to_string(arch::DesignFamily::kTemporalShift)) {
+    config.family = arch::DesignFamily::kTemporalShift;
+  } else {
+    throw Error(str_cat("artifact: unknown design family \"", family, "\""));
+  }
   const std::string& kind = v.at("kind").as_string();
   if (kind == sim::to_string(sim::DesignKind::kBaseline)) {
     config.kind = sim::DesignKind::kBaseline;
@@ -273,9 +283,15 @@ std::string serialize_artifact(const SynthesisArtifact& artifact) {
   write_design_point(&json, artifact.baseline);
   json.key("heterogeneous");
   write_design_point(&json, artifact.heterogeneous);
+  json.member("selected_family", arch::to_string(artifact.selected_family));
+  if (artifact.temporal) {
+    json.key("temporal");
+    write_design_point(&json, *artifact.temporal);
+  }
   json.key("simulated").begin_object();
   json.member("baseline_cycles", artifact.baseline_cycles);
   json.member("heterogeneous_cycles", artifact.heterogeneous_cycles);
+  json.member("temporal_cycles", artifact.temporal_cycles);
   json.member("baseline_ms", artifact.baseline_ms);
   json.member("heterogeneous_ms", artifact.heterogeneous_ms);
   json.member("speedup", artifact.speedup);
@@ -306,10 +322,21 @@ SynthesisArtifact parse_artifact(const std::string& payload) {
   artifact.device_name = v.at("device").as_string();
   artifact.baseline = parse_design_point(v.at("baseline"));
   artifact.heterogeneous = parse_design_point(v.at("heterogeneous"));
+  const std::string& family = v.at("selected_family").as_string();
+  if (family == arch::to_string(arch::DesignFamily::kTemporalShift)) {
+    artifact.selected_family = arch::DesignFamily::kTemporalShift;
+  } else if (family != arch::to_string(arch::DesignFamily::kPipeTiling)) {
+    throw Error(str_cat("artifact: unknown selected family \"", family,
+                        "\""));
+  }
+  if (const JsonValue* temporal = v.find("temporal")) {
+    artifact.temporal = parse_design_point(*temporal);
+  }
   const JsonValue& simulated = v.at("simulated");
   artifact.baseline_cycles = simulated.at("baseline_cycles").as_int64();
   artifact.heterogeneous_cycles =
       simulated.at("heterogeneous_cycles").as_int64();
+  artifact.temporal_cycles = simulated.at("temporal_cycles").as_int64();
   artifact.baseline_ms = simulated.at("baseline_ms").as_double();
   artifact.heterogeneous_ms = simulated.at("heterogeneous_ms").as_double();
   artifact.speedup = simulated.at("speedup").as_double();
@@ -327,8 +354,11 @@ SynthesisArtifact make_artifact(std::string key,
   artifact.device_name = report.device.name;
   artifact.baseline = report.baseline;
   artifact.heterogeneous = report.heterogeneous;
+  artifact.selected_family = report.selected_family;
+  artifact.temporal = report.temporal;
   artifact.baseline_cycles = report.baseline_sim.total_cycles;
   artifact.heterogeneous_cycles = report.heterogeneous_sim.total_cycles;
+  artifact.temporal_cycles = report.temporal_sim.total_cycles;
   artifact.baseline_ms = report.baseline_sim.total_ms;
   artifact.heterogeneous_ms = report.heterogeneous_sim.total_ms;
   artifact.speedup = report.speedup;
@@ -351,6 +381,9 @@ std::string request_fingerprint(const std::string& canonical_program,
   json.key("device");
   write_device(&json, opt.device);
   json.key("options").begin_object();
+  // The family policy changes which design is emitted, so it is part of
+  // the content address.
+  json.member("family", core::to_string(options.family));
   json.member("resource_fraction", opt.resource_fraction);
   write_scalar_list(&json, "fusion_candidates", opt.fusion_candidates);
   write_scalar_list(&json, "tile_candidates", opt.tile_candidates);

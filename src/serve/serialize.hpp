@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -36,12 +37,12 @@ namespace scl::serve {
 
 /// Schema version of serialized artifacts. Part of the content address:
 /// bumping it invalidates every cached artifact (they simply miss).
-inline constexpr int kArtifactSchemaVersion = 1;
+inline constexpr int kArtifactSchemaVersion = 2;
 
 /// Version tag of the synthesis code itself. Bump whenever model,
 /// optimizer, codegen or verifier changes could alter results for the
 /// same input — stale artifacts must not be served.
-inline constexpr const char* kCodeVersion = "scl-serve-1";
+inline constexpr const char* kCodeVersion = "scl-serve-2";
 
 /// FNV-1a over `data` starting from `seed` (defaults to the standard
 /// 64-bit offset basis).
@@ -55,8 +56,13 @@ struct SynthesisArtifact {
   std::string device_name;
   core::DesignPoint baseline;
   core::DesignPoint heterogeneous;
+  /// Schema v2: the family of the emitted design, and — when the flow
+  /// searched the temporal family and a design fit — its winner.
+  arch::DesignFamily selected_family = arch::DesignFamily::kPipeTiling;
+  std::optional<core::DesignPoint> temporal;
   std::int64_t baseline_cycles = 0;       ///< simulated; 0 = not simulated
   std::int64_t heterogeneous_cycles = 0;
+  std::int64_t temporal_cycles = 0;
   double baseline_ms = 0.0;
   double heterogeneous_ms = 0.0;
   double speedup = 0.0;

@@ -28,6 +28,7 @@ SynthesisService::SynthesisService(ServiceOptions options)
                              : options_.store_shards;
     tiered.disk_capacity_bytes = options_.store_capacity_bytes;
     tiered.memory_capacity_bytes = options_.memory_cache_bytes;
+    tiered.warm_memory_tier = options_.warm_memory_cache;
     store_ = std::make_unique<TieredArtifactStore>(std::move(tiered));
   }
   scheduler_ = std::make_unique<

@@ -58,6 +58,10 @@ struct ServiceOptions {
   /// Byte bound of the hot in-memory artifact tier; <= 0 disables it
   /// (every warm hit re-reads and re-validates its disk shard).
   std::int64_t memory_cache_bytes = 64ll * 1024 * 1024;
+  /// Preload the memory tier from the most-recently-used disk artifacts
+  /// at startup, so a restarted daemon answers its hot set from memory
+  /// on the first request.
+  bool warm_memory_cache = true;
   /// Concurrent synthesis workers; <= 0 resolves via SCL_THREADS /
   /// hardware concurrency.
   int threads = 0;

@@ -1,6 +1,7 @@
 #include "serve/tiered_store.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "serve/serialize.hpp"
 #include "support/error.hpp"
@@ -42,6 +43,44 @@ TieredArtifactStore::TieredArtifactStore(TieredStoreOptions options)
     }
   }
   std::sort(ring_.begin(), ring_.end());
+  if (options_.warm_memory_tier && options_.memory_capacity_bytes > 0) {
+    warm_memory_tier();
+  }
+}
+
+void TieredArtifactStore::warm_memory_tier() {
+  // Merge the per-shard recency lists and take the globally most-recent
+  // artifacts until the memory budget is full. Loading through the shard
+  // validates each payload (checksums), so warmup never caches rot.
+  std::vector<ArtifactStore::RecencyEntry> all;
+  for (const auto& shard : shards_) {
+    auto entries = shard->recency();
+    all.insert(all.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ArtifactStore::RecencyEntry& a,
+               const ArtifactStore::RecencyEntry& b) {
+              return a.mtime != b.mtime ? a.mtime > b.mtime : a.key < b.key;
+            });
+  std::int64_t budget = options_.memory_capacity_bytes;
+  std::vector<std::pair<std::string, std::string>> hot;
+  for (const auto& entry : all) {
+    if (entry.bytes > budget) break;  // on-disk bytes upper-bound memory cost
+    std::optional<std::string> payload =
+        shards_[shard_for(entry.key)]->load(entry.key);
+    if (!payload) continue;  // corrupt: dropped by the shard, skip
+    budget -= static_cast<std::int64_t>(entry.key.size() + payload->size());
+    hot.emplace_back(entry.key, std::move(*payload));
+    if (budget <= 0) break;
+  }
+  // cache_locked pushes to the LRU front, so insert coldest-first to
+  // leave the most recent artifact at the front.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = hot.rbegin(); it != hot.rend(); ++it) {
+    cache_locked(it->first, it->second);
+    ++stats_.warmed;
+  }
 }
 
 std::size_t TieredArtifactStore::shard_for(const std::string& key) const {

@@ -48,6 +48,12 @@ struct TieredStoreOptions {
   /// Byte bound of the in-memory tier; <= 0 disables it (every load goes
   /// to disk, which turns the tiered store into a plain sharded store).
   std::int64_t memory_capacity_bytes = 64ll * 1024 * 1024;
+  /// Preload the memory tier at construction with the most-recently-used
+  /// disk artifacts (by file mtime, across all shards) until the memory
+  /// budget is full: a restarted daemon then serves yesterday's hot set
+  /// from memory on the *first* request. Off by default — cold starts
+  /// that never re-see old keys should not pay the read-back I/O.
+  bool warm_memory_tier = false;
 };
 
 struct TieredStoreStats {
@@ -56,6 +62,7 @@ struct TieredStoreStats {
   std::int64_t misses = 0;       ///< absent from every tier
   std::int64_t promotions = 0;   ///< disk hits copied into memory
   std::int64_t demotions = 0;    ///< memory LRU evictions (still on disk)
+  std::int64_t warmed = 0;       ///< artifacts preloaded at construction
   std::int64_t writes = 0;
   std::int64_t evictions = 0;         ///< disk-tier LRU evictions (all shards)
   std::int64_t corrupt_dropped = 0;   ///< disk-tier corruption recoveries
@@ -113,6 +120,7 @@ class TieredArtifactStore {
   };
 
   void cache_locked(const std::string& key, const std::string& payload);
+  void warm_memory_tier();
 
   TieredStoreOptions options_;
   std::vector<std::unique_ptr<ArtifactStore>> shards_;

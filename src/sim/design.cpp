@@ -57,6 +57,40 @@ void DesignConfig::validate(const scl::stencil::StencilProgram& program) const {
                         " exceeds program iterations ",
                         program.iterations()));
   }
+  if (family == arch::DesignFamily::kTemporalShift) {
+    // The temporal family is one deep pipeline walking full-extent strips:
+    // the pipe-tiling knobs (kind, K_d, balancing) have no meaning and are
+    // pinned so the spatial twin of every temporal config is a valid
+    // single-tile baseline design.
+    if (kind != DesignKind::kBaseline) {
+      throw Error("temporal-shift designs fix kind = Baseline");
+    }
+    if (parallelism != std::array<int, 3>{1, 1, 1}) {
+      throw Error("temporal-shift designs run one pipeline (K = 1x1x1)");
+    }
+    if (edge_shrink != std::array<std::int64_t, 3>{0, 0, 0}) {
+      throw Error("temporal-shift designs have no workload balancing");
+    }
+    if (program.iterations() % fused_iterations != 0) {
+      throw Error(str_cat("temporal degree ", fused_iterations,
+                          " must divide the iteration count ",
+                          program.iterations(),
+                          ": the fixed-depth cascade cannot execute a "
+                          "partial pass"));
+    }
+    for (int d = 0; d < program.dims() - 1; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      if (tile_size[ds] != program.grid_box().extent(d)) {
+        throw Error(str_cat("temporal-shift strips keep the full grid "
+                            "extent along dimension ", d));
+      }
+    }
+    const int sd = program.dims() - 1;
+    if (tile_size[static_cast<std::size_t>(sd)] >
+        program.grid_box().extent(sd)) {
+      throw Error("temporal-shift strip width exceeds the grid");
+    }
+  }
   for (int d = 0; d < 3; ++d) {
     const auto ds = static_cast<std::size_t>(d);
     const bool active = d < program.dims();
@@ -88,15 +122,20 @@ void DesignConfig::validate(const scl::stencil::StencilProgram& program) const {
 }
 
 DesignKey DesignConfig::key() const {
+  // The family word leads: the lexicographic DesignKey order (the DSE's
+  // final tie-breaker) sorts all pipe-tiling designs before all
+  // temporal-shift designs, which is the cross-family enumeration-order
+  // contract candidate_space.hpp documents.
   DesignKey k;
-  k.v[0] = static_cast<std::int64_t>(kind);
-  k.v[1] = fused_iterations;
+  k.v[0] = static_cast<std::int64_t>(family);
+  k.v[1] = static_cast<std::int64_t>(kind);
+  k.v[2] = fused_iterations;
   for (std::size_t d = 0; d < 3; ++d) {
-    k.v[2 + d] = parallelism[d];
-    k.v[5 + d] = tile_size[d];
-    k.v[8 + d] = edge_shrink[d];
+    k.v[3 + d] = parallelism[d];
+    k.v[6 + d] = tile_size[d];
+    k.v[9 + d] = edge_shrink[d];
   }
-  k.v[11] = unroll;
+  k.v[12] = unroll;
   return k;
 }
 
@@ -129,6 +168,10 @@ std::string DesignConfig::summary(int dims) const {
     const auto ds = static_cast<std::size_t>(d);
     tiles.push_back(std::to_string(tile_size[ds]));
     cus.push_back(std::to_string(parallelism[ds]));
+  }
+  if (family == arch::DesignFamily::kTemporalShift) {
+    return str_cat("TemporalShift: T=", fused_iterations, ", strip ",
+                   join(tiles, "x"), ", V=", unroll);
   }
   return str_cat(to_string(kind), ": h=", fused_iterations, ", tile ",
                  join(tiles, "x"), ", CUs ", join(cus, "x"), ", N_PE=",

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/family.hpp"
 #include "stencil/program.hpp"
 
 namespace scl::sim {
@@ -40,7 +41,7 @@ const char* to_string(DesignKind kind);
 /// both as the eval-cache key and as the final tie-breaker of the
 /// deterministic design ordering.
 struct DesignKey {
-  std::array<std::int64_t, 12> v{};
+  std::array<std::int64_t, 13> v{};
 
   friend bool operator==(const DesignKey&, const DesignKey&) = default;
   friend auto operator<=>(const DesignKey&, const DesignKey&) = default;
@@ -53,6 +54,14 @@ struct DesignKeyHash {
 };
 
 struct DesignConfig {
+  /// Architecture family (arch/family.hpp). kPipeTiling interprets the
+  /// fields exactly as documented above. kTemporalShift reuses them with
+  /// the temporal family's meaning: kind stays kBaseline, parallelism is
+  /// {1,1,1} (one deep pipeline), tile_size[dims-1] is the strip width w
+  /// (full grid extent elsewhere), fused_iterations is the temporal
+  /// degree T (must divide the iteration count: a fixed-depth cascade
+  /// cannot execute a partial pass), and unroll is the vector width V.
+  arch::DesignFamily family = arch::DesignFamily::kPipeTiling;
   DesignKind kind = DesignKind::kBaseline;
   std::int64_t fused_iterations = 1;
   std::array<int, 3> parallelism{1, 1, 1};

@@ -1,9 +1,11 @@
 #include "sim/executor.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 
+#include "arch/temporal_layout.hpp"
 #include "fpga/hls.hpp"
 #include "ocl/memory.hpp"
 #include "ocl/pipe.hpp"
@@ -144,8 +146,84 @@ Executor::RegionOutcome Executor::run_region(
   return outcome;
 }
 
+SimResult Executor::run_temporal(const StencilProgram& program,
+                                 const DesignConfig& config,
+                                 SimMode mode) const {
+  const arch::TemporalLayout layout =
+      arch::make_temporal_layout(program, config);
+  const RegionGrid grid(program, config);
+  SimResult result;
+  result.region_executions = grid.total_region_executions();
+
+  // Walk timing. The cascade's stage groups are separate pipeline
+  // stations, so the walk advances at the *max* per-stage II; V cells
+  // enter per tick. The emitted kernel walks the full padded strip no
+  // matter how the grid clipped the strip's owned box (stores clamp into
+  // the owned box instead of shortening the loop), so compute and
+  // transfer volumes are identical for every region execution.
+  std::int64_t ii_walk = 1;
+  for (int s = 0; s < program.stage_count(); ++s) {
+    ii_walk = std::max(
+        ii_walk, fpga::estimate_stage(program.stage(s), config.unroll).ii);
+  }
+  const std::int64_t fill_drain =
+      fpga::estimate_program(program, config.unroll).depth;
+  const std::int64_t comp =
+      ii_walk * (ceil_div(layout.cells,
+                          static_cast<std::int64_t>(layout.vector_width)) +
+                 layout.max_store_delay);
+  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
+                                   device_.mem_bytes_per_cycle);
+  const std::int64_t read_bytes =
+      layout.cells * program.field_count() * StencilProgram::element_bytes();
+  const std::int64_t write_bytes = layout.owned_cells *
+                                   program.mutable_field_count() *
+                                   StencilProgram::element_bytes();
+  const auto mem = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(read_bytes + write_bytes) / bw_share));
+  const std::int64_t region_cycles =
+      device_.kernel_launch_cycles + std::max(comp, mem) + fill_drain;
+
+  for (const auto& shape : grid.distinct_shapes()) {
+    const std::int64_t owned_clip = shape.plan.box.volume();
+    const std::int64_t times = shape.count * grid.passes();
+    result.total_cycles += region_cycles * times;
+    result.cells_owned += owned_clip * times;
+    result.cells_redundant += (layout.cells - owned_clip) * times;
+    result.global_memory_bytes += (read_bytes + write_bytes) * times;
+
+    PhaseBreakdown phases;
+    phases.launch = device_.kernel_launch_cycles;
+    const std::int64_t walk = comp + fill_drain;
+    phases.compute_own =
+        layout.cells > 0 ? walk * owned_clip / layout.cells : walk;
+    phases.compute_redundant = walk - phases.compute_own;
+    const std::int64_t exposed = std::max<std::int64_t>(0, mem - comp);
+    phases.mem_read =
+        exposed * read_bytes / std::max<std::int64_t>(1, read_bytes +
+                                                             write_bytes);
+    phases.mem_write = exposed - phases.mem_read;
+    result.phases += phases * times;
+  }
+
+  if (mode == SimMode::kFunctional) {
+    // The cascade applies exactly the reference update schedule (taps read
+    // the previous committed state, boundary cells pass through), so the
+    // spatial twin — a single-tile baseline over the same strips — yields
+    // bit-identical field contents.
+    SimResult twin = run(program, arch::spatial_twin(config), mode);
+    result.fields = std::move(twin.fields);
+  }
+  result.total_ms =
+      device_.cycles_to_ms(static_cast<double>(result.total_cycles));
+  return result;
+}
+
 RegionTrace Executor::trace_region(const StencilProgram& program,
                                    const DesignConfig& config) const {
+  SCL_CHECK(config.family == arch::DesignFamily::kPipeTiling,
+            "trace_region models the pipe-tiling family; the temporal "
+            "cascade has no per-kernel event timeline");
   const RegionGrid grid(program, config);
   // Prefer the most common shape (the interior, full-size region).
   const auto shapes = grid.distinct_shapes();
@@ -165,6 +243,9 @@ RegionTrace Executor::trace_region(const StencilProgram& program,
 SimResult Executor::run(const StencilProgram& program,
                         const DesignConfig& config, SimMode mode) const {
   const auto span = support::obs::tracer().span("sim/run", "sim");
+  if (config.family == arch::DesignFamily::kTemporalShift) {
+    return run_temporal(program, config, mode);
+  }
   const auto sim_start = std::chrono::steady_clock::now();
   const RegionGrid grid(program, config);
   SimResult result;

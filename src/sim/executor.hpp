@@ -95,6 +95,16 @@ class Executor {
                            scl::stencil::FieldSet* global_out,
                            std::vector<TraceEvent>* trace = nullptr) const;
 
+  /// Temporal-shift family (arch/family.hpp): models the single-kernel
+  /// deep pipeline — per strip, one walk of the padded strip through the
+  /// T-deep cascade at the walk II, overlapped with the streaming
+  /// global-memory traffic, plus launch and pipeline fill/drain. No
+  /// pipes, no barriers. Functional mode executes the design's spatial
+  /// twin for bit-exact field contents (the cascade computes the same
+  /// update schedule) while the timing numbers stay the cascade's.
+  SimResult run_temporal(const scl::stencil::StencilProgram& program,
+                         const DesignConfig& config, SimMode mode) const;
+
   fpga::DeviceSpec device_;
   SimTuning tuning_;
 };

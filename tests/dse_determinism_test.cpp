@@ -90,6 +90,68 @@ TEST(DseDeterminismTest, ParallelResultsMatchSerialExactly) {
   }
 }
 
+TEST(DseDeterminismTest, CrossFamilySearchesAreThreadCountInvariant) {
+  // Both families enumerate into one retained frontier; the family word
+  // leads the canonical key (pipe-tiling before temporal-shift at equal
+  // cost), so interleaving the two searches must stay byte-identical at
+  // any thread count, with pruning on or off.
+  const auto program = scl::stencil::make_jacobi2d(512, 512, 64);
+  for (const bool prune : {true, false}) {
+    OptimizerOptions serial_options;
+    serial_options.threads = 1;
+    serial_options.prune = prune;
+    const Optimizer serial(program, serial_options);
+    const DesignPoint serial_base = serial.optimize_baseline();
+    const DesignPoint serial_temporal = serial.optimize_temporal();
+    const DesignPoint serial_het =
+        serial.optimize_heterogeneous(serial_base);
+    const std::vector<DesignPoint> serial_frontier =
+        serial.retained_frontier();
+
+    for (const int threads : {2, 5, 8}) {
+      SCOPED_TRACE(std::string("prune=") + (prune ? "on" : "off") + " @ " +
+                   std::to_string(threads) + " threads");
+      OptimizerOptions options;
+      options.threads = threads;
+      options.prune = prune;
+      const Optimizer parallel(program, options);
+      const DesignPoint base = parallel.optimize_baseline();
+      expect_identical(base, serial_base, "optimize_baseline");
+      // Interleave: temporal search between the two spatial searches.
+      expect_identical(parallel.optimize_temporal(), serial_temporal,
+                       "optimize_temporal");
+      expect_identical(parallel.optimize_heterogeneous(base), serial_het,
+                       "optimize_heterogeneous");
+      expect_identical(parallel.retained_frontier(), serial_frontier,
+                       "cross-family retained_frontier");
+    }
+  }
+}
+
+TEST(DseDeterminismTest, CrossFamilyOptimaMatchWithPruningOnAndOff) {
+  // Admissibility acceptance: for each family the branch-and-bound
+  // optimum equals the exhaustive optimum, bit for bit.
+  for (const Scenario& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    OptimizerOptions exhaustive_options;
+    exhaustive_options.prune = false;
+    const Optimizer exhaustive(scenario.program, exhaustive_options);
+    OptimizerOptions pruned_options;
+    pruned_options.prune = true;
+    const Optimizer pruned(scenario.program, pruned_options);
+
+    const DesignPoint base_e = exhaustive.optimize_baseline();
+    const DesignPoint base_p = pruned.optimize_baseline();
+    expect_identical(base_p, base_e, "baseline prune on/off");
+    expect_identical(pruned.optimize_heterogeneous(base_p),
+                     exhaustive.optimize_heterogeneous(base_e),
+                     "heterogeneous prune on/off");
+    expect_identical(pruned.optimize_temporal(),
+                     exhaustive.optimize_temporal(),
+                     "temporal prune on/off");
+  }
+}
+
 TEST(DseDeterminismTest, RepeatedRunsAreStable) {
   // Same optimizer, repeated searches (now cache-warm): identical output.
   const auto p = scl::stencil::make_jacobi2d(512, 512, 64);

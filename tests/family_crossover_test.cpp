@@ -1,0 +1,89 @@
+// Cross-family Pareto behavior: with the device fixed, the optimizer's
+// family choice flips with the problem scale. Small grids amortize
+// nothing — the pipe-tiling sweep pays its per-pass kernel launches on a
+// tiny cell count, while the temporal cascade folds T time steps into
+// one deep pipeline — so the temporal family wins. At the paper's grid
+// scale the cascade's shift registers grow with T x row width, BRAM caps
+// the temporal degree, and the spatial tiling family takes over.
+#include <gtest/gtest.h>
+
+#include "arch/family.hpp"
+#include "core/framework.hpp"
+#include "core/optimizer.hpp"
+#include "fpga/device.hpp"
+#include "stencil/kernels.hpp"
+
+namespace scl::core {
+namespace {
+
+using scl::arch::DesignFamily;
+
+FrameworkOptions auto_options() {
+  FrameworkOptions options;
+  options.optimizer.device = fpga::find_device("xc7vx690t");
+  options.simulate = false;
+  options.generate_code = false;
+  options.analyze = false;
+  return options;
+}
+
+TEST(FamilyCrossover, TemporalWinsTheSmallGrid) {
+  const auto program = scl::stencil::make_jacobi2d(64, 64, 64);
+  const SynthesisReport report =
+      Framework(program, auto_options()).synthesize();
+  ASSERT_TRUE(report.temporal.has_value());
+  EXPECT_LT(report.temporal->prediction.total_cycles,
+            report.heterogeneous.prediction.total_cycles);
+  EXPECT_EQ(report.selected_family, DesignFamily::kTemporalShift);
+  EXPECT_EQ(report.selected().config.family, DesignFamily::kTemporalShift);
+}
+
+TEST(FamilyCrossover, PipeTilingWinsTheLargeGrid) {
+  // Same kernel, same device — only the grid scale changes.
+  const auto program = scl::stencil::make_jacobi2d(2048, 2048, 64);
+  const SynthesisReport report =
+      Framework(program, auto_options()).synthesize();
+  ASSERT_TRUE(report.temporal.has_value());
+  EXPECT_GT(report.temporal->prediction.total_cycles,
+            report.heterogeneous.prediction.total_cycles);
+  EXPECT_EQ(report.selected_family, DesignFamily::kPipeTiling);
+  EXPECT_EQ(report.selected().config.family, DesignFamily::kPipeTiling);
+}
+
+TEST(FamilyCrossover, RetainedFrontierHoldsBothFamilies) {
+  const auto program = scl::stencil::make_jacobi2d(512, 512, 64);
+  OptimizerOptions options;
+  options.device = fpga::find_device("xc7vx690t");
+  const Optimizer optimizer(program, options);
+  const DesignPoint base = optimizer.optimize_baseline();
+  (void)optimizer.optimize_heterogeneous(base);
+  (void)optimizer.optimize_temporal();
+  bool saw_pipe = false;
+  bool saw_temporal = false;
+  for (const DesignPoint& point : optimizer.retained_frontier()) {
+    saw_pipe |= point.config.family == DesignFamily::kPipeTiling;
+    saw_temporal |= point.config.family == DesignFamily::kTemporalShift;
+  }
+  EXPECT_TRUE(saw_pipe);
+  EXPECT_TRUE(saw_temporal)
+      << "the latency/BRAM trade-off curve must expose both architectures";
+}
+
+TEST(FamilyCrossover, ForcedFamilyOverridesTheAutoWinner) {
+  // On the large grid auto picks pipe-tiling; forcing temporal-shift
+  // must emit the (slower) cascade design instead.
+  const auto program = scl::stencil::make_jacobi2d(2048, 2048, 64);
+  FrameworkOptions options = auto_options();
+  options.family = FamilySelection::kTemporalShift;
+  const SynthesisReport report = Framework(program, options).synthesize();
+  EXPECT_EQ(report.selected_family, DesignFamily::kTemporalShift);
+
+  options.family = FamilySelection::kPipeTiling;
+  const SynthesisReport spatial = Framework(program, options).synthesize();
+  EXPECT_FALSE(spatial.temporal.has_value())
+      << "pipe-tiling-only flows skip the temporal search entirely";
+  EXPECT_EQ(spatial.selected_family, DesignFamily::kPipeTiling);
+}
+
+}  // namespace
+}  // namespace scl::core

@@ -99,6 +99,34 @@ TEST_F(ServiceTest, ColdThenWarmServesFromStore) {
   }
 }
 
+TEST_F(ServiceTest, RestartedServiceAnswersFirstRequestFromMemory) {
+  JobRequest request;
+  request.program = small_program();
+  {
+    SynthesisService service(options_with_store());
+    ASSERT_TRUE(service.wait(service.submit(request)).ok);
+  }
+  // The restarted service preloads its hot tier from the store's
+  // most-recently-used artifacts, so even the FIRST request after the
+  // restart is a memory hit — no disk read on the serving path.
+  SynthesisService restarted(options_with_store());
+  const JobResult warm = restarted.wait(restarted.submit(request));
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_TRUE(warm.from_memory)
+      << "hot-tier warmup must preload the artifact at startup";
+  EXPECT_TRUE(warm.artifact->served_from_memory);
+
+  // Opting out restores the cold-memory restart behavior.
+  ServiceOptions cold_options = options_with_store();
+  cold_options.warm_memory_cache = false;
+  SynthesisService cold_restart(std::move(cold_options));
+  const JobResult disk = cold_restart.wait(cold_restart.submit(request));
+  ASSERT_TRUE(disk.ok) << disk.error;
+  EXPECT_TRUE(disk.from_cache);
+  EXPECT_FALSE(disk.from_memory);
+}
+
 TEST_F(ServiceTest, WarmArtifactRoundTripsEveryField) {
   JobRequest request;
   request.program = small_program();

@@ -96,6 +96,53 @@ TEST_F(TieredStoreTest, ColdStartPromotesDiskHitsIntoMemory) {
   EXPECT_EQ(stats.memory_hits, 1);
 }
 
+TEST_F(TieredStoreTest, WarmupPreloadsDiskArtifactsAcrossRestart) {
+  {
+    TieredArtifactStore store = make_store(2, 1 << 20);
+    for (int i = 0; i < 8; ++i) {
+      store.store(key_of(i), "warm-payload-" + std::to_string(i));
+    }
+  }
+  TieredStoreOptions options;
+  options.shard_roots = shard_roots(2);
+  options.memory_capacity_bytes = 1 << 20;
+  options.warm_memory_tier = true;
+  TieredArtifactStore reopened(std::move(options));
+
+  EXPECT_EQ(reopened.memory_entries(), 8u);
+  EXPECT_EQ(reopened.stats().warmed, 8);
+  for (int i = 0; i < 8; ++i) {
+    bool from_memory = false;
+    ASSERT_EQ(reopened.load(key_of(i), &from_memory),
+              "warm-payload-" + std::to_string(i));
+    EXPECT_TRUE(from_memory)
+        << "first post-restart request for " << key_of(i)
+        << " must be a memory hit";
+  }
+  EXPECT_EQ(reopened.stats().disk_hits, 0)
+      << "the warmed set never touches disk again";
+}
+
+TEST_F(TieredStoreTest, WarmupStopsAtTheMemoryBudget) {
+  const std::string payload(600, 'x');
+  {
+    TieredArtifactStore store = make_store(1, 1 << 20);
+    for (int i = 0; i < 10; ++i) store.store(key_of(i), payload);
+  }
+  TieredStoreOptions options;
+  options.shard_roots = shard_roots(1);
+  // Room for roughly three (key + payload) pairs, nowhere near ten.
+  options.memory_capacity_bytes = 2000;
+  options.warm_memory_tier = true;
+  TieredArtifactStore reopened(std::move(options));
+
+  EXPECT_GT(reopened.memory_entries(), 0u);
+  EXPECT_LT(reopened.memory_entries(), 10u);
+  EXPECT_LE(reopened.memory_bytes(), 2000);
+  EXPECT_EQ(reopened.stats().demotions, 0)
+      << "warmup must stop at the budget, not churn the LRU";
+}
+
 TEST_F(TieredStoreTest, MissReportsMissAndNothingElse) {
   TieredArtifactStore store = make_store(2, 1 << 20);
   EXPECT_FALSE(store.load(key_of(42)).has_value());
