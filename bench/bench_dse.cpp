@@ -18,9 +18,18 @@
 // branch-and-bound pruning disabled — the two halves of the determinism
 // contract.
 //
+// After the thread sweep, an HBM device leg runs one serial cold DSE
+// per multi-bank part (xcu280, s10mx) per benchmark: those devices open
+// the spatial-replication axis (R PE copies on disjoint bank groups),
+// so their candidate spaces — and throughputs — differ from the DDR
+// rows above. Their JSON rows carry a "device" field, which the perf
+// gate folds into the key and treats as load-bearing: a vanished
+// device row fails CI even at sub-floor wall times.
+//
 // Output: a human-readable table on stdout plus one JSON row per
-// (kernel, thread count, mode, family) appended to BENCH_dse.json in
-// the working directory, for the benchmark trajectory.
+// (kernel, thread count, mode, family[, device]) appended to
+// BENCH_dse.json in the working directory, for the benchmark
+// trajectory.
 //
 //   --json <file>      write rows there instead, truncating first (the
 //                      perf-gate baselines want a fresh file per run)
@@ -33,6 +42,7 @@
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "fpga/device.hpp"
 #include "stencil/kernels.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -75,6 +85,27 @@ DseRun run_searches(const scl::core::Optimizer& optimizer) {
   return run;
 }
 
+/// run_searches with heterogeneous infeasibility tolerated: on banked
+/// parts the baseline winner may spend the whole BRAM budget on spatial
+/// replication, leaving no pipe redistribution inside the baseline cap.
+/// The baseline then stands in as the pipe-tiling winner, matching
+/// Framework::synthesize's fallback.
+DseRun run_searches_banked(const scl::core::Optimizer& optimizer) {
+  scl::core::DseStats mark = optimizer.dse_stats();
+  DseRun run;
+  run.baseline = optimizer.optimize_baseline();
+  try {
+    run.heterogeneous = optimizer.optimize_heterogeneous(run.baseline);
+  } catch (const scl::ResourceError&) {
+    run.heterogeneous = run.baseline;
+  }
+  run.spatial_stats = diff(optimizer.dse_stats(), mark);
+  mark = optimizer.dse_stats();
+  run.temporal = optimizer.optimize_temporal();
+  run.temporal_stats = diff(optimizer.dse_stats(), mark);
+  return run;
+}
+
 bool same_designs(const DseRun& a, const DseRun& b) {
   return a.baseline.config == b.baseline.config &&
          a.heterogeneous.config == b.heterogeneous.config &&
@@ -89,17 +120,29 @@ bool same_designs(const DseRun& a, const DseRun& b) {
 
 std::string json_row(const std::string& kernel, const char* mode,
                      const char* family, const scl::core::DseStats& stats,
-                     double speedup) {
+                     double speedup, const std::string& device = "",
+                     int replication = 0) {
+  // Rows on the default device carry no "device" field so historical
+  // perf-gate keys stay stable; device-tagged rows get a suffixed key
+  // (and the gate fails hard when a tagged row vanishes).
+  const std::string device_field =
+      device.empty() ? std::string()
+                     : scl::str_cat(",\"device\":\"", device, "\"");
+  const std::string replication_field =
+      replication > 0 ? scl::str_cat(",\"replication\":", replication)
+                      : std::string();
   return scl::str_cat(
       "{\"bench\":\"dse\",\"kernel\":\"", kernel, "\",\"mode\":\"", mode,
-      "\",\"family\":\"", family, "\",\"threads\":", stats.threads,
+      "\",\"family\":\"", family, "\"", device_field,
+      ",\"threads\":", stats.threads,
       ",\"candidates\":", stats.candidates_evaluated,
       ",\"pruned\":", stats.candidates_pruned,
       ",\"cache_hit_rate\":", scl::format_fixed(stats.cache_hit_rate(), 4),
       ",\"wall_seconds\":", scl::format_fixed(stats.wall_seconds, 4),
       ",\"candidates_per_sec\":",
       scl::format_fixed(stats.candidates_per_sec(), 1),
-      ",\"speedup_vs_serial\":", scl::format_fixed(speedup, 3), "}");
+      ",\"speedup_vs_serial\":", scl::format_fixed(speedup, 3),
+      replication_field, "}");
 }
 
 }  // namespace
@@ -235,6 +278,73 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.to_text() << "\n";
+
+  // HBM device leg: the replication axis (spatial PE copies on disjoint
+  // bank groups) only opens on multi-bank parts, so every row above —
+  // all on the default DDR board — leaves it unexercised. One serial
+  // cold DSE per HBM part per benchmark pins the throughput of the
+  // widened space, plus the replication factor each winner settled on.
+  // These rows carry a "device" field; scripts/perf_gate.py folds it
+  // into the key and fails hard when a tagged row goes missing.
+  std::cout << "==== HBM device leg: replicated design spaces ====\n\n";
+  scl::TableWriter hbm_table({"Benchmark", "Device", "Family", "Candidates",
+                              "Pruned", "Wall (s)", "Cand./s", "Winner R"});
+  for (const char* device_name : {"xcu280", "s10mx"}) {
+    for (const scl::stencil::BenchmarkInfo& info :
+         scl::stencil::paper_benchmarks()) {
+      const scl::stencil::StencilProgram program = info.make_paper_scale();
+      scl::core::OptimizerOptions options;
+      options.threads = 1;
+      options.device = scl::fpga::find_device(device_name);
+      const scl::core::Optimizer optimizer(program, options);
+      DseRun cold;
+      try {
+        cold = run_searches_banked(optimizer);
+      } catch (const scl::Error& e) {
+        std::cout << info.name << " on " << device_name << ": FAILED ("
+                  << e.what() << ")\n";
+        deterministic = false;
+        continue;
+      }
+      // The determinism contract must hold on the widened space too.
+      scl::core::OptimizerOptions exhaustive_options = options;
+      exhaustive_options.prune = false;
+      const scl::core::Optimizer exhaustive(program, exhaustive_options);
+      if (!same_designs(run_searches_banked(exhaustive), cold)) {
+        std::cout << info.name << " on " << device_name
+                  << ": NONDETERMINISTIC — pruning changed the optimum\n";
+        deterministic = false;
+      }
+      const struct {
+        const char* family;
+        const scl::core::DseStats* stats;
+        int replication;
+      } rows[] = {
+          {"pipe-tiling", &cold.spatial_stats,
+           cold.heterogeneous.config.replication},
+          {"temporal-shift", &cold.temporal_stats,
+           cold.temporal.config.replication},
+      };
+      for (const auto& row : rows) {
+        const scl::core::DseStats& stats = *row.stats;
+        hbm_table.add_row(
+            {info.name, device_name, row.family,
+             std::to_string(stats.candidates_evaluated),
+             std::to_string(stats.candidates_pruned),
+             scl::format_fixed(stats.wall_seconds, 3),
+             scl::format_thousands(
+                 static_cast<long long>(stats.candidates_per_sec())),
+             std::to_string(row.replication)});
+        if (json) {
+          json << json_row(info.name, "cold", row.family, stats, 1.0,
+                           device_name, row.replication)
+               << "\n";
+        }
+      }
+    }
+  }
+  std::cout << hbm_table.to_text() << "\n";
+
   std::cout << (deterministic
                     ? "determinism: all thread counts (and pruning on/off) "
                       "chose identical designs\n"

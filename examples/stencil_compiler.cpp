@@ -2,7 +2,8 @@
 //
 //   stencil_compiler <input.stencil | input.cl | benchmark-name> [options]
 //
-//   --device <name>       target device (xc7vx690t | xc7vx485t | xcku115)
+//   --device <name>       target device (xc7vx690t | xc7vx485t | xcku115 |
+//                         xcu280 | s10mx)
 //   --family <name>       design-family policy: auto (default; search both
 //                         and emit the predicted winner), pipe-tiling, or
 //                         temporal-shift
@@ -174,8 +175,22 @@ int run_tool(const ToolConfig& cfg) {
     // Bumped whenever the document layout changes; see
     // docs/ARCHITECTURE.md §8 for the history. v2 added
     // "schema_version" itself and the "ir" section; v3 added the
-    // "family" section and the per-frontier-point "family" member.
-    json.member("schema_version", 3);
+    // "family" section and the per-frontier-point "family" member; v4
+    // added the "device" section (banked memory model) and the
+    // per-frontier-point "replication" member.
+    json.member("schema_version", 4);
+    json.key("device").begin_object();
+    json.member("name", options.optimizer.device.name);
+    json.key("memory").begin_object();
+    json.member("banks", options.optimizer.device.memory.banks);
+    json.member("bank_bytes_per_cycle",
+                options.optimizer.device.effective_bank_bytes_per_cycle());
+    json.member("bank_conflict_factor",
+                options.optimizer.device.memory.bank_conflict_factor);
+    json.member("mem_bytes_per_cycle",
+                options.optimizer.device.mem_bytes_per_cycle);
+    json.end_object();
+    json.end_object();
     json.key("family").begin_object();
     json.member("requested", scl::core::to_string(options.family));
     json.member("selected", scl::arch::to_string(report.selected_family));
@@ -200,6 +215,7 @@ int run_tool(const ToolConfig& cfg) {
       json.begin_object();
       json.member("family", scl::arch::to_string(point.config.family));
       json.member("config", point.config.summary(program.dims()));
+      json.member("replication", point.config.replication);
       json.member("predicted_cycles", point.prediction.total_cycles);
       json.member("bram18", point.resources.total.bram18);
       json.end_object();

@@ -5,7 +5,7 @@ Compares the JSONL rows a fresh bench run produced against the committed
 baseline rows and fails when a tracked metric regressed by more than the
 threshold (default 25%). Tracked metrics:
 
-  bench=dse      key (kernel, threads, mode, family)
+  bench=dse      key (kernel, threads, mode, family[, device])
                                               metric candidates_per_sec
                  plus, for rows with threads > 1, a second gated metric
                  speedup_vs_serial under the same key + "/speedup" — a
@@ -22,6 +22,16 @@ the design-family split, which were all pipe-tiling) keep the
 historical key, temporal-shift rows append "/temporal-shift". Service
 rows use the suffix the same way: batch rows carry no mode and keep
 their historical key, daemon-over-the-wire rows append "/daemon".
+
+Rows carrying a "device" field (the HBM device-matrix legs bench_dse
+emits for multi-bank parts) append "/<device>" to the key and are
+DEVICE-PINNED: a baseline row with a device suffix that is missing from
+the current run fails the gate unconditionally — even when its baseline
+wall time sits below the noise floor — because a vanished device leg
+means a supported part silently dropped out of the matrix, which is a
+coverage regression rather than a timing artifact. Rows without the
+field keep their historical keys, so pre-HBM baselines gate new runs
+unchanged.
 
 All metrics are higher-is-better; a row counts as a regression when
 
@@ -74,8 +84,8 @@ def read_rows(path):
 
 
 def keyed_metrics(rows):
-    """Maps (display key) -> (metric name, value, wall_seconds or None);
-    last occurrence wins."""
+    """Maps (display key) -> (metric name, value, wall_seconds or None,
+    device_pinned); last occurrence wins."""
     metrics = {}
     for row in rows:
         bench = row.get("bench")
@@ -94,15 +104,23 @@ def keyed_metrics(rows):
             family = row.get("family", "pipe-tiling")
             if family != "pipe-tiling":
                 key = f"{key}/{family}"
+            # Device-matrix rows: the suffix keys each part's leg, and
+            # the pin makes its absence a hard failure (a device that
+            # dropped out of the matrix, not timer noise).
+            device = row.get("device")
+            pinned = bool(device)
+            if device:
+                key = f"{key}/{device}"
             value = row.get("candidates_per_sec")
             if value is not None:
-                metrics[key] = ("candidates_per_sec", float(value), wall)
+                metrics[key] = (
+                    "candidates_per_sec", float(value), wall, pinned)
             speedup = row.get("speedup_vs_serial")
             threads = row.get("threads")
             if (speedup is not None and isinstance(threads, int)
                     and threads > 1):
                 metrics[f"{key}/speedup"] = (
-                    "speedup_vs_serial", float(speedup), wall)
+                    "speedup_vs_serial", float(speedup), wall, pinned)
         elif bench == "service":
             key = f"service/t{row.get('threads')}"
             # Batch rows predate the daemon split and carry no mode;
@@ -112,7 +130,7 @@ def keyed_metrics(rows):
                 key = f"{key}/{mode}"
             value = row.get("warm_speedup")
             if value is not None:
-                metrics[key] = ("warm_speedup", float(value), wall)
+                metrics[key] = ("warm_speedup", float(value), wall, False)
     return metrics
 
 
@@ -133,20 +151,24 @@ def gate(pairs, threshold, min_wall):
             raise SystemExit(
                 f"error: {baseline_path} holds no gated bench rows")
         for key in sorted(baseline):
-            metric, base_value, base_wall = baseline[key]
+            metric, base_value, base_wall, pinned = baseline[key]
             base_subfloor = base_wall is not None and base_wall < min_wall
             if key not in current:
-                if base_subfloor:
+                # Device-pinned rows never get the sub-floor pass: a
+                # missing device leg is a coverage hole, not noise.
+                if base_subfloor and not pinned:
                     lines.append(
                         f"| {key} | {metric} | {format_value(base_value)} "
                         f"| *missing* | — | skip (wall < floor) |")
                     continue
-                failures.append(f"{key}: missing from {current_path}")
+                reason = " (device leg dropped)" if pinned else ""
+                failures.append(
+                    f"{key}: missing from {current_path}{reason}")
                 lines.append(
                     f"| {key} | {metric} | {format_value(base_value)} "
                     f"| *missing* | — | FAIL |")
                 continue
-            _, cur_value, cur_wall = current[key]
+            _, cur_value, cur_wall, _ = current[key]
             delta = ((cur_value - base_value) / base_value
                      if base_value != 0 else 0.0)
             if (base_subfloor
@@ -166,7 +188,7 @@ def gate(pairs, threshold, min_wall):
                 f"| {key} | {metric} | {format_value(base_value)} "
                 f"| {format_value(cur_value)} | {delta:+.1%} | {status} |")
         for key in sorted(set(current) - set(baseline)):
-            metric, cur_value, _ = current[key]
+            metric, cur_value, _, _ = current[key]
             lines.append(
                 f"| {key} | {metric} | *new* "
                 f"| {format_value(cur_value)} | — | ok |")

@@ -556,9 +556,10 @@ void analyze_resources(const AnalysisInput& input,
   std::int64_t buffer_elements = 0;
   if (ctx.config.family == arch::DesignFamily::kTemporalShift) {
     // The cascade kernel's on-chip state is its shift registers, not
-    // tile-shaped line buffers; recompute from the emitter's layout.
-    buffer_elements =
-        arch::make_temporal_layout(prog, ctx.config).sr_elements;
+    // tile-shaped line buffers; recompute from the emitter's layout. Each
+    // of the R replica cascades owns a full copy.
+    buffer_elements = arch::make_temporal_layout(prog, ctx.config).sr_elements *
+                      ctx.config.replication;
   } else {
     for (int k = 0; k < ctx.kernel_count(); ++k) {
       std::int64_t cells = 1;

@@ -29,27 +29,33 @@ GenContext GenContext::create(const scl::stencil::StencilProgram& program,
     }
   }
 
+  // R spatial replicas, each a full copy of the K-tile arrangement. The
+  // tile geometry is identical per replica (the same nominal region shape
+  // is swept from replica-specific host offsets); kernel indices continue
+  // across replicas, so replica r owns indices [r*K, (r+1)*K).
   int kernel_index = 0;
-  for (int c0 = 0; c0 < config.parallelism[0]; ++c0) {
-    for (int c1 = 0; c1 < config.parallelism[1]; ++c1) {
-      for (int c2 = 0; c2 < config.parallelism[2]; ++c2) {
-        TilePlacement tile;
-        tile.coord = {c0, c1, c2};
-        tile.kernel_index = kernel_index++;
-        const std::array<int, 3> coord{c0, c1, c2};
-        for (int d = 0; d < 3; ++d) {
-          const auto ds = static_cast<std::size_t>(d);
-          const auto c = static_cast<std::size_t>(coord[ds]);
-          tile.box.lo[ds] = starts[ds][c];
-          tile.box.hi[ds] = starts[ds][c] + extents[ds][c];
-          const bool low = coord[ds] == 0;
-          const bool high = coord[ds] == config.parallelism[ds] - 1;
-          tile.exterior[ds][0] =
-              config.kind == DesignKind::kBaseline || low;
-          tile.exterior[ds][1] =
-              config.kind == DesignKind::kBaseline || high;
+  for (int rep = 0; rep < config.replication; ++rep) {
+    for (int c0 = 0; c0 < config.parallelism[0]; ++c0) {
+      for (int c1 = 0; c1 < config.parallelism[1]; ++c1) {
+        for (int c2 = 0; c2 < config.parallelism[2]; ++c2) {
+          TilePlacement tile;
+          tile.coord = {c0, c1, c2};
+          tile.kernel_index = kernel_index++;
+          const std::array<int, 3> coord{c0, c1, c2};
+          for (int d = 0; d < 3; ++d) {
+            const auto ds = static_cast<std::size_t>(d);
+            const auto c = static_cast<std::size_t>(coord[ds]);
+            tile.box.lo[ds] = starts[ds][c];
+            tile.box.hi[ds] = starts[ds][c] + extents[ds][c];
+            const bool low = coord[ds] == 0;
+            const bool high = coord[ds] == config.parallelism[ds] - 1;
+            tile.exterior[ds][0] =
+                config.kind == DesignKind::kBaseline || low;
+            tile.exterior[ds][1] =
+                config.kind == DesignKind::kBaseline || high;
+          }
+          ctx.tiles.push_back(tile);
         }
-        ctx.tiles.push_back(tile);
       }
     }
   }
@@ -66,7 +72,12 @@ int GenContext::neighbor_index(const TilePlacement& t, int d, int side) const {
       return -1;
     }
   }
-  return (nc[0] * config.parallelism[1] + nc[1]) * config.parallelism[2] +
+  // Pipes never cross replicas: the neighbor lives in the same replica's
+  // index block as `t`.
+  const auto per_replica = static_cast<int>(config.total_kernels());
+  const int replica_base = (t.kernel_index / per_replica) * per_replica;
+  return replica_base +
+         (nc[0] * config.parallelism[1] + nc[1]) * config.parallelism[2] +
          nc[2];
 }
 

@@ -20,8 +20,11 @@ struct GenContext {
   const scl::stencil::StencilProgram* program = nullptr;
   sim::DesignConfig config;
   fpga::DeviceSpec device;
-  /// Nominal tiles with region-origin-relative boxes. For the baseline
-  /// design every face is exterior (independent overlapped cones).
+  /// Nominal tiles with region-origin-relative boxes, R replicas of the
+  /// K-kernel arrangement back to back (replica r owns kernel indices
+  /// [r*K, (r+1)*K)); every replica has identical geometry. For the
+  /// baseline design every face is exterior (independent overlapped
+  /// cones).
   std::vector<sim::TilePlacement> tiles;
 
   static GenContext create(const scl::stencil::StencilProgram& program,

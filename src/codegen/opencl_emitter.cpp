@@ -182,8 +182,220 @@ std::string render_kernel(const GenContext& ctx, int k) {
   return out;
 }
 
+/// The dimension whose region rows are strip-partitioned across replicas:
+/// the one with the most regions (ties break toward dimension 0), so the
+/// partition has the most rows to hand out.
+int replication_dim(const GenContext& ctx) {
+  const auto& prog = *ctx.program;
+  int best = 0;
+  std::int64_t best_count = 0;
+  for (int d = 0; d < prog.dims(); ++d) {
+    const std::int64_t count =
+        (prog.grid_box().extent(d) + ctx.config.region_extent(d) - 1) /
+        ctx.config.region_extent(d);
+    if (count > best_count) {
+      best = d;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Kernel-function name of text-kernel `k` within replica `rep`. The
+/// temporal cascade is one kernel text whose compute units are replicated
+/// at link time (--nk stencil_k0:R), so every replica binds "stencil_k0";
+/// pipe-tiling replicas own distinct kernel texts.
+std::string kernel_fn_name(const GenContext& ctx, int rep, int k) {
+  if (ctx.config.family == arch::DesignFamily::kTemporalShift) {
+    return "stencil_k0";
+  }
+  return str_cat("stencil_k",
+                 rep * static_cast<int>(ctx.config.total_kernels()) + k);
+}
+
+/// Host program for R > 1: per-replica command queues, the region sweep's
+/// rows along one dimension strip-partitioned into R contiguous blocks,
+/// swept wave by wave (one region per replica per wave) so the replicas
+/// run concurrently while every region still ends with a queue barrier.
+std::string render_host_replicated(const GenContext& ctx,
+                                   const std::vector<PipeDecl>& pipes) {
+  const auto& prog = *ctx.program;
+  const auto& cfg = ctx.config;
+  const int replicas = cfg.replication;
+  const bool temporal = cfg.family == arch::DesignFamily::kTemporalShift;
+  const int per_replica =
+      temporal ? 1 : static_cast<int>(cfg.total_kernels());
+  const int rd = replication_dim(ctx);
+  const std::int64_t rows =
+      (prog.grid_box().extent(rd) + cfg.region_extent(rd) - 1) /
+      cfg.region_extent(rd);
+  const std::int64_t waves = (rows + replicas - 1) / replicas;
+
+  std::string out;
+  out += str_cat(
+      "// Host program generated by stencilcl for ", prog.name(), "\n",
+      "// Design: ", cfg.summary(prog.dims()), " (", pipes.size(),
+      " pipes, ", replicas, " replicas)\n",
+      "#include <CL/cl.h>\n#include <cstdio>\n#include <cstdlib>\n"
+      "#include <vector>\n\n"
+      "#define CHECK(err)                                         \\\n"
+      "  if ((err) != CL_SUCCESS) {                               \\\n"
+      "    std::fprintf(stderr, \"OpenCL error %d at line %d\\n\", \\\n"
+      "                 (err), __LINE__);                         \\\n"
+      "    std::exit(1);                                          \\\n"
+      "  }\n\n");
+
+  std::int64_t grid_cells = 1;
+  for (int d = 0; d < prog.dims(); ++d) grid_cells *= prog.grid_box().extent(d);
+  out += str_cat("static const size_t kGridCells = ", grid_cells, ";\n");
+  out += str_cat("static const int kPassH = ", cfg.fused_iterations, ";\n");
+  out += str_cat("static const int kIterations = ", prog.iterations(), ";\n");
+  for (int d = 0; d < prog.dims(); ++d) {
+    out += str_cat("static const int kRegionExtent", d, " = ",
+                   cfg.region_extent(d), ";\n");
+    out += str_cat("static const int kGridExtent", d, " = ",
+                   prog.grid_box().extent(d), ";\n");
+  }
+  out += str_cat("static const int kReplicas = ", replicas,
+                 ";  // spatial PEs on disjoint HBM bank groups\n");
+  out += str_cat("static const int kStripWaves = ", waves,
+                 ";  // region rows along dim ", rd, " per replica\n");
+
+  out += R"(
+int main() {
+  cl_int err = CL_SUCCESS;
+  cl_platform_id platform;
+  CHECK(clGetPlatformIDs(1, &platform, nullptr));
+  cl_device_id device;
+  CHECK(clGetDeviceIDs(platform, CL_DEVICE_TYPE_ACCELERATOR, 1, &device,
+                       nullptr));
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  CHECK(err);
+  // One out-of-order queue per replica: replicas sweep their strips
+  // concurrently, each queue still orders its own region barrier.
+  cl_command_queue queues[kReplicas];
+  for (int q = 0; q < kReplicas; ++q) {
+    queues[q] = clCreateCommandQueue(
+        context, device, CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE, &err);
+    CHECK(err);
+  }
+
+  // Load the xclbin produced by the SDAccel compile of the generated
+  // kernels (xocc -t hw stencil_kernels.cl).
+  // ... clCreateProgramWithBinary elided: platform specific ...
+  cl_program program = nullptr;  // created from the xclbin
+)";
+
+  for (int f = 0; f < prog.field_count(); ++f) {
+    const std::string n = prog.field(f).name;
+    out += str_cat("  std::vector<float> host_", n, "(kGridCells);\n");
+    out += str_cat("  cl_mem ", n,
+                   "_a = clCreateBuffer(context, CL_MEM_READ_WRITE,\n"
+                   "      kGridCells * sizeof(float), nullptr, &err);\n"
+                   "  CHECK(err);\n");
+    if (!prog.is_constant_field(f)) {
+      out += str_cat("  cl_mem ", n,
+                     "_b = clCreateBuffer(context, CL_MEM_READ_WRITE,\n"
+                     "      kGridCells * sizeof(float), nullptr, &err);\n"
+                     "  CHECK(err);\n");
+    }
+  }
+
+  out += "\n  // one kernel object per synthesized compute unit\n";
+  for (int rep = 0; rep < replicas; ++rep) {
+    for (int k = 0; k < per_replica; ++k) {
+      const int idx = rep * per_replica + k;
+      out += str_cat("  cl_kernel k", idx, " = clCreateKernel(program, \"",
+                     kernel_fn_name(ctx, rep, k), "\", &err);\n  CHECK(err);\n");
+    }
+  }
+
+  out += R"(
+  int pass_parity = 0;
+  for (int t = 0; t < kIterations; t += kPassH) {
+    const int pass_h = t + kPassH <= kIterations ? kPassH : kIterations - t;
+)";
+  // Wave loop along the replicated dimension, plain sweeps elsewhere.
+  std::string indent = "    ";
+  out += str_cat(indent, "for (int w = 0; w < kStripWaves; ++w) {\n");
+  indent += "  ";
+  for (int d = 0; d < prog.dims(); ++d) {
+    if (d == rd) continue;
+    out += str_cat(indent, "for (int r", d, " = 0; r", d, " < kGridExtent", d,
+                   "; r", d, " += kRegionExtent", d, ") {\n");
+    indent += "  ";
+  }
+  out += str_cat(indent, "// one region per replica per wave: replica p "
+                         "owns wave rows p*kStripWaves .. "
+                         "p*kStripWaves + kStripWaves - 1\n");
+  for (int rep = 0; rep < replicas; ++rep) {
+    out += str_cat(indent, "{\n");
+    out += str_cat(indent, "  const int r", rd, " = (", rep,
+                   " * kStripWaves + w) * kRegionExtent", rd, ";\n");
+    out += str_cat(indent, "  if (r", rd, " < kGridExtent", rd, ") {\n");
+    const std::string inner = indent + "    ";
+    for (int k = 0; k < per_replica; ++k) {
+      const int idx = rep * per_replica + k;
+      out += str_cat(inner, "{\n");
+      out += str_cat(inner, "  int arg = 0;\n");
+      for (int f = 0; f < prog.field_count(); ++f) {
+        const std::string n = prog.field(f).name;
+        if (prog.is_constant_field(f)) {
+          out += str_cat(inner, "  CHECK(clSetKernelArg(k", idx,
+                         ", arg++, sizeof(cl_mem), &", n, "_a));\n");
+        } else {
+          out += str_cat(inner, "  cl_mem ", n,
+                         "_src = pass_parity == 0 ? ", n, "_a : ", n, "_b;\n");
+          out += str_cat(inner, "  cl_mem ", n,
+                         "_dst = pass_parity == 0 ? ", n, "_b : ", n, "_a;\n");
+          out += str_cat(inner, "  CHECK(clSetKernelArg(k", idx,
+                         ", arg++, sizeof(cl_mem), &", n, "_src));\n");
+          out += str_cat(inner, "  CHECK(clSetKernelArg(k", idx,
+                         ", arg++, sizeof(cl_mem), &", n, "_dst));\n");
+        }
+      }
+      for (int d = 0; d < prog.dims(); ++d) {
+        out += str_cat(inner, "  CHECK(clSetKernelArg(k", idx,
+                       ", arg++, sizeof(int), &r", d, "));\n");
+      }
+      out += str_cat(inner, "  CHECK(clSetKernelArg(k", idx,
+                     ", arg++, sizeof(int), &pass_h));\n");
+      out += str_cat(inner, "  CHECK(clEnqueueTask(queues[", rep, "], k", idx,
+                     ", 0, nullptr, nullptr));\n");
+      out += str_cat(inner, "}\n");
+    }
+    out += str_cat(indent, "  }\n");
+    out += str_cat(indent, "}\n");
+  }
+  out += str_cat(indent,
+                 "for (int q = 0; q < kReplicas; ++q) {\n", indent,
+                 "  CHECK(clFinish(queues[q]));  // per-replica region "
+                 "barrier\n", indent, "}\n");
+  for (int d = prog.dims() - 1; d >= 0; --d) {
+    if (d == rd) continue;
+    indent = indent.substr(0, indent.size() - 2);
+    out += indent + "}\n";
+  }
+  indent = indent.substr(0, indent.size() - 2);
+  out += indent + "}\n";
+  out += R"(    pass_parity ^= 1;
+  }
+
+  // read back the final state (elided: clEnqueueReadBuffer per field)
+  for (int q = 0; q < kReplicas; ++q) {
+    clReleaseCommandQueue(queues[q]);
+  }
+  clReleaseContext(context);
+  return 0;
+}
+)";
+  return out;
+}
+
 std::string render_host(const GenContext& ctx,
                         const std::vector<PipeDecl>& pipes) {
+  if (ctx.config.replication > 1) return render_host_replicated(ctx, pipes);
   const auto& prog = *ctx.program;
   const auto& cfg = ctx.config;
   std::string out;
@@ -330,7 +542,13 @@ GeneratedCode generate_opencl(const StencilProgram& program,
   const std::vector<PipeDecl> pipes = enumerate_pipes(ctx);
 
   GeneratedCode out;
-  out.kernel_count = ctx.kernel_count();
+  // Distinct kernel functions in the emitted source: the temporal cascade
+  // is one text whose R compute units are stamped at link time (--nk),
+  // while pipe-tiling replicas own distinct pipe-wired kernel texts.
+  out.kernel_count =
+      config.family == arch::DesignFamily::kTemporalShift
+          ? 1
+          : ctx.kernel_count();
   out.pipe_count = static_cast<int>(pipes.size());
 
   std::string src;
@@ -366,8 +584,14 @@ GeneratedCode generate_opencl(const StencilProgram& program,
       "PLATFORM=${PLATFORM:-xilinx_adm-pcie-7v3_1ddr_3_0}\n\n"
       "xocc -t hw --platform \"$PLATFORM\" \\\n"
       "  --kernel_frequency ", static_cast<int>(device.clock_mhz), " \\\n");
-  for (int k = 0; k < ctx.kernel_count(); ++k) {
-    script += str_cat("  --nk stencil_k", k, ":1 \\\n");
+  if (config.family == arch::DesignFamily::kTemporalShift) {
+    // Pipe-free cascade: compute-unit replication at link time is safe
+    // (no channel endpoints to disambiguate) and serves all R replicas.
+    script += str_cat("  --nk stencil_k0:", config.replication, " \\\n");
+  } else {
+    for (int k = 0; k < ctx.kernel_count(); ++k) {
+      script += str_cat("  --nk stencil_k", k, ":1 \\\n");
+    }
   }
   script +=
       "  -o stencil.xclbin stencil_kernels.cl\n\n"

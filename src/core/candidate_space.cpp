@@ -49,6 +49,24 @@ std::vector<std::array<int, 3>> CandidateSpace::parallelism_candidates()
   return out;
 }
 
+std::vector<int> CandidateSpace::replication_factors() const {
+  std::vector<int> out = options_->replication_candidates;
+  if (out.empty()) {
+    const int banks = std::max(1, options_->device.memory.banks);
+    for (int r = 1; r <= banks; r *= 2) out.push_back(r);
+    if (out.back() != banks) out.push_back(banks);
+  }
+  std::vector<int> filtered;
+  for (const int r : out) {
+    if (r >= 1) filtered.push_back(r);
+  }
+  if (filtered.empty()) filtered.push_back(1);
+  std::sort(filtered.begin(), filtered.end());
+  filtered.erase(std::unique(filtered.begin(), filtered.end()),
+                 filtered.end());
+  return filtered;
+}
+
 std::vector<std::int64_t> CandidateSpace::tile_candidates_for_dim(
     int d) const {
   std::vector<std::int64_t> base = options_->tile_candidates;
@@ -120,30 +138,34 @@ std::vector<std::array<std::int64_t, 3>> CandidateSpace::tile_shape_candidates()
 }
 
 std::vector<CandidateChain> CandidateSpace::chains(DesignKind kind) const {
+  const auto replications = replication_factors();
   const auto parallelisms = parallelism_candidates();
   const auto tiles = tile_shape_candidates();
   const auto fusions = fusion_candidates();
   std::vector<CandidateChain> out;
-  out.reserve(parallelisms.size() * options_->unroll_candidates.size() *
-              tiles.size());
-  for (const auto& par : parallelisms) {
-    for (const int unroll : options_->unroll_candidates) {
-      for (const auto& tile : tiles) {
-        DesignConfig config;
-        config.kind = kind;
-        config.unroll = unroll;
-        config.tile_size = tile;
-        for (int d = 0; d < program_->dims(); ++d) {
-          config.parallelism[static_cast<std::size_t>(d)] =
-              par[static_cast<std::size_t>(d)];
+  out.reserve(replications.size() * parallelisms.size() *
+              options_->unroll_candidates.size() * tiles.size());
+  for (const int replication : replications) {
+    for (const auto& par : parallelisms) {
+      for (const int unroll : options_->unroll_candidates) {
+        for (const auto& tile : tiles) {
+          DesignConfig config;
+          config.kind = kind;
+          config.replication = replication;
+          config.unroll = unroll;
+          config.tile_size = tile;
+          for (int d = 0; d < program_->dims(); ++d) {
+            config.parallelism[static_cast<std::size_t>(d)] =
+                par[static_cast<std::size_t>(d)];
+          }
+          CandidateChain chain;
+          chain.configs.reserve(fusions.size());
+          for (const std::int64_t h : fusions) {
+            config.fused_iterations = h;
+            chain.configs.push_back(config);
+          }
+          out.push_back(std::move(chain));
         }
-        CandidateChain chain;
-        chain.configs.reserve(fusions.size());
-        for (const std::int64_t h : fusions) {
-          config.fused_iterations = h;
-          chain.configs.push_back(config);
-        }
-        out.push_back(std::move(chain));
       }
     }
   }
@@ -169,28 +191,34 @@ std::vector<std::int64_t> CandidateSpace::temporal_degree_candidates() const {
 }
 
 std::vector<CandidateChain> CandidateSpace::temporal_chains() const {
+  const auto replications = replication_factors();
   const auto strips = strip_candidates();
   const auto degrees = temporal_degree_candidates();
   std::vector<CandidateChain> out;
-  out.reserve(options_->unroll_candidates.size() * strips.size());
-  for (const int unroll : options_->unroll_candidates) {
-    for (const std::int64_t strip : strips) {
-      DesignConfig config;
-      config.family = arch::DesignFamily::kTemporalShift;
-      config.kind = DesignKind::kBaseline;
-      config.unroll = unroll;
-      for (int d = 0; d < program_->dims(); ++d) {
-        config.tile_size[static_cast<std::size_t>(d)] =
-            program_->grid_box().extent(d);
+  out.reserve(replications.size() * options_->unroll_candidates.size() *
+              strips.size());
+  for (const int replication : replications) {
+    for (const int unroll : options_->unroll_candidates) {
+      for (const std::int64_t strip : strips) {
+        DesignConfig config;
+        config.family = arch::DesignFamily::kTemporalShift;
+        config.kind = DesignKind::kBaseline;
+        config.replication = replication;
+        config.unroll = unroll;
+        for (int d = 0; d < program_->dims(); ++d) {
+          config.tile_size[static_cast<std::size_t>(d)] =
+              program_->grid_box().extent(d);
+        }
+        config.tile_size[static_cast<std::size_t>(program_->dims() - 1)] =
+            strip;
+        CandidateChain chain;
+        chain.configs.reserve(degrees.size());
+        for (const std::int64_t t : degrees) {
+          config.fused_iterations = t;
+          chain.configs.push_back(config);
+        }
+        out.push_back(std::move(chain));
       }
-      config.tile_size[static_cast<std::size_t>(program_->dims() - 1)] = strip;
-      CandidateChain chain;
-      chain.configs.reserve(degrees.size());
-      for (const std::int64_t t : degrees) {
-        config.fused_iterations = t;
-        chain.configs.push_back(config);
-      }
-      out.push_back(std::move(chain));
     }
   }
   return out;
@@ -201,6 +229,7 @@ std::vector<DesignConfig> CandidateSpace::heterogeneous_candidates(
   std::vector<DesignConfig> out;
   DesignConfig config;
   config.kind = DesignKind::kHeterogeneous;
+  config.replication = baseline.replication;
   config.unroll = baseline.unroll;
   config.parallelism = baseline.parallelism;
   config.tile_size = baseline.tile_size;

@@ -8,9 +8,12 @@
 // on — is testable in isolation.
 //
 // Enumeration order is part of the contract: chains are emitted
-// parallelism-major, then unroll, then tile shape, with fusion depth
-// ascending inside each chain. The serial and the parallel evaluation
-// paths both consume this exact order.
+// replication-major (spatial PE copies, ascending), then parallelism,
+// then unroll, then tile shape, with fusion depth ascending inside each
+// chain. The serial and the parallel evaluation paths both consume this
+// exact order. On single-bank (DDR) devices the replication axis is the
+// singleton {1}, so their enumeration order — and hence every DDR
+// optimum — is bit-identical to the pre-replication space.
 //
 // Cross-family tie-break. With two design families in the space
 // (arch/family.hpp), order stability must also hold *across* families:
@@ -52,6 +55,11 @@ class CandidateSpace {
 
   /// Parallelism arrangements (K_d per dimension, product <= max_kernels).
   std::vector<std::array<int, 3>> parallelism_candidates() const;
+
+  /// Spatial replication factors R to explore, ascending. Resolves
+  /// OptimizerOptions::replication_candidates; empty derives from the
+  /// device bank count ({1} for single-bank devices).
+  std::vector<int> replication_factors() const;
 
   /// Candidate tile extents along dimension d (clamped to the grid).
   std::vector<std::int64_t> tile_candidates_for_dim(int d) const;

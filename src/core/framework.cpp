@@ -43,7 +43,16 @@ SynthesisReport Framework::synthesize() const {
   {
     const auto span =
         support::obs::tracer().span("dse/heterogeneous", "dse");
-    report.heterogeneous = optimizer_.optimize_heterogeneous(report.baseline);
+    try {
+      report.heterogeneous =
+          optimizer_.optimize_heterogeneous(report.baseline);
+    } catch (const ResourceError&) {
+      // On banked parts the baseline winner may already spend the BRAM
+      // budget on spatial replication, leaving no pipe redistribution
+      // inside the cap. The degenerate redistribution — the baseline
+      // itself — then stands as the pipe-tiling representative.
+      report.heterogeneous = report.baseline;
+    }
   }
   SCL_INFO() << "heterogeneous: "
              << report.heterogeneous.config.summary(program_->dims());

@@ -49,6 +49,12 @@ struct OptimizerOptions {
   std::vector<int> unroll_candidates{1, 2, 4, 8, 16};
   /// Max kernels per region (the paper uses up to 16).
   std::int64_t max_kernels = 16;
+  /// Candidate spatial replication factors R (PE copies bound to disjoint
+  /// global-memory bank groups). Empty = derived from the device: {1} on
+  /// single-bank (DDR) devices — keeping their searches bit-identical to
+  /// the pre-replication DSE — otherwise the powers of two up to and
+  /// including the bank count.
+  std::vector<int> replication_candidates;
   /// Candidate edge-shrink values for workload balancing.
   std::vector<std::int64_t> shrink_candidates{0, 1, 2, 4, 8};
   model::ConeMode cone_mode = model::ConeMode::kRefined;

@@ -30,8 +30,11 @@ DesignResources estimate_design_resources(const StencilProgram& program,
     shape.local_buffer_elements = layout.sr_elements;
     shape.unroll = layout.temporal_degree * layout.vector_width;
     const fpga::ResourceVector kernel = model.estimate_kernel(program, shape);
-    out.total = kernel;
-    out.buffer_elements_total = layout.sr_elements;
+    // R replica cascades, each a full copy of the shift registers and the
+    // datapath. worst_kernel stays the single cascade (per-kernel fit).
+    out.total = kernel * config.replication;
+    out.buffer_elements_total =
+        layout.sr_elements * config.replication;
     out.worst_kernel = kernel;
     return out;
   }
@@ -111,10 +114,14 @@ DesignResources estimate_design_resources(const StencilProgram& program,
 
         const fpga::ResourceVector kernel =
             model.estimate_kernel(program, shape);
-        out.total += kernel;
-        out.buffer_elements_total += shape.local_buffer_elements;
-        out.pipe_count += pipe_faces;
-        out.pipe_fifo_elements_total += pipe_faces * pipe_depth;
+        // Every replica instantiates this kernel position (and its pipes)
+        // once; replicas never share buffers or channels.
+        out.total += kernel * config.replication;
+        out.buffer_elements_total +=
+            shape.local_buffer_elements * config.replication;
+        out.pipe_count += pipe_faces * config.replication;
+        out.pipe_fifo_elements_total +=
+            pipe_faces * pipe_depth * config.replication;
         if (kernel.lut > out.worst_kernel.lut) out.worst_kernel = kernel;
       }
     }

@@ -33,8 +33,53 @@ DeviceSpec kintex_ku115() {
   return d;
 }
 
+DeviceSpec alveo_u280() {
+  DeviceSpec d;
+  d.name = "xcu280";
+  // UltraScale+ XCU280 fabric (9024 DSP48E2, 4032 BRAM18-equivalents).
+  d.capacity = ResourceVector{2607360, 1303680, 9024, 4032};
+  d.clock_mhz = 300.0;
+  d.kernel_launch_cycles = 2000;
+  d.pipe_cycles_per_element = 2;
+  d.pipe_fifo_depth = 512;
+  // HBM2: 32 pseudo-channels behind a segmented switch. Each channel
+  // sustains ~14.4 GB/s effective at 300 MHz kernel clock -> 16 B/cycle;
+  // the aggregate (mem_bytes_per_cycle) is exactly banks x bank so a
+  // single replica owning every bank sees the full stack.
+  d.memory.banks = 32;
+  d.memory.bank_bytes_per_cycle = 16.0;
+  d.memory.bank_port_bytes_per_cycle = 16.0;  // dedicated 256-bit AXI ports
+  d.memory.bank_conflict_factor = 2.0;        // switch arbitration on sharing
+  d.mem_bytes_per_cycle =
+      d.memory.banks * d.memory.bank_bytes_per_cycle;  // 512 B/cycle
+  d.mem_port_bytes_per_cycle = 16.0;
+  return d;
+}
+
+DeviceSpec stratix10_mx() {
+  DeviceSpec d;
+  d.name = "s10mx";
+  // Stratix 10 MX 2100 fabric; M20Ks expressed as BRAM18-equivalents.
+  d.capacity = ResourceVector{2810880, 1405440, 3960, 7600};
+  d.clock_mhz = 300.0;
+  d.kernel_launch_cycles = 2000;
+  d.pipe_cycles_per_element = 2;
+  d.pipe_fifo_depth = 512;
+  // HBM2: 16 pseudo-channels, slightly wider effective per-channel rate
+  // than the U280 (hard memory controller NoC), costlier sharing.
+  d.memory.banks = 16;
+  d.memory.bank_bytes_per_cycle = 20.0;
+  d.memory.bank_port_bytes_per_cycle = 20.0;
+  d.memory.bank_conflict_factor = 2.5;
+  d.mem_bytes_per_cycle =
+      d.memory.banks * d.memory.bank_bytes_per_cycle;  // 320 B/cycle
+  d.mem_port_bytes_per_cycle = 20.0;
+  return d;
+}
+
 std::vector<DeviceSpec> device_catalog() {
-  return {virtex7_690t(), virtex7_485t(), kintex_ku115()};
+  return {virtex7_690t(), virtex7_485t(), kintex_ku115(), alveo_u280(),
+          stratix10_mx()};
 }
 
 DeviceSpec find_device(const std::string& name) {

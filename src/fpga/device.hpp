@@ -7,6 +7,7 @@
 // discrete-event simulator need.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,6 +15,33 @@
 #include "fpga/resources.hpp"
 
 namespace scl::fpga {
+
+/// Multi-bank global-memory geometry. The paper's DDR platform is one
+/// monolithic channel (banks = 1), which is why its model drives designs
+/// toward deep temporal fusion; HBM-class parts expose dozens of
+/// independent pseudo-channels, and spatially replicated PEs bound to
+/// disjoint bank groups each see their own slice of the aggregate
+/// bandwidth (SASA, arXiv 2208.10770).
+struct MemorySpec {
+  /// Independent banks (HBM pseudo-channels). 1 = single DDR channel.
+  int banks = 1;
+
+  /// Peak bytes per kernel clock cycle of ONE bank. 0 means "derive from
+  /// DeviceSpec::mem_bytes_per_cycle" — the single-channel default, which
+  /// keeps every pre-existing DDR device bit-identical.
+  double bank_bytes_per_cycle = 0.0;
+
+  /// AXI-port ceiling of one bank's switch port, bytes per cycle. 0 means
+  /// "same as bank_bytes_per_cycle" (HBM pseudo-channels have dedicated
+  /// 256-bit ports, so the port rarely throttles below the bank).
+  double bank_port_bytes_per_cycle = 0.0;
+
+  /// Multiplicative slowdown applied when replicas outnumber banks and
+  /// must share one (bank-switch arbitration + row-conflict cost). >= 1.
+  double bank_conflict_factor = 1.0;
+
+  friend bool operator==(const MemorySpec&, const MemorySpec&) = default;
+};
 
 struct DeviceSpec {
   std::string name;
@@ -49,12 +77,51 @@ struct DeviceSpec {
   /// Capacity in elements of a synthesized pipe FIFO.
   std::int64_t pipe_fifo_depth = 512;
 
+  /// Global-memory bank geometry. Defaults to a single DDR channel whose
+  /// bandwidth is mem_bytes_per_cycle, so pre-existing devices behave
+  /// bit-identically.
+  MemorySpec memory;
+
   /// Bytes usable per BRAM18 block (18 Kbit).
   static constexpr std::int64_t bram18_bytes = 2304;
 
   /// Converts a time in cycles to milliseconds at this device's clock.
   double cycles_to_ms(double cycles) const {
     return cycles / (clock_mhz * 1e3);
+  }
+
+  /// Effective bytes per cycle of one bank: the bank's peak capped by its
+  /// switch port, with the 0-means-derive defaults resolved.
+  double effective_bank_bytes_per_cycle() const {
+    const double bank = memory.bank_bytes_per_cycle > 0.0
+                            ? memory.bank_bytes_per_cycle
+                            : mem_bytes_per_cycle;
+    const double port = memory.bank_port_bytes_per_cycle > 0.0
+                            ? memory.bank_port_bytes_per_cycle
+                            : bank;
+    return std::min(bank, port);
+  }
+
+  /// Global-memory bytes per cycle available to ONE of R spatial replicas.
+  ///
+  ///   R <= banks: replicas own disjoint groups of floor(banks/R) banks
+  ///               (leftover banks idle), so each gets the group's sum.
+  ///   R >  banks: replicas share banks; each sees the fair aggregate
+  ///               share divided by the conflict factor.
+  ///
+  /// At R = 1 on a single-channel device this is exactly
+  /// mem_bytes_per_cycle — floor(1/1) * min(m, m) has no rounding — which
+  /// is the bit-identity contract the DDR regression tests pin.
+  double replica_bytes_per_cycle(int replicas) const {
+    const int r = replicas < 1 ? 1 : replicas;
+    const int banks = memory.banks < 1 ? 1 : memory.banks;
+    const double bank = effective_bank_bytes_per_cycle();
+    if (r <= banks) {
+      return static_cast<double>(banks / r) * bank;
+    }
+    return (static_cast<double>(banks) * bank / r) /
+           (memory.bank_conflict_factor > 1.0 ? memory.bank_conflict_factor
+                                              : 1.0);
   }
 };
 
@@ -66,6 +133,13 @@ DeviceSpec virtex7_485t();
 
 /// Kintex UltraScale KU115 (e.g. Xilinx KCU1500): a larger what-if target.
 DeviceSpec kintex_ku115();
+
+/// Alveo U280-like HBM2 part: 32 independent pseudo-channels. The per-bank
+/// bandwidth is modest, but 32 banks reward spatial PE replication.
+DeviceSpec alveo_u280();
+
+/// Stratix 10 MX-like HBM2 part: 16 pseudo-channels, M20K-rich fabric.
+DeviceSpec stratix10_mx();
 
 /// All built-in devices.
 std::vector<DeviceSpec> device_catalog();

@@ -60,13 +60,16 @@ LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
 
   // Eq. 2 exactly: tile_extents() conserves the region extent K_d * w_d
   // no matter how the edge shrink redistributes, so this term needs no
-  // bounding at all.
-  std::int64_t n_region =
-      ceil_div(prog.iterations(), config.fused_iterations);
+  // bounding at all. The replica split mirrors PerfModel::predict exactly
+  // (ceil over the spatial regions), so it stays exact too.
+  std::int64_t spatial_regions = 1;
   for (int d = 0; d < prog.dims(); ++d) {
-    n_region *=
+    spatial_regions *=
         ceil_div(prog.grid_box().extent(d), config.region_extent(d));
   }
+  const std::int64_t n_region =
+      ceil_div(prog.iterations(), config.fused_iterations) *
+      ceil_div(spatial_regions, static_cast<std::int64_t>(config.replication));
 
   // The smallest balanced tile extent per dimension: edge tiles lose the
   // shrink, interior tiles only gain (see DesignConfig::tile_extents) —
@@ -90,9 +93,12 @@ LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
     padded_min *= padded;
   }
 
-  // Eqs. 4-6 lower bound: tile cells only, margins dropped.
-  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
-                                   device_.mem_bytes_per_cycle / k);
+  // Eqs. 4-6 lower bound: tile cells only, margins dropped. The bandwidth
+  // share is the exact value the perf model charges (not a bound), so
+  // admissibility is untouched by the bank split.
+  const double bw_share =
+      std::min(device_.mem_port_bytes_per_cycle,
+               device_.replica_bytes_per_cycle(config.replication) / k);
   const double bytes = StencilProgram::element_bytes();
   const double l_mem_lb =
       cells_min *
@@ -112,9 +118,9 @@ LowerBound LowerBoundModel::bound(const DesignConfig& config) const {
   // blocks only add.
   const auto elements_lb = static_cast<std::int64_t>(
       padded_min * static_cast<double>(prog.field_count() + shadow_stages_));
-  lb.bram18 = config.total_kernels() * resource_model_.bram_blocks_for(
-                                           std::max<std::int64_t>(
-                                               elements_lb, 1));
+  lb.bram18 = config.replicated_kernels() *
+              resource_model_.bram_blocks_for(
+                  std::max<std::int64_t>(elements_lb, 1));
   return lb;
 }
 
@@ -124,11 +130,16 @@ LowerBound LowerBoundModel::temporal_bound(const DesignConfig& config) const {
   const auto& radii = prog.iter_radii();
   const int strip_dim = prog.dims() - 1;
 
-  // N_region is exact for this family too: passes x strips.
-  std::int64_t n_region = ceil_div(prog.iterations(), t_deg);
+  // N_region is exact for this family too: passes x strips, with the
+  // pass's strips split ceil-wise across the R replica cascades.
+  std::int64_t spatial_regions = 1;
   for (int d = 0; d < prog.dims(); ++d) {
-    n_region *= ceil_div(prog.grid_box().extent(d), config.region_extent(d));
+    spatial_regions *=
+        ceil_div(prog.grid_box().extent(d), config.region_extent(d));
   }
+  const std::int64_t n_region =
+      ceil_div(prog.iterations(), t_deg) *
+      ceil_div(spatial_regions, static_cast<std::int64_t>(config.replication));
 
   // Owned strip cells only: the exact model walks the padded strip
   // (>= owned) and adds the store drain (>= 0); memory moves at least the
@@ -143,8 +154,9 @@ LowerBound LowerBoundModel::temporal_bound(const DesignConfig& config) const {
   }
   const double l_comp_lb = ii_max(config.unroll) * owned /
                            static_cast<double>(config.unroll);
-  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
-                                   device_.mem_bytes_per_cycle);
+  const double bw_share =
+      std::min(device_.mem_port_bytes_per_cycle,
+               device_.replica_bytes_per_cycle(config.replication));
   const double l_mem_lb =
       owned *
       static_cast<double>(prog.field_count() + prog.mutable_field_count()) *
@@ -178,6 +190,7 @@ LowerBound LowerBoundModel::temporal_bound(const DesignConfig& config) const {
   const std::int64_t elements_lb =
       prog.mutable_field_count() * ((t_deg - 1) * (step_delay + 1) + 1);
   lb.bram18 =
+      config.replication *
       resource_model_.bram_blocks_for(std::max<std::int64_t>(elements_lb, 1));
   return lb;
 }

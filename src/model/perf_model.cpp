@@ -39,9 +39,13 @@ void PerfModel::accumulate_kernel(const DesignConfig& config,
   // per-stage IIs arrive precomputed in `stage_ii` (see predict()).
   const double h = static_cast<double>(config.fused_iterations);
   const double k = static_cast<double>(config.total_kernels());
-  // Fair DDR share capped by the kernel's own AXI-master ceiling.
-  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
-                                   device_.mem_bytes_per_cycle / k);
+  // Fair share of the replica's bank-group bandwidth, capped by the
+  // kernel's own AXI-master ceiling. At R = 1 on a single-bank device
+  // replica_bytes_per_cycle is exactly mem_bytes_per_cycle, so the DDR
+  // expression is unchanged bit for bit.
+  const double bw_share =
+      std::min(device_.mem_port_bytes_per_cycle,
+               device_.replica_bytes_per_cycle(config.replication) / k);
   const double bytes = StencilProgram::element_bytes();
   const double cpipe = static_cast<double>(device_.pipe_cycles_per_element);
 
@@ -166,12 +170,18 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
   config.validate(prog);
 
   Prediction out;
-  // Eq. 2 with the H/h fix: passes times spatial regions.
-  out.n_region = ceil_div(prog.iterations(), config.fused_iterations);
+  // Eq. 2 with the H/h fix: passes times spatial regions. With spatial
+  // replication the pass's regions are strip-partitioned across the R
+  // independent replicas, so the critical path sees ceil(regions/R) of
+  // them (exact at R = 1: ceil_div(s, 1) == s).
+  std::int64_t spatial_regions = 1;
   for (int d = 0; d < prog.dims(); ++d) {
-    out.n_region *= ceil_div(prog.grid_box().extent(d),
-                             config.region_extent(d));
+    spatial_regions *= ceil_div(prog.grid_box().extent(d),
+                                config.region_extent(d));
   }
+  out.n_region = ceil_div(prog.iterations(), config.fused_iterations) *
+                 ceil_div(spatial_regions,
+                          static_cast<std::int64_t>(config.replication));
 
   if (config.family == arch::DesignFamily::kTemporalShift) {
     // Temporal-shift family (Zohouri FPGA'18): one strip streams through
@@ -194,8 +204,9 @@ Prediction PerfModel::predict(const DesignConfig& config) const {
     const std::int64_t v = layout.vector_width;
     out.l_comp = ii_walk * static_cast<double>(ceil_div(layout.cells, v) +
                                                layout.max_store_delay);
-    const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
-                                     device_.mem_bytes_per_cycle);
+    const double bw_share =
+        std::min(device_.mem_port_bytes_per_cycle,
+                 device_.replica_bytes_per_cycle(config.replication));
     const double bytes = StencilProgram::element_bytes();
     out.l_mem =
         (static_cast<double>(layout.cells * prog.field_count()) +

@@ -19,8 +19,15 @@ class GlobalMemory {
  public:
   explicit GlobalMemory(const fpga::DeviceSpec& device,
                         std::int64_t burst_setup_cycles = 120)
-      : bytes_per_cycle_(device.mem_bytes_per_cycle),
-        port_bytes_per_cycle_(device.mem_port_bytes_per_cycle),
+      : GlobalMemory(device.mem_bytes_per_cycle,
+                     device.mem_port_bytes_per_cycle, burst_setup_cycles) {}
+
+  /// Explicit channel capacity, for modeling a slice of a banked memory
+  /// system (one replica's disjoint bank group).
+  GlobalMemory(double bytes_per_cycle, double port_bytes_per_cycle,
+               std::int64_t burst_setup_cycles = 120)
+      : bytes_per_cycle_(bytes_per_cycle),
+        port_bytes_per_cycle_(port_bytes_per_cycle),
         burst_setup_cycles_(burst_setup_cycles) {
     SCL_CHECK(bytes_per_cycle_ > 0, "device has no memory bandwidth");
     SCL_CHECK(port_bytes_per_cycle_ > 0, "device has no port bandwidth");

@@ -135,6 +135,13 @@ void write_device(JsonWriter* json, const fpga::DeviceSpec& device) {
   json->member("kernel_launch_cycles", device.kernel_launch_cycles);
   json->member("pipe_cycles_per_element", device.pipe_cycles_per_element);
   json->member("pipe_fifo_depth", device.pipe_fifo_depth);
+  json->key("memory").begin_object();
+  json->member("banks", device.memory.banks);
+  json->member("bank_bytes_per_cycle", device.memory.bank_bytes_per_cycle);
+  json->member("bank_port_bytes_per_cycle",
+               device.memory.bank_port_bytes_per_cycle);
+  json->member("bank_conflict_factor", device.memory.bank_conflict_factor);
+  json->end_object();
   json->end_object();
 }
 
@@ -169,6 +176,7 @@ void write_design_config(JsonWriter* json, const sim::DesignConfig& config) {
   write_int_triple(json, "edge_shrink", config.edge_shrink[0],
                    config.edge_shrink[1], config.edge_shrink[2]);
   json->member("unroll", config.unroll);
+  json->member("replication", config.replication);
   json->end_object();
 }
 
@@ -201,6 +209,7 @@ sim::DesignConfig parse_design_config(const JsonValue& v) {
   parse_int_triple(v, "edge_shrink", &config.edge_shrink[0],
                    &config.edge_shrink[1], &config.edge_shrink[2]);
   config.unroll = static_cast<int>(v.at("unroll").as_int64());
+  config.replication = static_cast<int>(v.at("replication").as_int64());
   return config;
 }
 
@@ -390,6 +399,7 @@ std::string request_fingerprint(const std::string& canonical_program,
   write_scalar_list(&json, "unroll_candidates", opt.unroll_candidates);
   json.member("max_kernels", opt.max_kernels);
   write_scalar_list(&json, "shrink_candidates", opt.shrink_candidates);
+  write_scalar_list(&json, "replication_candidates", opt.replication_candidates);
   json.member("cone_mode", static_cast<std::int64_t>(opt.cone_mode));
   json.member("analyze_candidates", opt.analyze_candidates);
   // ThreadPool sizing is deliberately absent: DSE results are

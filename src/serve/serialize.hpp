@@ -37,12 +37,12 @@ namespace scl::serve {
 
 /// Schema version of serialized artifacts. Part of the content address:
 /// bumping it invalidates every cached artifact (they simply miss).
-inline constexpr int kArtifactSchemaVersion = 2;
+inline constexpr int kArtifactSchemaVersion = 3;
 
 /// Version tag of the synthesis code itself. Bump whenever model,
 /// optimizer, codegen or verifier changes could alter results for the
 /// same input — stale artifacts must not be served.
-inline constexpr const char* kCodeVersion = "scl-serve-2";
+inline constexpr const char* kCodeVersion = "scl-serve-3";
 
 /// FNV-1a over `data` starting from `seed` (defaults to the standard
 /// 64-bit offset basis).
@@ -58,6 +58,8 @@ struct SynthesisArtifact {
   core::DesignPoint heterogeneous;
   /// Schema v2: the family of the emitted design, and — when the flow
   /// searched the temporal family and a design fit — its winner.
+  /// Schema v3: design configs carry a "replication" member and device
+  /// specs a banked "memory" section (HBM multi-bank modeling).
   arch::DesignFamily selected_family = arch::DesignFamily::kPipeTiling;
   std::optional<core::DesignPoint> temporal;
   std::int64_t baseline_cycles = 0;       ///< simulated; 0 = not simulated

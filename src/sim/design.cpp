@@ -51,6 +51,7 @@ double DesignConfig::balance_factor(int d, int k) const {
 
 void DesignConfig::validate(const scl::stencil::StencilProgram& program) const {
   if (unroll < 1) throw Error("unroll (N_PE) must be >= 1");
+  if (replication < 1) throw Error("replication (R) must be >= 1");
   if (fused_iterations < 1) throw Error("fused iteration depth must be >= 1");
   if (fused_iterations > program.iterations()) {
     throw Error(str_cat("fused depth ", fused_iterations,
@@ -136,6 +137,7 @@ DesignKey DesignConfig::key() const {
     k.v[9 + d] = edge_shrink[d];
   }
   k.v[12] = unroll;
+  k.v[13] = replication;
   return k;
 }
 
@@ -169,13 +171,15 @@ std::string DesignConfig::summary(int dims) const {
     tiles.push_back(std::to_string(tile_size[ds]));
     cus.push_back(std::to_string(parallelism[ds]));
   }
+  const std::string rep =
+      replication > 1 ? str_cat(", R=", replication) : std::string();
   if (family == arch::DesignFamily::kTemporalShift) {
     return str_cat("TemporalShift: T=", fused_iterations, ", strip ",
-                   join(tiles, "x"), ", V=", unroll);
+                   join(tiles, "x"), ", V=", unroll, rep);
   }
   return str_cat(to_string(kind), ": h=", fused_iterations, ", tile ",
                  join(tiles, "x"), ", CUs ", join(cus, "x"), ", N_PE=",
-                 unroll);
+                 unroll, rep);
 }
 
 }  // namespace scl::sim

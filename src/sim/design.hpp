@@ -41,7 +41,7 @@ const char* to_string(DesignKind kind);
 /// both as the eval-cache key and as the final tie-breaker of the
 /// deterministic design ordering.
 struct DesignKey {
-  std::array<std::int64_t, 13> v{};
+  std::array<std::int64_t, 14> v{};
 
   friend bool operator==(const DesignKey&, const DesignKey&) = default;
   friend auto operator<=>(const DesignKey&, const DesignKey&) = default;
@@ -69,10 +69,23 @@ struct DesignConfig {
   std::array<std::int64_t, 3> edge_shrink{0, 0, 0};
   int unroll = 1;
 
-  /// Total kernels per region (the paper's K).
+  /// Spatial replication factor R: independent PE groups, each a full copy
+  /// of the design (K kernels for pipe-tiling, one cascade for
+  /// temporal-shift), bound to disjoint global-memory bank groups. A
+  /// pass's regions are strip-partitioned across the replicas; replicas
+  /// never communicate (regions within a pass are independent). R = 1 is
+  /// today's single-copy design on every DDR device.
+  int replication = 1;
+
+  /// Total kernels per replica and per region (the paper's K).
   std::int64_t total_kernels() const {
     return static_cast<std::int64_t>(parallelism[0]) * parallelism[1] *
            parallelism[2];
+  }
+
+  /// Kernels instantiated on the device: R replicas of K kernels.
+  std::int64_t replicated_kernels() const {
+    return total_kernels() * replication;
   }
 
   /// The balanced tile extents along dimension d, low to high. Edge tiles

@@ -25,7 +25,11 @@ Executor::RegionOutcome Executor::run_region(
     const RegionPlan& plan, std::int64_t pass_iterations, SimMode mode,
     const FieldSet* global_in, FieldSet* global_out,
     std::vector<TraceEvent>* trace) const {
-  ocl::GlobalMemory memory(device_);
+  // One region is executed by one replica; its memory channel is the
+  // replica's share of the (possibly banked) device bandwidth. Exact
+  // no-op at R=1 on single-bank parts.
+  ocl::GlobalMemory memory(device_.replica_bytes_per_cycle(config.replication),
+                           device_.mem_port_bytes_per_cycle);
   std::vector<double> stage_cel;
   std::vector<std::int64_t> stage_depth;
   for (int s = 0; s < program.stage_count(); ++s) {
@@ -172,8 +176,9 @@ SimResult Executor::run_temporal(const StencilProgram& program,
       ii_walk * (ceil_div(layout.cells,
                           static_cast<std::int64_t>(layout.vector_width)) +
                  layout.max_store_delay);
-  const double bw_share = std::min(device_.mem_port_bytes_per_cycle,
-                                   device_.mem_bytes_per_cycle);
+  const double bw_share =
+      std::min(device_.mem_port_bytes_per_cycle,
+               device_.replica_bytes_per_cycle(config.replication));
   const std::int64_t read_bytes =
       layout.cells * program.field_count() * StencilProgram::element_bytes();
   const std::int64_t write_bytes = layout.owned_cells *
@@ -187,7 +192,12 @@ SimResult Executor::run_temporal(const StencilProgram& program,
   for (const auto& shape : grid.distinct_shapes()) {
     const std::int64_t owned_clip = shape.plan.box.volume();
     const std::int64_t times = shape.count * grid.passes();
-    result.total_cycles += region_cycles * times;
+    // R replica cascades strip-partition each pass's regions; wall-clock
+    // follows the most-loaded replica while work totals stay exact.
+    const std::int64_t critical =
+        ceil_div(shape.count, static_cast<std::int64_t>(config.replication)) *
+        grid.passes();
+    result.total_cycles += region_cycles * critical;
     result.cells_owned += owned_clip * times;
     result.cells_redundant += (layout.cells - owned_clip) * times;
     result.global_memory_bytes += (read_bytes + write_bytes) * times;
@@ -203,7 +213,7 @@ SimResult Executor::run_temporal(const StencilProgram& program,
         exposed * read_bytes / std::max<std::int64_t>(1, read_bytes +
                                                              write_bytes);
     phases.mem_write = exposed - phases.mem_read;
-    result.phases += phases * times;
+    result.phases += phases * critical;
   }
 
   if (mode == SimMode::kFunctional) {
@@ -251,9 +261,13 @@ SimResult Executor::run(const StencilProgram& program,
   SimResult result;
   result.region_executions = grid.total_region_executions();
 
-  auto accumulate = [&result](const RegionOutcome& o, std::int64_t times) {
-    result.total_cycles += o.cycles * times;
-    result.phases += o.phases * times;
+  // `times` counts region executions (work totals); `critical_times` is
+  // the longest per-replica share of them when R replicas sweep regions
+  // of a pass concurrently. At R=1 the two coincide.
+  auto accumulate = [&result](const RegionOutcome& o, std::int64_t times,
+                              std::int64_t critical_times) {
+    result.total_cycles += o.cycles * critical_times;
+    result.phases += o.phases * critical_times;
     result.cells_owned += o.cells_owned * times;
     result.cells_redundant += o.cells_redundant * times;
     result.pipe_elements += o.pipe_elements * times;
@@ -271,7 +285,7 @@ SimResult Executor::run(const StencilProgram& program,
                                  : config.fused_iterations;
       for (const RegionPlan& plan : regions) {
         accumulate(run_region(program, config, plan, h, mode, &current, &next),
-                   1);
+                   1, 1);
       }
       std::swap(current, next);
     }
@@ -284,16 +298,18 @@ SimResult Executor::run(const StencilProgram& program,
             ? grid.passes()
             : grid.passes() - 1;
     for (const auto& shape : shapes) {
+      const std::int64_t critical_count = ceil_div(
+          shape.count, static_cast<std::int64_t>(config.replication));
       if (full_passes > 0) {
         accumulate(run_region(program, config, shape.plan,
                               config.fused_iterations, mode, nullptr, nullptr),
-                   shape.count * full_passes);
+                   shape.count * full_passes, critical_count * full_passes);
       }
       if (full_passes != grid.passes()) {
         accumulate(run_region(program, config, shape.plan,
                               grid.last_pass_iterations(), mode, nullptr,
                               nullptr),
-                   shape.count);
+                   shape.count, critical_count);
       }
     }
   }

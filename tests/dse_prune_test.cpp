@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fpga/device.hpp"
 #include "stencil/kernels.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -117,6 +118,107 @@ TEST(DsePruneTest, LowerBoundIsAdmissibleAcrossBaselineSpaces) {
       }
     }
     EXPECT_GT(checked, 100) << name << ": space unexpectedly tiny";
+  }
+}
+
+TEST(DsePruneTest, LowerBoundIsAdmissibleAcrossHbmReplicatedSpaces) {
+  // The replication axis is live on HBM parts (R in {1, 2, 4, ...}); the
+  // bound must stay under the exact model for every replicated candidate
+  // of both families, or branch-and-bound could prune a true optimum.
+  for (const fpga::DeviceSpec& device :
+       {fpga::alveo_u280(), fpga::stratix10_mx()}) {
+    const StencilProgram program =
+        scaled(scl::stencil::find_benchmark("Jacobi-2D"));
+    OptimizerOptions options;
+    options.threads = 1;
+    options.device = device;
+    const Optimizer optimizer(program, options);
+    const model::LowerBoundModel bound_model(program, options.device);
+    ASSERT_GT(optimizer.space().replication_factors().size(), 1u)
+        << device.name << ": replication axis did not open up";
+    std::int64_t checked = 0;
+    std::int64_t replicated = 0;
+    std::vector<CandidateChain> chains =
+        optimizer.space().chains(sim::DesignKind::kBaseline);
+    const std::vector<CandidateChain> temporal =
+        optimizer.space().temporal_chains();
+    chains.insert(chains.end(), temporal.begin(), temporal.end());
+    for (const CandidateChain& chain : chains) {
+      for (const sim::DesignConfig& config : chain.configs) {
+        const model::LowerBound lb = bound_model.bound(config);
+        const DesignPoint exact = optimizer.evaluate(config);
+        ASSERT_LE(lb.cycles, exact.prediction.total_cycles)
+            << device.name << " " << config.summary(program.dims());
+        ASSERT_LE(lb.bram18, exact.resources.total.bram18)
+            << device.name << " " << config.summary(program.dims());
+        ++checked;
+        if (config.replication > 1) ++replicated;
+      }
+    }
+    EXPECT_GT(checked, 100) << device.name << ": space unexpectedly tiny";
+    EXPECT_GT(replicated, 0) << device.name << ": no replicated candidates";
+  }
+}
+
+TEST(DsePruneTest, HbmPrunedOptimumMatchesExhaustive) {
+  // Pruning correctness must hold with the replication axis live.
+  const StencilProgram program =
+      scaled(scl::stencil::find_benchmark("Jacobi-2D"));
+  OptimizerOptions pruned_options;
+  pruned_options.threads = 2;
+  pruned_options.prune = true;
+  pruned_options.device = fpga::alveo_u280();
+  OptimizerOptions exhaustive_options = pruned_options;
+  exhaustive_options.prune = false;
+  const Optimizer pruned(program, pruned_options);
+  const Optimizer exhaustive(program, exhaustive_options);
+  const DesignPoint base_p = pruned.optimize_baseline();
+  const DesignPoint base_e = exhaustive.optimize_baseline();
+  expect_identical(base_p, base_e, "HBM baseline");
+  expect_identical(pruned.optimize_temporal(), exhaustive.optimize_temporal(),
+                   "HBM temporal");
+  std::optional<DesignPoint> het_p;
+  std::optional<DesignPoint> het_e;
+  try {
+    het_p = pruned.optimize_heterogeneous(base_p);
+  } catch (const ResourceError&) {
+  }
+  try {
+    het_e = exhaustive.optimize_heterogeneous(base_e);
+  } catch (const ResourceError&) {
+  }
+  ASSERT_EQ(het_p.has_value(), het_e.has_value())
+      << "pruning changed HBM heterogeneous feasibility";
+  if (het_p.has_value()) {
+    expect_identical(*het_p, *het_e, "HBM heterogeneous");
+  }
+}
+
+TEST(DsePruneTest, DdrDevicesKeepTheSingletonReplicationAxis) {
+  // DDR regression: the replication axis must not perturb single-bank
+  // searches — the axis collapses to {1} and the chosen optimum carries
+  // R=1, which keeps every pre-replication DDR optimum bit-identical.
+  const StencilProgram program =
+      scaled(scl::stencil::find_benchmark("Jacobi-2D"));
+  for (const char* name : {"xc7vx690t", "xc7vx485t", "xcku115"}) {
+    OptimizerOptions options;
+    options.threads = 1;
+    options.device = fpga::find_device(name);
+    const Optimizer optimizer(program, options);
+    EXPECT_EQ(optimizer.space().replication_factors(),
+              std::vector<int>{1})
+        << name;
+    const DesignPoint base = optimizer.optimize_baseline();
+    EXPECT_EQ(base.config.replication, 1) << name;
+    const DesignPoint het = optimizer.optimize_heterogeneous(base);
+    EXPECT_EQ(het.config.replication, 1) << name;
+
+    // Explicitly pinning the axis to {1} must reproduce the same optima.
+    OptimizerOptions pinned = options;
+    pinned.replication_candidates = {1};
+    const Optimizer pinned_opt(program, pinned);
+    expect_identical(pinned_opt.optimize_baseline(), base,
+                     std::string(name) + " pinned baseline");
   }
 }
 

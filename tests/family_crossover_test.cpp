@@ -85,5 +85,71 @@ TEST(FamilyCrossover, ForcedFamilyOverridesTheAutoWinner) {
   EXPECT_EQ(spatial.selected_family, DesignFamily::kPipeTiling);
 }
 
+TEST(FamilyCrossover, HbmBanksFlipTemporalDeepToSpatialWide) {
+  // The device-driven crossover the multi-bank model exists for: the
+  // DDR board's single channel rewards folding time, so its temporal
+  // optimum is a deep unreplicated cascade (large T). The HBM part's 32
+  // banks reward width — the optimum trades cascade depth for spatially
+  // replicated PEs bound to disjoint bank groups (R > 1, smaller T).
+  const auto program = scl::stencil::make_jacobi2d(192, 192, 64);
+  auto temporal_on = [&](const char* device) {
+    OptimizerOptions options;
+    options.device = fpga::find_device(device);
+    const Optimizer optimizer(program, options);
+    return optimizer.optimize_temporal();
+  };
+  const DesignPoint deep = temporal_on("xc7vx690t");
+  EXPECT_EQ(deep.config.replication, 1);
+  const DesignPoint wide = temporal_on("xcu280");
+  EXPECT_GT(wide.config.replication, 1)
+      << "the HBM temporal winner must use spatial replication";
+  EXPECT_LT(wide.config.fused_iterations, deep.config.fused_iterations)
+      << "bank-fed replicas should displace cascade depth";
+}
+
+TEST(FamilyCrossover, HbmWinnerUsesSpatialReplication) {
+  // At a scale where both families fit, the full auto flow on the HBM
+  // part selects a spatially replicated pipe-tiling design, while the
+  // DDR board at the same scale stays at R=1.
+  const auto program = scl::stencil::make_jacobi2d(512, 512, 64);
+  FrameworkOptions hbm = auto_options();
+  hbm.optimizer.device = fpga::find_device("xcu280");
+  const SynthesisReport on_hbm = Framework(program, hbm).synthesize();
+  EXPECT_EQ(on_hbm.selected_family, DesignFamily::kPipeTiling);
+  EXPECT_GT(on_hbm.selected().config.replication, 1);
+
+  const SynthesisReport on_ddr =
+      Framework(program, auto_options()).synthesize();
+  EXPECT_EQ(on_ddr.selected().config.replication, 1);
+}
+
+TEST(FamilyCrossover, HbmWinnerIsInvariantToPruningAndThreads) {
+  // The pinned crossover must be a property of the model, not of the
+  // search schedule: pruning on/off and any worker count land on the
+  // byte-identical winning design.
+  const auto program = scl::stencil::make_jacobi2d(512, 512, 64);
+  auto winner = [&](bool prune, int threads) {
+    OptimizerOptions options;
+    options.device = fpga::find_device("xcu280");
+    options.prune = prune;
+    options.threads = threads;
+    const Optimizer optimizer(program, options);
+    const DesignPoint base = optimizer.optimize_baseline();
+    return optimizer.optimize_heterogeneous(base);
+  };
+  const DesignPoint reference = winner(true, 1);
+  EXPECT_GT(reference.config.replication, 1);
+  for (const auto& [prune, threads] :
+       {std::pair{false, 1}, std::pair{true, 4}, std::pair{false, 4}}) {
+    const DesignPoint other = winner(prune, threads);
+    EXPECT_EQ(reference.config, other.config)
+        << "prune=" << prune << " threads=" << threads;
+    EXPECT_EQ(reference.prediction.total_cycles,
+              other.prediction.total_cycles);
+    EXPECT_EQ(reference.resources.total.bram18,
+              other.resources.total.bram18);
+  }
+}
+
 }  // namespace
 }  // namespace scl::core

@@ -56,9 +56,64 @@ TEST(DeviceTest, PaperBoardCapacities) {
 }
 
 TEST(DeviceTest, CatalogAndLookup) {
-  EXPECT_EQ(device_catalog().size(), 3u);
+  EXPECT_EQ(device_catalog().size(), 5u);
   EXPECT_EQ(find_device("xcku115").name, "xcku115");
+  EXPECT_EQ(find_device("xcu280").name, "xcu280");
+  EXPECT_EQ(find_device("s10mx").name, "s10mx");
   EXPECT_THROW(find_device("xc7z020"), Error);
+}
+
+TEST(DeviceTest, DdrPartsStayOnTheSingleBankModel) {
+  // DDR boards keep the pre-HBM memory model: one bank whose capacity is
+  // derived from the aggregate numbers, so every replica-bandwidth query
+  // at R=1 reproduces mem_bytes_per_cycle exactly.
+  for (const DeviceSpec& d :
+       {virtex7_690t(), virtex7_485t(), kintex_ku115()}) {
+    EXPECT_EQ(d.memory.banks, 1) << d.name;
+    EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(1), d.mem_bytes_per_cycle)
+        << d.name;
+  }
+}
+
+TEST(DeviceTest, HbmBanksAggregateToDeviceBandwidth) {
+  for (const DeviceSpec& d : {alveo_u280(), stratix10_mx()}) {
+    EXPECT_GT(d.memory.banks, 1) << d.name;
+    EXPECT_DOUBLE_EQ(
+        d.memory.banks * d.effective_bank_bytes_per_cycle(),
+        d.mem_bytes_per_cycle)
+        << d.name;
+    // One replica owning every bank sees the full aggregate bandwidth.
+    EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(1), d.mem_bytes_per_cycle)
+        << d.name;
+  }
+}
+
+TEST(DeviceTest, ReplicaBandwidthPartitionsWholeBankGroups) {
+  const DeviceSpec d = alveo_u280();  // 32 banks
+  const double bank = d.effective_bank_bytes_per_cycle();
+  // Replicas bind disjoint bank groups: floor(banks / R) banks each.
+  EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(2), 16 * bank);
+  EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(32), bank);
+  // Non-divisors round the group size down (the critical replica's view).
+  EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(3), 10 * bank);
+}
+
+TEST(DeviceTest, OversubscribedBanksPayTheConflictPenalty) {
+  const DeviceSpec d = stratix10_mx();  // 16 banks, conflict factor 2.5
+  const double bank = d.effective_bank_bytes_per_cycle();
+  // R > banks: replicas share banks; the fair share is divided by the
+  // conflict factor to model interleaved-access thrash.
+  EXPECT_DOUBLE_EQ(d.replica_bytes_per_cycle(32),
+                   (16 * bank / 32) / d.memory.bank_conflict_factor);
+  // The penalized share is strictly worse than a conflict-free split.
+  EXPECT_LT(d.replica_bytes_per_cycle(32), 16 * bank / 32);
+  // Monotone: more replicas never means more per-replica bandwidth.
+  double prev = d.replica_bytes_per_cycle(1);
+  for (int r = 2; r <= 64; r *= 2) {
+    const double cur = d.replica_bytes_per_cycle(r);
+    EXPECT_LE(cur, prev) << "R=" << r;
+    prev = cur;
+  }
 }
 
 TEST(DeviceTest, CyclesToMs) {

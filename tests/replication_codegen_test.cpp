@@ -1,0 +1,186 @@
+// Emission and analysis of spatially replicated designs (R > 1 on HBM
+// parts): pipe-tiling replicas own distinct pipe-wired kernel texts and
+// a wave-structured multi-queue host; the temporal cascade stays one
+// kernel text whose R compute units are stamped at link time. Either
+// way the generated bundle must clear the structural validator, the
+// kernel-IR dataflow verifier and all design-analysis passes with zero
+// diagnostics — the same bar the R = 1 paths are held to.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/family.hpp"
+#include "codegen/opencl_emitter.hpp"
+#include "core/resource_estimator.hpp"
+#include "core/verify.hpp"
+#include "fpga/device.hpp"
+#include "fpga/resource_model.hpp"
+#include "sim/design.hpp"
+#include "stencil/kernels.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace scl {
+namespace {
+
+using scl::sim::DesignConfig;
+using scl::sim::DesignKind;
+using scl::stencil::StencilProgram;
+
+DesignConfig replicated_hetero2d(int replication) {
+  DesignConfig c;
+  c.kind = DesignKind::kHeterogeneous;
+  c.fused_iterations = 8;
+  c.parallelism = {2, 2, 1};
+  c.tile_size = {32, 32, 1};
+  c.replication = replication;
+  return c;
+}
+
+DesignConfig replicated_temporal(const StencilProgram& program,
+                                 std::int64_t strip, std::int64_t t_deg,
+                                 int replication) {
+  DesignConfig config;
+  config.family = arch::DesignFamily::kTemporalShift;
+  config.kind = DesignKind::kBaseline;
+  config.fused_iterations = t_deg;
+  for (int d = 0; d < program.dims(); ++d) {
+    config.tile_size[static_cast<std::size_t>(d)] =
+        program.grid_box().extent(d);
+  }
+  config.tile_size[static_cast<std::size_t>(program.dims() - 1)] = strip;
+  config.replication = replication;
+  config.validate(program);
+  return config;
+}
+
+/// Full-stack cleanliness: structural validator (SCL0xx), all design
+/// passes including the resource cross-check (SCL1xx-SCL3xx), and the
+/// kernel-IR dataflow verifier (SCL4xx), each with zero errors AND zero
+/// warnings on the HBM part.
+void expect_clean_replicated(const StencilProgram& program,
+                             const DesignConfig& config,
+                             const std::string& label) {
+  const fpga::DeviceSpec device = fpga::find_device("xcu280");
+  const codegen::GeneratedCode code =
+      codegen::generate_opencl(program, config, device);
+
+  support::DiagnosticEngine diags;
+  core::verify_generated_sources(code, &diags);
+  EXPECT_EQ(diags.error_count(), 0)
+      << label << "\n" << diags.render_text() << code.host_source;
+  EXPECT_EQ(diags.warning_count(), 0) << label << "\n" << diags.render_text();
+
+  const core::IrVerifyStats stats =
+      core::verify_generated_ir(program, config, code, &diags);
+  EXPECT_TRUE(stats.ran) << label;
+  EXPECT_EQ(stats.kernels_lowered, code.kernel_count) << label;
+  EXPECT_EQ(stats.unmodeled_constructs, 0) << label;
+  EXPECT_EQ(stats.errors, 0)
+      << label << "\n" << diags.render_text() << code.kernel_source;
+  EXPECT_EQ(stats.warnings, 0)
+      << label << "\n" << diags.render_text() << code.kernel_source;
+
+  const fpga::ResourceModel model(device);
+  const core::DesignResources resources =
+      core::estimate_design_resources(program, config, model);
+  const support::DiagnosticEngine design_diags =
+      core::verify_design(program, config, device, resources);
+  EXPECT_EQ(design_diags.error_count(), 0)
+      << label << "\n" << design_diags.render_text();
+  EXPECT_EQ(design_diags.warning_count(), 0)
+      << label << "\n" << design_diags.render_text();
+}
+
+TEST(ReplicationCodegen, PipeTilingReplicasOwnDistinctKernelTexts) {
+  const auto program = stencil::make_jacobi2d(256, 256, 64);
+  const DesignConfig config = replicated_hetero2d(2);
+  const codegen::GeneratedCode code = codegen::generate_opencl(
+      program, config, fpga::find_device("xcu280"));
+  // 2x2 tiles per replica, two replicas: 8 distinct kernel functions.
+  EXPECT_EQ(code.kernel_count, 8);
+  EXPECT_EQ(scl::count_occurrences(code.kernel_source, "__kernel "), 8u);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_NE(code.kernel_source.find(scl::str_cat("stencil_k", k, "(")),
+              std::string::npos)
+        << "missing kernel text for compute unit " << k;
+  }
+  // Pipes wire tiles within a replica only: 8 per 2x2 replica, and no
+  // cross-replica channel (which would serialize the bank groups).
+  EXPECT_EQ(code.pipe_count, 16);
+  // The build script stamps every replicated kernel as its own CU.
+  EXPECT_NE(code.build_script.find("--nk stencil_k7:1"), std::string::npos);
+}
+
+TEST(ReplicationCodegen, ReplicatedHostSweepsStripWaves) {
+  const auto program = stencil::make_jacobi2d(256, 256, 64);
+  const codegen::GeneratedCode code = codegen::generate_opencl(
+      program, replicated_hetero2d(2), fpga::find_device("xcu280"));
+  const std::string& host = code.host_source;
+  // One command queue and one clCreateKernel per compute unit; the
+  // sweep advances in waves with a per-wave barrier over every queue.
+  EXPECT_NE(host.find("static const int kReplicas = 2"), std::string::npos);
+  EXPECT_NE(host.find("kStripWaves"), std::string::npos);
+  EXPECT_NE(host.find("cl_command_queue queues[kReplicas]"),
+            std::string::npos);
+  EXPECT_EQ(scl::count_occurrences(host, "clCreateKernel"), 8u);
+  EXPECT_NE(host.find("clEnqueueTask(queues[0]"), std::string::npos);
+  EXPECT_NE(host.find("clEnqueueTask(queues[1]"), std::string::npos);
+  EXPECT_NE(host.find("clFinish(queues[q])"), std::string::npos);
+}
+
+TEST(ReplicationCodegen, SingleReplicaHostKeepsTheLegacyPath) {
+  // R = 1 must not pay for the machinery: byte-for-byte the same host
+  // as a config that never heard of replication.
+  const auto program = stencil::make_jacobi2d(256, 256, 64);
+  const codegen::GeneratedCode replicated = codegen::generate_opencl(
+      program, replicated_hetero2d(1), fpga::find_device("xcu280"));
+  EXPECT_EQ(replicated.host_source.find("kReplicas"), std::string::npos);
+  EXPECT_EQ(replicated.host_source.find("queues["), std::string::npos);
+  const codegen::GeneratedCode plain = codegen::generate_opencl(
+      program, replicated_hetero2d(1), fpga::find_device("xc7vx690t"));
+  EXPECT_EQ(scl::count_occurrences(plain.host_source, "clCreateKernel"),
+            scl::count_occurrences(replicated.host_source, "clCreateKernel"));
+}
+
+TEST(ReplicationCodegen, TemporalReplicasAreLinkTimeComputeUnits) {
+  const auto program =
+      stencil::find_benchmark("Jacobi-2D").make_scaled({64, 64, 1}, 8);
+  const DesignConfig config = replicated_temporal(program, 16, 4, 4);
+  const codegen::GeneratedCode code = codegen::generate_opencl(
+      program, config, fpga::find_device("xcu280"));
+  // One cascade text; the SDAccel link stamps the four compute units.
+  EXPECT_EQ(code.kernel_count, 1);
+  EXPECT_EQ(scl::count_occurrences(code.kernel_source, "__kernel "), 1u);
+  EXPECT_NE(code.build_script.find("--nk stencil_k0:4"), std::string::npos);
+  // Every replica's cl_kernel binds the same function name.
+  EXPECT_EQ(scl::count_occurrences(code.host_source, "clCreateKernel"), 4u);
+  EXPECT_EQ(scl::count_occurrences(code.host_source, "\"stencil_k0\""), 4u);
+  EXPECT_NE(code.host_source.find("static const int kReplicas = 4"),
+            std::string::npos);
+}
+
+TEST(ReplicationCodegen, ReplicatedPipeTilingIsDiagnosticFree) {
+  const auto program = stencil::make_jacobi2d(256, 256, 64);
+  expect_clean_replicated(program, replicated_hetero2d(2),
+                          "Jacobi-2D hetero R=2");
+  DesignConfig baseline = replicated_hetero2d(4);
+  baseline.kind = DesignKind::kBaseline;
+  expect_clean_replicated(program, baseline, "Jacobi-2D baseline R=4");
+}
+
+TEST(ReplicationCodegen, ReplicatedTemporalCascadeIsDiagnosticFree) {
+  const auto program =
+      stencil::find_benchmark("Jacobi-2D").make_scaled({96, 96, 1}, 12);
+  expect_clean_replicated(program, replicated_temporal(program, 24, 3, 4),
+                          "Jacobi-2D temporal R=4");
+  // Multi-field, multi-stage stencil with an unaligned strip count.
+  const auto fdtd =
+      stencil::find_benchmark("FDTD-2D").make_scaled({64, 64, 1}, 8);
+  expect_clean_replicated(fdtd, replicated_temporal(fdtd, 16, 2, 2),
+                          "FDTD-2D temporal R=2");
+}
+
+}  // namespace
+}  // namespace scl
